@@ -1,0 +1,267 @@
+// Command dare-bench regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports (see EXPERIMENTS.md for the paper-vs-measured record).
+//
+// Examples:
+//
+//	dare-bench                      # everything, full 500-job scale
+//	dare-bench -exp fig7            # one experiment
+//	dare-bench -exp fig9 -jobs 200  # scaled down
+//	dare-bench -list                # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dare"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(jobs int, seed uint64) (string, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "Table I: all-to-all ping RTTs (ms)", func(jobs int, seed uint64) (string, error) {
+			return dare.TableI(5, seed, dare.CCT(), dare.EC2Small()), nil
+		}},
+		{"table2", "Table II: disk and network bandwidth (MB/s)", func(jobs int, seed uint64) (string, error) {
+			out := dare.TableII(50, seed, dare.CCT(), dare.EC2())
+			out += fmt.Sprintf("\nnet/disk bandwidth ratio: CCT %.3f, EC2 %.3f (§II-B: lower ratio => locality pays off more)\n",
+				dare.BandwidthRatio(dare.CCT(), 200, seed), dare.BandwidthRatio(dare.EC2(), 200, seed))
+			return out, nil
+		}},
+		{"table3", "Table III: configuration of the test clusters", func(jobs int, seed uint64) (string, error) {
+			return dare.TableIII(dare.CCT(), dare.EC2()), nil
+		}},
+		{"fig1", "Fig. 1: hop-count distribution, 20-node EC2 cluster", func(jobs int, seed uint64) (string, error) {
+			return dare.Fig1(dare.EC2Small(), seed), nil
+		}},
+		{"fig2", "Fig. 2: file popularity vs rank (plain and block-weighted)", func(jobs int, seed uint64) (string, error) {
+			l := dare.GenerateAuditLog(dare.AuditLogConfig{Seed: seed})
+			return dare.RenderRanks(dare.Fig2Ranks(l)), nil
+		}},
+		{"fig3", "Fig. 3: CDF of file age at access", func(jobs int, seed uint64) (string, error) {
+			l := dare.GenerateAuditLog(dare.AuditLogConfig{Seed: seed})
+			return dare.RenderAgeCDF(dare.Fig3AgeCDF(l)), nil
+		}},
+		{"fig4", "Fig. 4: 80%-coverage window sizes over the week", func(jobs int, seed uint64) (string, error) {
+			l := dare.GenerateAuditLog(dare.AuditLogConfig{Seed: seed})
+			res, err := dare.Fig4Windows(l)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderWindows(res), nil
+		}},
+		{"fig5", "Fig. 5: 80%-coverage window sizes within day 2", func(jobs int, seed uint64) (string, error) {
+			l := dare.GenerateAuditLog(dare.AuditLogConfig{Seed: seed})
+			res, err := dare.Fig5Windows(l)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderWindows(res), nil
+		}},
+		{"fig6", "Fig. 6: access pattern (CDF) used in the experiments", func(jobs int, seed uint64) (string, error) {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%8s %12s\n", "rank", "cumulative")
+			for _, pt := range dare.Fig6Points(120, 0) {
+				if int(pt.X)%10 == 1 || pt.X <= 10 {
+					fmt.Fprintf(&b, "%8.0f %12.3f\n", pt.X, pt.P)
+				}
+			}
+			return b.String(), nil
+		}},
+		{"fig7", "Fig. 7: locality / GMTT / slowdown, 20-node CCT", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.Fig7(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderPerf(rows), nil
+		}},
+		{"fig8a", "Fig. 8a: sensitivity to ElephantTrap probability p", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.Fig8P(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderSens(rows), nil
+		}},
+		{"fig8b", "Fig. 8b: sensitivity to the aging threshold", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.Fig8Threshold(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderSens(rows), nil
+		}},
+		{"fig9a", "Fig. 9a: sensitivity to the budget (greedy LRU)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.Fig9LRU(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderSens(rows), nil
+		}},
+		{"fig9b", "Fig. 9b: sensitivity to the budget (ElephantTrap)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.Fig9ET(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderSens(rows), nil
+		}},
+		{"fig10", "Fig. 10: locality / GMTT / slowdown, 100-node EC2", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.Fig10(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderPerf(rows), nil
+		}},
+		{"fig11", "Fig. 11: uniformity of replica placement (cv of PI)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.Fig11(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderFig11(rows), nil
+		}},
+		{"ablation-writes", "Ablation: ElephantTrap vs LRU disk writes (§I claim)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.AblationWrites(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderWrites(rows), nil
+		}},
+		{"ablation-maptime", "Ablation: map completion time reduction (§V-C claim)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.AblationMapTime(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderMapTime(rows), nil
+		}},
+		{"adaptation", "Adaptation: reactive DARE vs epoch-based Scarlett under a popularity shift (§VI claim)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.Adaptation(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderAdaptation(rows), nil
+		}},
+		{"availability", "Availability: data readable after node failures, with and without DARE (§IV-B claim)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.Availability(jobs, 4, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderAvailability(rows), nil
+		}},
+		{"speculation", "Speculation: DARE composed with backup tasks on the noisy EC2 profile", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.SpeculationStudy(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderSpeculation(rows), nil
+		}},
+		{"eviction", "Eviction profile: LRU vs LFU vs ElephantTrap at a binding budget (§IV design space)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.EvictionStudy(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderEviction(rows), nil
+		}},
+		{"audit-replay", "Audit replay: the §III access process driven through the full cluster", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.AuditReplay(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderAuditReplay(rows), nil
+		}},
+		{"output-bound", "Output-bound split: replication cannot expedite output processing (§V-C)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.OutputBound(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderOutputBound(rows), nil
+		}},
+		{"delay-sweep", "Delay-scheduling patience sweep: DARE halves the waiting the fair scheduler needs (§VI)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.DelaySweep(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderDelaySweep(rows), nil
+		}},
+		{"balance", "Byte balance vs popularity balance: the HDFS balancer cannot do DARE's job (Fig. 11 context)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.BalanceStudy(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderBalance(rows), nil
+		}},
+		{"uniform", "Uniform replication factors vs adaptive replication (§III premise)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.UniformVsAdaptive(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderUniform(rows), nil
+		}},
+	}
+}
+
+func main() {
+	var (
+		expID = flag.String("exp", "all", "experiment id, or 'all'")
+		jobs  = flag.Int("jobs", 0, "jobs per run (0 = the paper's 500)")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-18s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	ids := map[string]experiment{}
+	for _, e := range exps {
+		ids[e.id] = e
+	}
+	// Aliases for whole figures.
+	aliasTargets := map[string][]string{
+		"fig8": {"fig8a", "fig8b"},
+		"fig9": {"fig9a", "fig9b"},
+	}
+
+	var selected []experiment
+	switch {
+	case *expID == "all":
+		selected = exps
+	default:
+		if targets, ok := aliasTargets[*expID]; ok {
+			for _, id := range targets {
+				selected = append(selected, ids[id])
+			}
+		} else if e, ok := ids[*expID]; ok {
+			selected = []experiment{e}
+		} else {
+			var known []string
+			for id := range ids {
+				known = append(known, id)
+			}
+			sort.Strings(known)
+			fmt.Fprintf(os.Stderr, "dare-bench: unknown experiment %q; known: %s\n", *expID, strings.Join(known, ", "))
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("=== %s — %s ===\n", e.id, e.title)
+		out, err := e.run(*jobs, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dare-bench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

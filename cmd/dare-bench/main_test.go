@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentRegistry verifies the CLI wiring: every registered
+// experiment has a unique id, a title, and runs to completion at a tiny
+// scale producing non-empty output.
+func TestExperimentRegistry(t *testing.T) {
+	exps := experiments()
+	if len(exps) < 20 {
+		t.Fatalf("registry shrank to %d experiments", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.id == "" || e.title == "" || e.run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+	// Every paper artifact must be present.
+	for _, id := range []string{
+		"table1", "table2", "table3",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8a", "fig8b", "fig9a", "fig9b", "fig10", "fig11",
+		"ablation-writes", "ablation-maptime",
+		"adaptation", "availability", "speculation", "eviction",
+		"audit-replay", "output-bound", "delay-sweep", "balance",
+	} {
+		if !seen[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestEveryExperimentRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole registry")
+	}
+	for _, e := range experiments() {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			out, err := e.run(25, 7)
+			if err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Fatalf("%s produced empty output", e.id)
+			}
+		})
+	}
+}

@@ -1,0 +1,228 @@
+// Command dare-sim runs one cluster simulation and prints its evaluation
+// metrics: data locality, GMTT, slowdown, map-task time, replication
+// activity, and placement uniformity.
+//
+// Examples:
+//
+//	dare-sim                                     # CCT, wl1, FIFO, ElephantTrap defaults
+//	dare-sim -scheduler fair -policy lru
+//	dare-sim -profile ec2 -workload wl2 -p 0.5 -budget 0.1 -jobs 200
+//	dare-sim -policy vanilla -seed 7 -v          # baseline with per-job dump
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"dare"
+)
+
+func main() {
+	var (
+		profileName = flag.String("profile", "cct", "cluster profile: cct | ec2 | ec2-20 (Table III)")
+		profileFile = flag.String("profile-file", "", "load a custom cluster profile from a JSON spec file")
+		wlName      = flag.String("workload", "wl1", "workload: wl1 (small jobs) | wl2 (small after large)")
+		jobs        = flag.Int("jobs", 0, "truncate the workload to this many jobs (0 = full 500)")
+		schedName   = flag.String("scheduler", "fifo", "scheduler: fifo | fair")
+		fairSkips   = flag.Int("fair-skips", 0, "delay-scheduling patience in skipped opportunities (0 = default)")
+		policyName  = flag.String("policy", "elephanttrap", "replication policy: vanilla | lru | lfu | elephanttrap | scarlett")
+		p           = flag.Float64("p", 0.3, "ElephantTrap sampling probability")
+		threshold   = flag.Int64("threshold", 1, "ElephantTrap aging threshold")
+		budget      = flag.Float64("budget", 0.2, "replication budget (fraction of per-node primary bytes)")
+		seed        = flag.Uint64("seed", 42, "random seed (runs are deterministic per seed)")
+		verbose     = flag.Bool("v", false, "also dump per-job results")
+		csvPath     = flag.String("csv", "", "write per-job results to this CSV file")
+		speculative = flag.Bool("speculation", false, "enable Hadoop-style speculative execution")
+		failNodes   = flag.Int("fail", 0, "kill this many nodes mid-run (failure injection)")
+		failAtFrac  = flag.Float64("fail-at", 0.5, "failure time as a fraction of the arrival span")
+		noRepair    = flag.Bool("no-repair", false, "disable HDFS-style re-replication after failures")
+		timeline    = flag.Int("timeline", 0, "print mean locality over N consecutive job buckets (convergence view)")
+	)
+	flag.Parse()
+
+	profile, err := profileByName(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+	if *profileFile != "" {
+		f, err := os.Open(*profileFile)
+		if err != nil {
+			fatal(err)
+		}
+		profile, err = dare.LoadProfile(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	kind, err := dare.ParsePolicyKind(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	var wl *dare.Workload
+	switch *wlName {
+	case "wl1":
+		wl = dare.WL1(*seed)
+	case "wl2":
+		wl = dare.WL2(*seed)
+	default:
+		fatal(fmt.Errorf("unknown workload %q (want wl1|wl2)", *wlName))
+	}
+	if *jobs > 0 && *jobs < len(wl.Jobs) {
+		wl.Jobs = wl.Jobs[:*jobs]
+	}
+
+	profile.SpeculativeExecution = *speculative
+	policy := dare.PolicyConfig{Kind: kind, P: *p, Threshold: *threshold, BudgetFraction: *budget}
+	if kind == dare.Scarlett {
+		policy = dare.PolicyFor(dare.Scarlett)
+		policy.BudgetFraction = *budget
+	}
+	var failures []dare.NodeFailure
+	if *failNodes > 0 {
+		span := wl.Jobs[len(wl.Jobs)-1].Arrival
+		for i := 0; i < *failNodes && i < profile.Slaves; i++ {
+			failures = append(failures, dare.NodeFailure{Node: i, At: span**failAtFrac + 0.01*float64(i)})
+		}
+	}
+	out, err := dare.Run(dare.Options{
+		Profile:       profile,
+		Workload:      wl,
+		Scheduler:     *schedName,
+		FairSkips:     *fairSkips,
+		Policy:        policy,
+		Seed:          *seed,
+		Failures:      failures,
+		DisableRepair: *noRepair,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := out.Summary
+	fmt.Printf("cluster       %s (%d slaves, %d map slots)\n", profile.Name, profile.Slaves, profile.Slaves*profile.MapSlotsPerNode)
+	fmt.Printf("workload      %s (%d jobs, %d map tasks)\n", wl.Name, s.Jobs, wl.TotalMaps())
+	fmt.Printf("scheduler     %s\n", out.SchedulerName)
+	fmt.Printf("policy        %s (p=%.2f threshold=%d budget=%.2f)\n", out.PolicyName, *p, *threshold, *budget)
+	fmt.Println()
+	fmt.Printf("job locality       %.3f   (node-local fraction, mean per job)\n", s.JobLocality)
+	fmt.Printf("task locality      %.3f   (rack %.3f, remote %.3f)\n", s.TaskLocality, s.RackFraction, s.RemoteFraction)
+	fmt.Printf("GMTT               %.2f s\n", s.GMTT)
+	fmt.Printf("mean slowdown      %.2f\n", s.MeanSlowdown)
+	fmt.Printf("mean map time      %.2f s\n", s.MeanMapTime)
+	fmt.Printf("makespan           %.1f s\n", s.Makespan)
+	fmt.Printf("replicas created   %d (%.2f per job), evictions %d, disk writes %d\n",
+		s.ReplicasCreated, s.BlocksPerJob, s.Evictions, s.DiskWrites)
+	fmt.Printf("network (input)    %.1f GB moved by non-local reads\n", float64(s.NetworkBytes)/(1<<30))
+	fmt.Printf("placement cv       %.3f -> %.3f (popularity-index uniformity)\n", out.CVBefore, out.CVAfter)
+	tts := make([]float64, 0, len(out.Results))
+	for _, r := range out.Results {
+		tts = append(tts, r.Turnaround)
+	}
+	fmt.Printf("turnaround p50/p90/p99   %.2f / %.2f / %.2f s\n",
+		percentile(tts, 0.50), percentile(tts, 0.90), percentile(tts, 0.99))
+	if *speculative {
+		fmt.Printf("speculative backups %d\n", out.SpeculativeLaunches)
+	}
+	if *timeline > 0 {
+		fmt.Printf("locality timeline  ")
+		for _, v := range dare.LocalityTimeline(out.Results, *timeline) {
+			fmt.Printf("%.2f ", v)
+		}
+		fmt.Println()
+	}
+	for _, ev := range out.FailureEvents {
+		fmt.Printf("failure t=%.1fs node %d: %d maps + %d reduces killed, %d replicas lost, availability %d/%d blocks\n",
+			ev.Time, ev.Node, ev.KilledMaps, ev.KilledReduces,
+			len(ev.Report.LostPrimaries)+len(ev.Report.LostDynamic), ev.AvailableBlocks, ev.TotalBlocks)
+	}
+	if len(out.FailureEvents) > 0 {
+		fmt.Printf("repairs completed   %d block re-replications\n", out.RepairsDone)
+	}
+
+	if *verbose {
+		fmt.Println()
+		fmt.Printf("%6s %10s %10s %9s %9s %6s\n", "job", "arrival", "finish", "locality", "slowdown", "maps")
+		for _, r := range out.Results {
+			fmt.Printf("%6d %10.2f %10.2f %9.3f %9.2f %6d\n", r.ID, r.Arrival, r.Finish, r.Locality(), r.Slowdown(), r.NumMaps)
+		}
+	}
+	if *csvPath != "" {
+		if err := writeResultsCSV(*csvPath, out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote per-job results to %s\n", *csvPath)
+	}
+}
+
+// writeResultsCSV dumps one row per job for external plotting.
+func writeResultsCSV(path string, out *dare.Output) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"job", "arrival", "finish", "turnaround", "dedicated", "slowdown", "maps", "local", "rack", "remote", "locality", "remote_bytes"}); err != nil {
+		f.Close()
+		return err
+	}
+	for _, r := range out.Results {
+		rec := []string{
+			strconv.Itoa(r.ID),
+			strconv.FormatFloat(r.Arrival, 'f', 3, 64),
+			strconv.FormatFloat(r.Finish, 'f', 3, 64),
+			strconv.FormatFloat(r.Turnaround, 'f', 3, 64),
+			strconv.FormatFloat(r.Dedicated, 'f', 3, 64),
+			strconv.FormatFloat(r.Slowdown(), 'f', 4, 64),
+			strconv.Itoa(r.NumMaps),
+			strconv.Itoa(r.Local),
+			strconv.Itoa(r.Rack),
+			strconv.Itoa(r.Remote),
+			strconv.FormatFloat(r.Locality(), 'f', 4, 64),
+			strconv.FormatInt(r.RemoteBytes, 10),
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// percentile computes the q-quantile without mutating xs.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+func profileByName(name string) (*dare.Profile, error) {
+	switch name {
+	case "cct":
+		return dare.CCT(), nil
+	case "ec2":
+		return dare.EC2(), nil
+	case "ec2-20":
+		return dare.EC2Small(), nil
+	}
+	return nil, fmt.Errorf("unknown profile %q (want cct|ec2|ec2-20)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dare-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command trace-analyze characterizes a file-access trace the way §III of
+// the paper characterizes the Yahoo! production logs, producing the series
+// behind Figs. 2–5: popularity-vs-rank, age-at-access CDF, and the
+// burst-window distributions (weekly and in-day).
+//
+// With no -in flag it generates a synthetic Yahoo!-shaped log; pass
+// -in <file.csv> (format: see internal/trace WriteCSV) to analyze real
+// audit data converted to the same shape, and -gen-out to save the
+// synthetic log for inspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dare"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input access-log CSV (empty = generate synthetic)")
+		genOut   = flag.String("gen-out", "", "write the generated synthetic log to this CSV file")
+		files    = flag.Int("files", 1000, "synthetic: file population size")
+		accesses = flag.Int("accesses", 200000, "synthetic: number of access events")
+		zipfS    = flag.Float64("zipf", 1.1, "synthetic: popularity exponent")
+		sysFiles = flag.Bool("system-files", false, "synthetic: include job.jar/job.xml-style system files (M45-like age CDF, §III)")
+		seed     = flag.Uint64("seed", 42, "synthetic: random seed")
+	)
+	flag.Parse()
+
+	var log *dare.AuditLog
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		l, err := dare.ReadAuditLog(f)
+		if err != nil {
+			fatal(err)
+		}
+		log = l
+		fmt.Printf("analyzing %s: %d files, %d accesses, horizon %.0f h\n\n", *in, len(log.Files), len(log.Accesses), log.Horizon/3600)
+	} else {
+		log = dare.GenerateAuditLog(dare.AuditLogConfig{
+			Files:              *files,
+			Accesses:           *accesses,
+			ZipfS:              *zipfS,
+			IncludeSystemFiles: *sysFiles,
+			Seed:               *seed,
+		})
+		fmt.Printf("synthetic Yahoo!-shaped log: %d files, %d accesses, one week\n\n", len(log.Files), len(log.Accesses))
+		if *genOut != "" {
+			f, err := os.Create(*genOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := log.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", *genOut)
+		}
+	}
+
+	fmt.Println("--- Fig. 2: file popularity (accesses per file by rank) ---")
+	fmt.Println(dare.RenderRanks(dare.Fig2Ranks(log)))
+
+	fmt.Println("--- Fig. 3: CDF of file age at time of access ---")
+	fmt.Println(dare.RenderAgeCDF(dare.Fig3AgeCDF(log)))
+
+	fmt.Println("--- Fig. 4: smallest windows holding 80% of accesses (week) ---")
+	w4, err := dare.Fig4Windows(log)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(dare.RenderWindows(w4))
+
+	fmt.Println("--- Fig. 5: smallest windows holding 80% of accesses (day 2) ---")
+	w5, err := dare.Fig5Windows(log)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(dare.RenderWindows(w5))
+
+	fmt.Println("--- Diurnal access profile (hour of day) ---")
+	fmt.Println(dare.RenderHourlyProfile(dare.HourlyProfile(log)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command workload-gen synthesizes SWIM-style MapReduce job traces shaped
+// like the Facebook workloads of §V-A and writes them as CSV, so they can
+// be inspected, edited, or replayed with dare-sim via the library API.
+//
+// Examples:
+//
+//	workload-gen -workload wl1 > wl1.csv
+//	workload-gen -workload wl2 -seed 7 -o wl2.csv
+//	workload-gen -jobs 100 -files 40 -zipf 1.3 -o custom.csv
+//	workload-gen -validate wl1.csv        # parse + integrity check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dare"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "", "preset: wl1 | wl2 (empty = custom from the flags below)")
+		jobs     = flag.Int("jobs", 500, "custom: number of jobs")
+		files    = flag.Int("files", 120, "custom: file population size")
+		zipfS    = flag.Float64("zipf", 0, "custom: popularity exponent (0 = default)")
+		interarr = flag.Float64("interarrival", 0, "custom: mean interarrival seconds (0 = default)")
+		large    = flag.Int("large-every", 0, "custom: insert a large job every N jobs (0 = none)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		out      = flag.String("o", "", "output file (empty = stdout)")
+		validate = flag.String("validate", "", "parse and validate this workload CSV, then exit")
+		stats    = flag.Bool("stats", false, "print the workload's descriptive summary to stderr")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		wl, err := dare.ReadWorkload(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: OK — workload %q, %d files, %d jobs, %d map tasks\n",
+			*validate, wl.Name, len(wl.Files), len(wl.Jobs), wl.TotalMaps())
+		if *stats {
+			fmt.Print(wl.Summarize().String())
+		}
+		return
+	}
+
+	var wl *dare.Workload
+	switch *wlName {
+	case "wl1":
+		wl = dare.WL1(*seed)
+	case "wl2":
+		wl = dare.WL2(*seed)
+	case "":
+		wl = dare.GenerateWorkload(dare.WorkloadConfig{
+			Name:             "custom",
+			NumJobs:          *jobs,
+			NumFiles:         *files,
+			ZipfS:            *zipfS,
+			MeanInterarrival: *interarr,
+			LargeEvery:       *large,
+			Seed:             *seed,
+		})
+	default:
+		fatal(fmt.Errorf("unknown workload preset %q (want wl1|wl2 or empty)", *wlName))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := wl.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s: %d files, %d jobs, %d map tasks\n", *out, len(wl.Files), len(wl.Jobs), wl.TotalMaps())
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, wl.Summarize().String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "workload-gen:", err)
+	os.Exit(1)
+}

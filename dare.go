@@ -1,0 +1,402 @@
+// Package dare is a faithful, simulation-backed reproduction of
+//
+//	Cristina L. Abad, Yi Lu, Roy H. Campbell.
+//	"DARE: Adaptive Data Replication for Efficient Cluster Scheduling."
+//	IEEE International Conference on Cluster Computing (CLUSTER), 2011.
+//
+// DARE is a distributed, adaptive data-replication mechanism for
+// MapReduce/HDFS clusters: each data node independently turns the remote
+// block fetches that non-local map tasks already perform into new
+// "dynamic" replicas — at zero extra network cost — and evicts them under
+// a storage budget using either a greedy LRU policy (paper Algorithm 1) or
+// the probabilistic ElephantTrap policy with competitive aging (paper
+// Algorithm 2). The extra replicas of popular blocks give any
+// locality-aware scheduler more placement choices, raising map-task data
+// locality and cutting turnaround time and slowdown.
+//
+// This package is the public facade over the full reproduction stack:
+//
+//   - a deterministic discrete-event cluster simulator with an HDFS-like
+//     file system (name node, blocks, rack-aware placement) and a
+//     MapReduce execution model (job tracker, heartbeats, map/reduce
+//     slots, calibrated local/remote read costs);
+//   - the FIFO and Fair-with-delay-scheduling schedulers the paper
+//     evaluates under;
+//   - the DARE policies themselves;
+//   - SWIM-style synthetic Facebook workloads (wl1, wl2) and a synthetic
+//     Yahoo!-shaped audit log with the paper's §III analyses;
+//   - experiment drivers regenerating every table and figure of the
+//     paper's evaluation (see EXPERIMENTS.md for the index).
+//
+// Quick start:
+//
+//	out, err := dare.Run(dare.Options{
+//	    Profile:   dare.CCT(),
+//	    Workload:  dare.WL1(42),
+//	    Scheduler: "fifo",
+//	    Policy:    dare.DefaultPolicy(),
+//	    Seed:      42,
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("locality %.2f, GMTT %.1fs\n", out.Summary.JobLocality, out.Summary.GMTT)
+package dare
+
+import (
+	"io"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/mapreduce"
+	"dare/internal/metrics"
+	"dare/internal/netprobe"
+	"dare/internal/runner"
+	"dare/internal/stats"
+	"dare/internal/trace"
+	"dare/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Cluster profiles (Table III)
+
+// Profile describes one test cluster: Table III's descriptive rows plus
+// the performance models calibrated from Tables I-II.
+type Profile = config.Profile
+
+// CCT returns the dedicated 20-node cluster profile of Table III.
+func CCT() *Profile { return config.CCT() }
+
+// EC2 returns the virtualized 100-node EC2 profile of Table III.
+func EC2() *Profile { return config.EC2() }
+
+// EC2Small returns the 20-node EC2 variant used for the §II-B probes.
+func EC2Small() *Profile { return config.EC2Small() }
+
+// TableIII renders the cluster-configuration table.
+func TableIII(profiles ...*Profile) string { return config.TableIII(profiles...) }
+
+// ProfileSpec is a JSON-serializable cluster description; LoadProfile
+// decodes one and builds a validated Profile, so experiments on clusters
+// the paper never measured need only a config file.
+type ProfileSpec = config.ProfileSpec
+
+// LoadProfile decodes a JSON ProfileSpec from r.
+func LoadProfile(r io.Reader) (*Profile, error) { return config.LoadProfile(r) }
+
+// ---------------------------------------------------------------------------
+// DARE policies (§IV)
+
+// PolicyKind selects a replication policy.
+type PolicyKind = core.PolicyKind
+
+// Policy kinds: vanilla Hadoop (no dynamic replication), greedy LRU
+// (Algorithm 1), probabilistic ElephantTrap (Algorithm 2), and the
+// epoch-based Scarlett baseline (§VI) for adaptation comparisons.
+const (
+	Vanilla      = core.NonePolicy
+	GreedyLRU    = core.GreedyLRUPolicy
+	GreedyLFU    = core.GreedyLFUPolicy
+	ElephantTrap = core.ElephantTrapPolicy
+	Scarlett     = core.ScarlettPolicy
+)
+
+// PolicyConfig parameterizes DARE (sampling probability p, aging
+// threshold, replication budget, heartbeat-coupled delays).
+type PolicyConfig = core.Config
+
+// DefaultPolicy returns the paper's headline configuration: ElephantTrap
+// with p = 0.3, threshold = 1, budget = 0.2 (Fig. 7).
+func DefaultPolicy() PolicyConfig { return core.DefaultConfig() }
+
+// PolicyFor returns the evaluated configuration for a policy kind.
+func PolicyFor(kind PolicyKind) PolicyConfig { return runner.PolicyFor(kind) }
+
+// ParsePolicyKind converts a CLI spelling ("vanilla", "lru",
+// "elephanttrap") into a PolicyKind.
+func ParsePolicyKind(s string) (PolicyKind, error) { return core.ParsePolicyKind(s) }
+
+// ---------------------------------------------------------------------------
+// Workloads (§V-A)
+
+// Workload is a synthetic SWIM-style job trace over a file population.
+type Workload = workload.Workload
+
+// WorkloadConfig parameterizes trace synthesis.
+type WorkloadConfig = workload.GenConfig
+
+// WL1 builds the paper's first workload: a long sequence of small jobs.
+func WL1(seed uint64) *Workload { return workload.WL1(seed) }
+
+// WL2 builds the paper's second workload: small jobs after large jobs.
+func WL2(seed uint64) *Workload { return workload.WL2(seed) }
+
+// GenerateWorkload synthesizes a custom trace.
+func GenerateWorkload(cfg WorkloadConfig) *Workload { return workload.Generate(cfg) }
+
+// Fig6Points samples the access-pattern CDF used in the experiments.
+func Fig6Points(nFiles int, zipfS float64) []stats.CDFPoint {
+	return workload.Fig6Points(nFiles, zipfS)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation (one run)
+
+// Options configures one simulation run; Output carries its metrics.
+// NodeFailure schedules failure injection within a run.
+type (
+	Options     = runner.Options
+	Output      = runner.Output
+	NodeFailure = runner.NodeFailure
+)
+
+// Run executes one full cluster simulation: it builds the cluster from the
+// profile, loads the workload's files into the DFS, replays the job trace
+// under the chosen scheduler with DARE attached (unless Policy.Kind is
+// Vanilla), and returns the evaluation metrics. Deterministic in
+// (Options, Seed).
+func Run(opts Options) (*Output, error) { return runner.Run(opts) }
+
+// JobResult is one job's outcome within Output.Results.
+type JobResult = mapreduce.Result
+
+// LocalityTimeline buckets per-job locality into n consecutive groups of
+// the job stream, exposing DARE's convergence and adaptation dynamics.
+func LocalityTimeline(results []JobResult, n int) []float64 {
+	return metrics.LocalityTimeline(results, n)
+}
+
+// ---------------------------------------------------------------------------
+// Experiment drivers (one per table/figure; see EXPERIMENTS.md)
+
+// Row types of the experiment drivers.
+type (
+	PerfRow    = runner.PerfRow
+	SensRow    = runner.SensRow
+	Fig11Row   = runner.Fig11Row
+	WritesRow  = runner.WritesRow
+	MapTimeRow = runner.MapTimeRow
+)
+
+// Fig7 regenerates the dedicated-cluster grid (Fig. 7a/b/c). jobs <= 0
+// runs the paper's full 500 jobs.
+func Fig7(jobs int, seed uint64) ([]PerfRow, error) { return runner.Fig7(jobs, seed) }
+
+// Fig8P regenerates the sampling-probability sweep (Fig. 8a).
+func Fig8P(jobs int, seed uint64) ([]SensRow, error) { return runner.Fig8P(jobs, seed) }
+
+// Fig8Threshold regenerates the aging-threshold sweep (Fig. 8b).
+func Fig8Threshold(jobs int, seed uint64) ([]SensRow, error) { return runner.Fig8Threshold(jobs, seed) }
+
+// Fig9LRU regenerates the budget sweep with greedy LRU eviction (Fig. 9a).
+func Fig9LRU(jobs int, seed uint64) ([]SensRow, error) { return runner.Fig9LRU(jobs, seed) }
+
+// Fig9ET regenerates the budget sweep with ElephantTrap eviction (Fig. 9b).
+func Fig9ET(jobs int, seed uint64) ([]SensRow, error) { return runner.Fig9ET(jobs, seed) }
+
+// Fig10 regenerates the virtualized-cloud grid (Fig. 10a/b/c).
+func Fig10(jobs int, seed uint64) ([]PerfRow, error) { return runner.Fig10(jobs, seed) }
+
+// Fig11 regenerates the placement-uniformity experiment (Fig. 11).
+func Fig11(jobs int, seed uint64) ([]Fig11Row, error) { return runner.Fig11(jobs, seed) }
+
+// AblationWrites compares LRU and ElephantTrap disk writes at comparable
+// locality (§I's "50% of the disk writes" claim).
+func AblationWrites(jobs int, seed uint64) ([]WritesRow, error) {
+	return runner.AblationWrites(jobs, seed)
+}
+
+// AblationMapTime measures the §V-C map-completion-time reduction.
+func AblationMapTime(jobs int, seed uint64) ([]MapTimeRow, error) {
+	return runner.AblationMapTime(jobs, seed)
+}
+
+// AdaptationRow carries one policy's locality trajectory through a
+// popularity shift.
+type AdaptationRow = runner.AdaptationRow
+
+// Adaptation runs the §VI reactive-vs-proactive comparison: a workload
+// whose hot file set rotates at the midpoint, under vanilla, DARE, and
+// the Scarlett epoch baseline.
+func Adaptation(jobs int, seed uint64) ([]AdaptationRow, error) {
+	return runner.Adaptation(jobs, seed)
+}
+
+// AvailabilityRow carries one policy's data availability after injected
+// node failures.
+type AvailabilityRow = runner.AvailabilityRow
+
+// SpeculationRow carries one configuration of the speculative-execution
+// study.
+type SpeculationRow = runner.SpeculationRow
+
+// EvictionRow compares the eviction policies of §IV (LRU, LFU,
+// ElephantTrap) at a binding budget.
+type EvictionRow = runner.EvictionRow
+
+// EvictionStudy profiles the eviction policies §IV names on both paper
+// workloads under a budget tight enough that the choice matters.
+func EvictionStudy(jobs int, seed uint64) ([]EvictionRow, error) {
+	return runner.EvictionStudy(jobs, seed)
+}
+
+// AuditReplayRow carries one policy's performance replaying the
+// Yahoo!-shaped audit log.
+type AuditReplayRow = runner.AuditReplayRow
+
+// OutputBoundRow splits turnaround gains by input- vs output-bound jobs.
+type OutputBoundRow = runner.OutputBoundRow
+
+// OutputBound reproduces §V-C's observation that dynamic replication does
+// not expedite output-bound jobs: the output-write pipeline's service-time
+// gap survives replication.
+func OutputBound(jobs int, seed uint64) ([]OutputBoundRow, error) {
+	return runner.OutputBound(jobs, seed)
+}
+
+// DelayRow is one point of the delay-scheduling patience sweep.
+type DelayRow = runner.DelayRow
+
+// DelaySweep quantifies the §VI complementarity claim: DARE reaches the
+// same locality as vanilla delay scheduling at a fraction of the waiting
+// patience.
+func DelaySweep(jobs int, seed uint64) ([]DelayRow, error) {
+	return runner.DelaySweep(jobs, seed)
+}
+
+// BalanceRow contrasts byte balance (the HDFS balancer's goal) with
+// popularity balance (Fig. 11's).
+type BalanceRow = runner.BalanceRow
+
+// BalanceStudy compares untreated, HDFS-balancer, and DARE placements on
+// both storage-cv and popularity-cv.
+func BalanceStudy(jobs int, seed uint64) ([]BalanceRow, error) {
+	return runner.BalanceStudy(jobs, seed)
+}
+
+// UniformRow compares uniform replication factors against adaptive
+// replication.
+type UniformRow = runner.UniformRow
+
+// UniformVsAdaptive quantifies §III's premise: matching DARE's locality
+// by raising the uniform replication factor costs several times the
+// storage, because uniform copies are mostly spent on cold data.
+func UniformVsAdaptive(jobs int, seed uint64) ([]UniformRow, error) {
+	return runner.UniformVsAdaptive(jobs, seed)
+}
+
+// AuditReplay replays a slice of the synthetic audit log through the
+// cluster, connecting the §III access characterization directly to the
+// §V evaluation.
+func AuditReplay(jobs int, seed uint64) ([]AuditReplayRow, error) {
+	return runner.AuditReplay(jobs, seed)
+}
+
+// ReplayConfig converts audit logs into workloads (see
+// Workload.FromAuditLog's package documentation).
+type ReplayConfig = workload.ReplayConfig
+
+// WorkloadFromAuditLog converts an access-log slice into a replayable
+// workload.
+func WorkloadFromAuditLog(l *AuditLog, cfg ReplayConfig) (*Workload, error) {
+	return workload.FromAuditLog(l, cfg)
+}
+
+// SpeculationStudy replays wl1 on the noisy EC2 profile with Hadoop-style
+// speculative execution off and on, under vanilla and DARE.
+func SpeculationStudy(jobs int, seed uint64) ([]SpeculationRow, error) {
+	return runner.SpeculationStudy(jobs, seed)
+}
+
+// Availability measures the §IV-B claim that DARE's dynamic replicas are
+// first-order replicas contributing to availability: it kills failNodes
+// nodes mid-run (repairs disabled) and reports the fraction of blocks —
+// and of access-weighted data — still readable.
+func Availability(jobs, failNodes int, seed uint64) ([]AvailabilityRow, error) {
+	return runner.Availability(jobs, failNodes, seed)
+}
+
+// Renderers format experiment rows the way the paper's figures group them.
+var (
+	RenderPerf         = runner.RenderPerf
+	RenderSens         = runner.RenderSens
+	RenderFig11        = runner.RenderFig11
+	RenderWrites       = runner.RenderWrites
+	RenderMapTime      = runner.RenderMapTime
+	RenderAdaptation   = runner.RenderAdaptation
+	RenderAvailability = runner.RenderAvailability
+	RenderSpeculation  = runner.RenderSpeculation
+	RenderEviction     = runner.RenderEviction
+	RenderAuditReplay  = runner.RenderAuditReplay
+	RenderOutputBound  = runner.RenderOutputBound
+	RenderDelaySweep   = runner.RenderDelaySweep
+	RenderBalance      = runner.RenderBalance
+	RenderUniform      = runner.RenderUniform
+)
+
+// ---------------------------------------------------------------------------
+// Environment characterization (§II-B: Tables I-II, Fig. 1)
+
+// TableI runs the all-to-all ping campaign and renders Table I.
+func TableI(rounds int, seed uint64, profiles ...*Profile) string {
+	return netprobe.TableI(rounds, seed, profiles...)
+}
+
+// TableII runs the bandwidth campaign and renders Table II.
+func TableII(samples int, seed uint64, profiles ...*Profile) string {
+	return netprobe.TableII(samples, seed, profiles...)
+}
+
+// Fig1 renders the hop-count distribution of a cluster built from p.
+func Fig1(p *Profile, seed uint64) string { return netprobe.Fig1(p, seed) }
+
+// BandwidthRatio reports mean network/disk bandwidth — §II-B's insight
+// metric (lower means locality pays off more).
+func BandwidthRatio(p *Profile, samples int, seed uint64) float64 {
+	return netprobe.BandwidthRatio(p, samples, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Access-pattern characterization (§III: Figs. 2-5)
+
+// AuditLog is a (synthetic or imported) file-access trace.
+type AuditLog = trace.Log
+
+// AuditLogConfig parameterizes the synthetic Yahoo!-shaped generator.
+type AuditLogConfig = trace.GenConfig
+
+// GenerateAuditLog synthesizes one week of Yahoo!-shaped audit log.
+func GenerateAuditLog(cfg AuditLogConfig) *AuditLog { return trace.Generate(cfg) }
+
+// ReadAuditLog parses an audit log written by AuditLog.WriteCSV — the
+// shape real HDFS audit data should be converted into for analysis.
+func ReadAuditLog(in io.Reader) (*AuditLog, error) { return trace.ReadCSV(in) }
+
+// ReadWorkload parses a workload written by Workload.WriteCSV.
+func ReadWorkload(in io.Reader) (*Workload, error) { return workload.ReadCSV(in) }
+
+// Fig2Ranks computes the popularity-vs-rank series of Fig. 2.
+func Fig2Ranks(l *AuditLog) []trace.RankPoint { return trace.PopularityRanks(l) }
+
+// Fig3AgeCDF computes the age-at-access CDF of Fig. 3.
+func Fig3AgeCDF(l *AuditLog) *stats.ECDF { return trace.AgeCDF(l) }
+
+// Fig4Windows computes the weekly burst-window distribution of Fig. 4.
+func Fig4Windows(l *AuditLog) (trace.WindowResult, error) {
+	return trace.BurstWindows(l, trace.DefaultWindowConfig(l))
+}
+
+// Fig5Windows computes the day-2 burst-window distribution of Fig. 5.
+func Fig5Windows(l *AuditLog) (trace.WindowResult, error) {
+	return trace.BurstWindows(l, trace.Day2WindowConfig())
+}
+
+// HourlyProfile computes the diurnal access profile of a log (the daily
+// periodicity behind Fig. 4).
+func HourlyProfile(l *AuditLog) [24]float64 { return trace.HourlyProfile(l) }
+
+// Trace renderers.
+var (
+	RenderRanks         = trace.RenderRanks
+	RenderAgeCDF        = trace.RenderAgeCDF
+	RenderWindows       = trace.RenderWindows
+	RenderHourlyProfile = trace.RenderHourlyProfile
+)

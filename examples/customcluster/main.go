@@ -1,0 +1,99 @@
+// Customcluster: using the library on a cluster the paper never measured.
+// A downstream user rarely has the paper's exact testbeds; this example
+// defines a 40-node cluster with NVMe-class disks and a 10 GbE fabric as a
+// JSON ProfileSpec (the same format `dare-sim -profile-file` accepts),
+// builds it, and asks the question §II-B poses: with disks this fast, does
+// data locality — and hence DARE — still matter?
+//
+// The answer plays out both sides of the §II debate. With a 10 GbE fabric
+// against NVMe disks the tasks are CPU-bound and DARE still multiplies
+// locality but buys no turnaround time — that is Ananthanarayanan et
+// al.'s HotOS'11 "disk-locality considered irrelevant" position, which
+// the paper cites. Throttle the fabric to a heavily shared sliver (the
+// condition §II-B argues is the reality of virtualized and oversubscribed
+// clusters) and the turnaround gains reappear.
+//
+// Run with: go run ./examples/customcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dare"
+)
+
+const nvmeCluster = `{
+  "name": "nvme40",
+  "kind": "dedicated",
+  "slaves": 40,
+  "mapSlotsPerNode": 2,
+  "reduceSlotsPerNode": 2,
+  "blockSizeMB": 128,
+  "replicationFactor": 3,
+  "diskBW": {"type": "normal", "mean": 2000, "sd": 150, "min": 1500, "max": 2500},
+  "netBW": {"type": "normal", "mean": 1150, "sd": 50, "min": 1000, "max": 1250},
+  "rtt": {"type": "constant", "value": 0.00005},
+  "rackSize": 20,
+  "heartbeatInterval": 0.25
+}`
+
+func main() {
+	const seed = 42
+	profile, err := dare.LoadProfile(strings.NewReader(nvmeCluster))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ratio := dare.BandwidthRatio(profile, 200, seed)
+	fmt.Printf("custom cluster %q: %d slaves, net/disk bandwidth ratio %.0f%%\n\n",
+		profile.Name, profile.Slaves, ratio*100)
+
+	fmt.Printf("%-28s %9s %9s %10s\n", "configuration", "locality", "GMTT(s)", "gmtt-norm")
+	run := func(label string, p *dare.Profile, kind dare.PolicyKind, vanillaGMTT *float64) {
+		wl := dare.WL1(seed)
+		out, err := dare.Run(dare.Options{
+			Profile:   p,
+			Workload:  wl,
+			Scheduler: "fifo",
+			Policy:    dare.PolicyFor(kind),
+			Seed:      seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm := 1.0
+		if kind == dare.Vanilla {
+			*vanillaGMTT = out.Summary.GMTT
+		} else if *vanillaGMTT > 0 {
+			norm = out.Summary.GMTT / *vanillaGMTT
+		}
+		fmt.Printf("%-28s %9.3f %9.2f %10.3f\n", label, out.Summary.JobLocality, out.Summary.GMTT, norm)
+	}
+
+	var base float64
+	run("nvme40 vanilla", profile, dare.Vanilla, &base)
+	run("nvme40 + DARE", profile, dare.ElephantTrap, &base)
+
+	// Same cluster with a heavily shared fabric: each flow sees a sliver
+	// of the NIC rate (oversubscription plus neighbours).
+	congested, err := dare.LoadProfile(strings.NewReader(strings.Replace(nvmeCluster,
+		`"netBW": {"type": "normal", "mean": 1150, "sd": 50, "min": 1000, "max": 1250}`,
+		`"netBW": {"type": "normal", "mean": 60, "sd": 20, "min": 20, "max": 120}`, 1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	congested.Name = "nvme40-congested"
+	fmt.Println()
+	ratio2 := dare.BandwidthRatio(congested, 200, seed)
+	fmt.Printf("same cluster, oversubscribed fabric: net/disk ratio %.0f%%\n\n", ratio2*100)
+	var base2 float64
+	run("congested vanilla", congested, dare.Vanilla, &base2)
+	run("congested + DARE", congested, dare.ElephantTrap, &base2)
+
+	fmt.Println()
+	fmt.Println("Fast fabric: locality triples but GMTT is flat — the HotOS'11")
+	fmt.Println("\"disk-locality irrelevant\" regime. Shared fabric: the same replicas")
+	fmt.Println("now buy real turnaround time — the paper's §II-B counterargument.")
+	fmt.Println("DARE's network-traffic reduction applies in both regimes.")
+}

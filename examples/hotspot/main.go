@@ -1,0 +1,79 @@
+// Hotspot: the scenario the paper's introduction motivates — a single
+// popular dataset hammered by a burst of concurrent analysis jobs (§I's
+// "replica allocation problem"). With the static replication factor of 3,
+// the three nodes holding the hot file become a bottleneck; DARE detects
+// the hotspot from the remote reads it causes and spreads replicas across
+// the cluster while the burst is still running.
+//
+// The example builds a custom workload: 150 jobs, 90% of which scan the
+// same hot file, arriving in tight bursts. It then compares vanilla Hadoop
+// against DARE and reports locality over time (per quartile of the job
+// stream), showing DARE converging within the burst.
+//
+// Run with: go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dare"
+)
+
+func main() {
+	const seed = 7
+	// A tiny file population with one extremely hot file: rank-1
+	// probability under Zipf s=3 over 10 files is ~0.83.
+	wl := dare.GenerateWorkload(dare.WorkloadConfig{
+		Name:             "hotspot",
+		NumJobs:          150,
+		NumFiles:         10,
+		ZipfS:            3.0,
+		MeanInterarrival: 0.15,
+		FileRepeatProb:   0.6, // bursts of analyses over the same data
+		Seed:             seed,
+	})
+	counts := wl.AccessCounts()
+	hot, hotCount := 0, 0
+	for i, c := range counts {
+		if c > hotCount {
+			hot, hotCount = i, c
+		}
+	}
+	fmt.Printf("hotspot workload: %d jobs over %d files; hottest file %q takes %d/%d jobs\n\n",
+		len(wl.Jobs), len(wl.Files), wl.Files[hot].Name, hotCount, len(wl.Jobs))
+
+	fmt.Printf("%-14s %9s  %-28s %11s\n", "policy", "locality", "locality by quartile", "blocks/job")
+	for _, kind := range []dare.PolicyKind{dare.Vanilla, dare.ElephantTrap} {
+		out, err := dare.Run(dare.Options{
+			Profile:   dare.CCT(),
+			Workload:  wl,
+			Scheduler: "fifo",
+			Policy:    dare.PolicyFor(kind),
+			Seed:      seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Locality per quartile of the job stream: convergence visible as
+		// a rising sequence under DARE.
+		var q [4]float64
+		var n [4]int
+		for i, r := range out.Results {
+			b := i * 4 / len(out.Results)
+			q[b] += r.Locality()
+			n[b]++
+		}
+		quartiles := ""
+		for b := 0; b < 4; b++ {
+			quartiles += fmt.Sprintf("%.2f ", q[b]/float64(n[b]))
+		}
+		fmt.Printf("%-14s %9.3f  %-28s %11.2f\n", kind, out.Summary.JobLocality, quartiles, out.Summary.BlocksPerJob)
+	}
+
+	fmt.Println()
+	fmt.Println("Under vanilla Hadoop the hot file stays on its 3 static replica nodes")
+	fmt.Println("for the whole burst; with DARE each remote read is an opportunity to")
+	fmt.Println("spread it, so locality climbs quartile by quartile as the hotspot is")
+	fmt.Println("absorbed — the adaptive behaviour Scarlett's fixed epochs cannot give.")
+}

@@ -1,0 +1,63 @@
+// Sensitivity: the §V-D parameter study in miniature. Sweeps the
+// ElephantTrap sampling probability p and the replication budget on wl2
+// and prints the locality / replication-activity trade-off curves of
+// Figs. 8 and 9, then points at the paper's recommended operating point
+// (p ~ 0.2-0.3, budget ~ 0.1-0.2).
+//
+// Run with: go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dare"
+)
+
+func main() {
+	const (
+		seed = 42
+		jobs = 300 // scaled-down runs keep the example snappy
+	)
+
+	fmt.Println("=== Sensitivity to the sampling probability p (Fig. 8a) ===")
+	fmt.Printf("%6s %18s %18s\n", "p", "locality (fifo)", "blocks/job (fifo)")
+	for _, p := range []float64{0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
+		out := run(seed, jobs, dare.PolicyConfig{
+			Kind: dare.ElephantTrap, P: p, Threshold: 1, BudgetFraction: 0.2,
+		})
+		fmt.Printf("%6.1f %18.3f %18.2f\n", p, out.Summary.JobLocality, out.Summary.BlocksPerJob)
+	}
+	fmt.Println()
+	fmt.Println("Locality rises steeply up to p ~ 0.2-0.3 then flattens, while the")
+	fmt.Println("replication (disk-write) cost keeps growing — hence the paper's")
+	fmt.Println("recommendation of p between 0.2 and 0.3.")
+	fmt.Println()
+
+	fmt.Println("=== Sensitivity to the replication budget (Fig. 9a, greedy LRU) ===")
+	fmt.Printf("%8s %18s %18s\n", "budget", "locality (fifo)", "blocks/job (fifo)")
+	for _, b := range []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5} {
+		out := run(seed, jobs, dare.PolicyConfig{Kind: dare.GreedyLRU, BudgetFraction: b})
+		fmt.Printf("%8.2f %18.3f %18.2f\n", b, out.Summary.JobLocality, out.Summary.BlocksPerJob)
+	}
+	fmt.Println()
+	fmt.Println("Even small budgets capture most of the benefit: the heavy-tailed access")
+	fmt.Println("pattern means a handful of hot blocks per node covers most reads. Tiny")
+	fmt.Println("budgets pay extra disk writes instead (evict-then-recreate thrash).")
+}
+
+func run(seed uint64, jobs int, policy dare.PolicyConfig) *dare.Output {
+	wl := dare.WL2(seed)
+	wl.Jobs = wl.Jobs[:jobs]
+	out, err := dare.Run(dare.Options{
+		Profile:   dare.CCT(),
+		Workload:  wl,
+		Scheduler: "fifo",
+		Policy:    policy,
+		Seed:      seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

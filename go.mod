@@ -1,0 +1,3 @@
+module dare
+
+go 1.22

@@ -1,0 +1,269 @@
+// Package config defines the cluster profiles of the paper's evaluation
+// (Table III) together with the calibrated performance models derived from
+// its measurements (Tables I and II): disk bandwidth, network bandwidth,
+// and round-trip-time distributions for the dedicated CCT testbed and the
+// virtualized EC2 testbed.
+//
+// Everything downstream — the DFS transfer model, the MapReduce task cost
+// model, the netprobe reproduction of Tables I–II — draws its parameters
+// from a Profile, so switching testbeds is a one-line change, exactly as
+// the paper switches between §V-B (CCT) and §V-E (EC2).
+package config
+
+import (
+	"fmt"
+
+	"dare/internal/stats"
+)
+
+// Kind distinguishes the two testbed classes of §II-B.
+type Kind int
+
+const (
+	// Dedicated is an in-house, single-site cluster (CCT).
+	Dedicated Kind = iota
+	// Virtual is a public-cloud allocation (EC2) with scattered placement
+	// and noisy I/O.
+	Virtual
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Dedicated:
+		return "dedicated"
+	case Virtual:
+		return "virtual"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MB is one megabyte in bytes; the paper quotes bandwidths in MB/s and
+// block sizes in MB.
+const MB = 1 << 20
+
+// Profile describes one test cluster: the descriptive rows of Table III
+// plus the stochastic performance models calibrated from Tables I–II.
+type Profile struct {
+	// Name labels the profile in reports ("CCT", "EC2").
+	Name string
+	// Kind selects dedicated vs. virtual behaviour.
+	Kind Kind
+	// Slaves is the number of worker (data) nodes; the master is modelled
+	// separately and runs no tasks, as in Hadoop.
+	Slaves int
+
+	// Descriptive fields echoed when printing Table III.
+	RAMPerNodeGB     float64
+	CoresPerNode     int
+	StoragePerNodeGB float64
+	Platform         string
+	Network          string
+	OS               string
+
+	// MapSlotsPerNode bounds concurrent map tasks per node (Hadoop
+	// default: slots ≈ cores).
+	MapSlotsPerNode int
+	// ReduceSlotsPerNode bounds concurrent reduce tasks per node.
+	ReduceSlotsPerNode int
+
+	// BlockSizeMB is the DFS block size (paper: 64–256 MB; experiments use
+	// 128 MB blocks, §III).
+	BlockSizeMB int
+	// ReplicationFactor is the static number of replicas per block
+	// (Hadoop default 3).
+	ReplicationFactor int
+
+	// DiskBW and NetBW are per-node bandwidth models in MB/s (Table II).
+	DiskBW stats.Dist
+	NetBW  stats.Dist
+	// RTT is the pairwise round-trip-time model in seconds (Table I).
+	RTT stats.Dist
+
+	// Racks and Pods parameterize the virtual topology spread (Fig. 1);
+	// ignored for dedicated clusters, which use RackSize.
+	Racks, Pods int
+	// RackSize is nodes per rack for dedicated clusters (0 = single rack).
+	RackSize int
+	// PerHopRTT adds seconds of RTT per hop beyond 2 in virtual clusters.
+	PerHopRTT float64
+	// HopBWFactor discounts network bandwidth per hop beyond 2, modelling
+	// oversubscription across racks (§V-B cites oversubscribed fabrics).
+	HopBWFactor float64
+
+	// HeartbeatInterval is the task-tracker/data-node heartbeat period in
+	// seconds (Hadoop default 3s; small clusters use shorter).
+	HeartbeatInterval float64
+
+	// TaskOverhead is the fixed per-task startup/commit cost in seconds
+	// (JVM launch, task setup).
+	TaskOverhead float64
+	// TaskNoiseSigma is the σ of the log-normal multiplicative noise on
+	// task durations; virtualized clusters are noisier (§II-B).
+	TaskNoiseSigma float64
+
+	// SpeculativeExecution enables Hadoop-style backup tasks for
+	// stragglers: when a map attempt runs longer than SpeculativeFactor ×
+	// the job's mean map time, an idle slot may launch a duplicate; the
+	// first copy to finish wins and the other is killed. Off by default,
+	// as in the paper's evaluation configuration.
+	SpeculativeExecution bool
+	// SpeculativeFactor is the straggler threshold multiplier (0 = 1.5).
+	SpeculativeFactor float64
+}
+
+// Validate reports a configuration error, if any. Call it before building
+// a cluster from the profile.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Slaves <= 0:
+		return fmt.Errorf("config %q: Slaves must be positive, got %d", p.Name, p.Slaves)
+	case p.MapSlotsPerNode <= 0:
+		return fmt.Errorf("config %q: MapSlotsPerNode must be positive, got %d", p.Name, p.MapSlotsPerNode)
+	case p.BlockSizeMB <= 0:
+		return fmt.Errorf("config %q: BlockSizeMB must be positive, got %d", p.Name, p.BlockSizeMB)
+	case p.ReplicationFactor <= 0:
+		return fmt.Errorf("config %q: ReplicationFactor must be positive, got %d", p.Name, p.ReplicationFactor)
+	case p.DiskBW == nil || p.NetBW == nil || p.RTT == nil:
+		return fmt.Errorf("config %q: performance models must be non-nil", p.Name)
+	case p.HeartbeatInterval <= 0:
+		return fmt.Errorf("config %q: HeartbeatInterval must be positive, got %v", p.Name, p.HeartbeatInterval)
+	case p.HopBWFactor <= 0 || p.HopBWFactor > 1:
+		return fmt.Errorf("config %q: HopBWFactor must be in (0,1], got %v", p.Name, p.HopBWFactor)
+	}
+	return nil
+}
+
+// BlockSizeBytes reports the block size in bytes.
+func (p *Profile) BlockSizeBytes() int64 { return int64(p.BlockSizeMB) * MB }
+
+// CCT returns the dedicated 20-node Illinois CCT profile of Table III with
+// the measured distributions of Tables I–II: disk reads ~158 MB/s tightly
+// concentrated, network ~118 MB/s (GbE), RTT mean 0.18 ms.
+func CCT() *Profile {
+	return &Profile{
+		Name:             "CCT",
+		Kind:             Dedicated,
+		Slaves:           19,
+		RAMPerNodeGB:     16,
+		CoresPerNode:     8, // 2 quad-core
+		StoragePerNodeGB: 2000,
+		Platform:         "64-bit",
+		Network:          "Gigabit Ethernet",
+		OS:               "CentOS release 5.5",
+
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 2,
+		BlockSizeMB:        128,
+		ReplicationFactor:  3,
+
+		DiskBW: stats.Normal{Mu: 157.8, Sigma: 8.02, Min: 145.3, Max: 167.0},
+		NetBW:  stats.Normal{Mu: 117.7, Sigma: 0.65, Min: 115.4, Max: 118.0},
+		// Table I CCT RTTs (seconds): mean 0.18 ms, σ 0.34 ms, heavy right
+		// tail to ~2 ms — a log-normal fit clipped at the observed bounds.
+		RTT: stats.Clamped{
+			D:  stats.LogNormalFromMoments(0.18e-3, 0.34e-3),
+			Lo: 0.01e-3, Hi: 2.5e-3,
+		},
+
+		RackSize:    0, // single rack
+		HopBWFactor: 1.0,
+		PerHopRTT:   0,
+		// Scaled so heartbeat/task-duration matches Hadoop's ratio (3 s
+		// heartbeats against ~20 s map tasks).
+		HeartbeatInterval: 0.25,
+		TaskOverhead:      0.3,
+		TaskNoiseSigma:    0.08,
+	}
+}
+
+// EC2 returns the virtualized 100-node EC2 small-instance profile of
+// Table III. Disk bandwidth is wildly variable (Table II: σ 74 MB/s —
+// neighbours steal I/O), network bandwidth is lower and noisier than the
+// dedicated GbE, and RTTs are heavy-tailed to tens of milliseconds
+// (Table I). Instances are scattered across racks, mostly 4 hops apart
+// (Fig. 1).
+func EC2() *Profile {
+	p := ec2Base()
+	p.Slaves = 99
+	p.Racks = 300
+	p.Pods = 3
+	return p
+}
+
+// EC2Small returns the 20-node EC2 variant used for the Table I/II probes
+// and the Fig. 1 hop-count measurement.
+func EC2Small() *Profile {
+	p := ec2Base()
+	p.Name = "EC2-20"
+	p.Slaves = 19
+	p.Racks = 60
+	p.Pods = 2
+	return p
+}
+
+func ec2Base() *Profile {
+	return &Profile{
+		Name:             "EC2",
+		Kind:             Virtual,
+		Slaves:           99,
+		RAMPerNodeGB:     1.7,
+		CoresPerNode:     1, // 1 virtual core, 2 EC2 compute units
+		StoragePerNodeGB: 160,
+		Platform:         "32-bit",
+		Network:          "Moderate I/O performance",
+		OS:               "Fedora release 8",
+
+		MapSlotsPerNode:    2,
+		ReduceSlotsPerNode: 1,
+		BlockSizeMB:        128,
+		ReplicationFactor:  3,
+
+		// Table II EC2 rows.
+		DiskBW: stats.Clamped{
+			D:  stats.LogNormalFromMoments(141.5, 74.2),
+			Lo: 67.1, Hi: 357.9,
+		},
+		NetBW: stats.Normal{Mu: 73.2, Sigma: 16.9, Min: 5.8, Max: 109.9},
+		// Table I EC2 RTTs: mean 0.77 ms, σ 3.36 ms, max 75 ms.
+		RTT: stats.Clamped{
+			D:  stats.LogNormalFromMoments(0.77e-3, 3.36e-3),
+			Lo: 0.02e-3, Hi: 75.1e-3,
+		},
+
+		Racks:             300,
+		Pods:              3,
+		PerHopRTT:         0.05e-3,
+		HopBWFactor:       0.8,
+		HeartbeatInterval: 0.25,
+		TaskOverhead:      0.5,
+		TaskNoiseSigma:    0.2,
+	}
+}
+
+// TableIII renders the profiles side by side in the layout of the paper's
+// Table III. It is what `dare-bench -exp table3` prints.
+func TableIII(profiles ...*Profile) string {
+	out := fmt.Sprintf("%-22s", "")
+	for _, p := range profiles {
+		out += fmt.Sprintf("%-28s", p.Name)
+	}
+	out += "\n"
+	row := func(label string, f func(*Profile) string) {
+		out += fmt.Sprintf("%-22s", label)
+		for _, p := range profiles {
+			out += fmt.Sprintf("%-28s", f(p))
+		}
+		out += "\n"
+	}
+	row("Type of cluster", func(p *Profile) string { return p.Kind.String() })
+	row("Nodes", func(p *Profile) string { return fmt.Sprintf("1 master, %d slaves", p.Slaves) })
+	row("RAM (per node)", func(p *Profile) string { return fmt.Sprintf("%g GB", p.RAMPerNodeGB) })
+	row("Cores (per node)", func(p *Profile) string { return fmt.Sprintf("%d", p.CoresPerNode) })
+	row("Storage (per node)", func(p *Profile) string { return fmt.Sprintf("%g GB", p.StoragePerNodeGB) })
+	row("Platform", func(p *Profile) string { return p.Platform })
+	row("Network", func(p *Profile) string { return p.Network })
+	row("Operating system", func(p *Profile) string { return p.OS })
+	return out
+}

@@ -1,0 +1,167 @@
+package config
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dare/internal/stats"
+)
+
+func TestBuiltinProfilesValidate(t *testing.T) {
+	for _, p := range []*Profile{CCT(), EC2(), EC2Small()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*Profile){
+		func(p *Profile) { p.Slaves = 0 },
+		func(p *Profile) { p.MapSlotsPerNode = 0 },
+		func(p *Profile) { p.BlockSizeMB = 0 },
+		func(p *Profile) { p.ReplicationFactor = 0 },
+		func(p *Profile) { p.DiskBW = nil },
+		func(p *Profile) { p.HeartbeatInterval = 0 },
+		func(p *Profile) { p.HopBWFactor = 0 },
+		func(p *Profile) { p.HopBWFactor = 1.5 },
+	}
+	for i, mutate := range cases {
+		p := CCT()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBlockSizeBytes(t *testing.T) {
+	p := CCT()
+	if p.BlockSizeBytes() != 128*MB {
+		t.Fatalf("block size %d", p.BlockSizeBytes())
+	}
+}
+
+func TestCCTBandwidthCalibration(t *testing.T) {
+	// The sampled models must land near Table II's summaries.
+	p := CCT()
+	g := stats.NewRNG(100)
+	var disk, net []float64
+	for i := 0; i < 20000; i++ {
+		disk = append(disk, p.DiskBW.Sample(g))
+		net = append(net, p.NetBW.Sample(g))
+	}
+	d := stats.Summarize(disk)
+	n := stats.Summarize(net)
+	if math.Abs(d.Mean-157.8) > 2 {
+		t.Fatalf("CCT disk mean %v, want ~157.8", d.Mean)
+	}
+	if d.Min < 145.3-1e-9 || d.Max > 167.0+1e-9 {
+		t.Fatalf("CCT disk range [%v, %v] escapes Table II bounds", d.Min, d.Max)
+	}
+	if math.Abs(n.Mean-117.7) > 1 {
+		t.Fatalf("CCT net mean %v, want ~117.7", n.Mean)
+	}
+}
+
+func TestEC2BandwidthCalibration(t *testing.T) {
+	p := EC2()
+	g := stats.NewRNG(101)
+	var disk, net []float64
+	for i := 0; i < 50000; i++ {
+		disk = append(disk, p.DiskBW.Sample(g))
+		net = append(net, p.NetBW.Sample(g))
+	}
+	d := stats.Summarize(disk)
+	n := stats.Summarize(net)
+	if math.Abs(d.Mean-141.5) > 10 {
+		t.Fatalf("EC2 disk mean %v, want ~141.5", d.Mean)
+	}
+	if d.Std < 40 {
+		t.Fatalf("EC2 disk std %v; Table II reports high variability (74.2)", d.Std)
+	}
+	if d.Min < 67.1-1e-9 || d.Max > 357.9+1e-9 {
+		t.Fatalf("EC2 disk range [%v, %v] escapes bounds", d.Min, d.Max)
+	}
+	if math.Abs(n.Mean-73.2) > 3 {
+		t.Fatalf("EC2 net mean %v, want ~73.2", n.Mean)
+	}
+}
+
+func TestBandwidthRatioInsight(t *testing.T) {
+	// §II-B's key insight: network/disk bandwidth ratio is higher for CCT
+	// (~74.6%) than for EC2 (~51.8%), i.e. local reads pay off more on EC2.
+	cct, ec2 := CCT(), EC2()
+	g := stats.NewRNG(102)
+	ratio := func(p *Profile) float64 {
+		var dsum, nsum float64
+		for i := 0; i < 20000; i++ {
+			dsum += p.DiskBW.Sample(g)
+			nsum += p.NetBW.Sample(g)
+		}
+		return nsum / dsum
+	}
+	rc, re := ratio(cct), ratio(ec2)
+	if rc <= re {
+		t.Fatalf("net/disk ratio CCT %v should exceed EC2 %v", rc, re)
+	}
+	if math.Abs(rc-0.746) > 0.05 {
+		t.Fatalf("CCT ratio %v, paper reports 74.6%%", rc)
+	}
+	if math.Abs(re-0.5175) > 0.08 {
+		t.Fatalf("EC2 ratio %v, paper reports 51.75%%", re)
+	}
+}
+
+func TestRTTCalibration(t *testing.T) {
+	g := stats.NewRNG(103)
+	var cct, ec2 []float64
+	pc, pe := CCT(), EC2()
+	for i := 0; i < 50000; i++ {
+		cct = append(cct, pc.RTT.Sample(g)*1e3) // to ms
+		ec2 = append(ec2, pe.RTT.Sample(g)*1e3)
+	}
+	sc := stats.Summarize(cct)
+	se := stats.Summarize(ec2)
+	if math.Abs(sc.Mean-0.18) > 0.05 {
+		t.Fatalf("CCT RTT mean %v ms, want ~0.18", sc.Mean)
+	}
+	if se.Mean < sc.Mean {
+		t.Fatalf("EC2 RTT mean %v should exceed CCT %v", se.Mean, sc.Mean)
+	}
+	if se.Std < sc.Std {
+		t.Fatalf("EC2 RTT variability %v should exceed CCT %v (Table I)", se.Std, sc.Std)
+	}
+	if se.Max < 5 {
+		t.Fatalf("EC2 RTT max %v ms; Table I shows a 75 ms tail", se.Max)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Dedicated.String() != "dedicated" || Virtual.String() != "virtual" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind should include numeric value")
+	}
+}
+
+func TestTableIIIRendering(t *testing.T) {
+	out := TableIII(CCT(), EC2())
+	for _, want := range []string{"CCT", "EC2", "1 master, 19 slaves", "1 master, 99 slaves", "Gigabit Ethernet", "dedicated", "virtual"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEC2SmallDiffersInScaleOnly(t *testing.T) {
+	a, b := EC2(), EC2Small()
+	if a.Slaves == b.Slaves {
+		t.Fatal("EC2Small should have fewer slaves")
+	}
+	if a.BlockSizeMB != b.BlockSizeMB || a.MapSlotsPerNode != b.MapSlotsPerNode {
+		t.Fatal("EC2Small should share the EC2 performance parameters")
+	}
+}

@@ -1,0 +1,207 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dare/internal/stats"
+)
+
+// DistSpec is a JSON-serializable description of a sampling distribution,
+// so custom cluster profiles can be loaded from files without code
+// changes. Supported types and their fields:
+//
+//	{"type":"constant", "value":117.7}
+//	{"type":"uniform", "lo":60, "hi":200}
+//	{"type":"exponential", "mean":0.5}
+//	{"type":"normal", "mean":157.8, "sd":8.02, "min":145.3, "max":167.0}
+//	{"type":"lognormal", "mean":141.5, "sd":74.2}          // moment-fitted
+//	{"type":"pareto", "scale":1, "alpha":2}
+//	{"type":"boundedpareto", "lo":1, "hi":96, "alpha":1.1}
+//
+// Any spec may add "clampLo"/"clampHi" to clip samples to a range.
+type DistSpec struct {
+	Type    string  `json:"type"`
+	Value   float64 `json:"value,omitempty"`
+	Lo      float64 `json:"lo,omitempty"`
+	Hi      float64 `json:"hi,omitempty"`
+	Mean    float64 `json:"mean,omitempty"`
+	SD      float64 `json:"sd,omitempty"`
+	Min     float64 `json:"min,omitempty"`
+	Max     float64 `json:"max,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Alpha   float64 `json:"alpha,omitempty"`
+	ClampLo float64 `json:"clampLo,omitempty"`
+	ClampHi float64 `json:"clampHi,omitempty"`
+}
+
+// Build constructs the distribution the spec describes.
+func (d DistSpec) Build() (stats.Dist, error) {
+	var dist stats.Dist
+	switch d.Type {
+	case "constant":
+		dist = stats.Constant{V: d.Value}
+	case "uniform":
+		if d.Hi <= d.Lo {
+			return nil, fmt.Errorf("config: uniform needs hi > lo, got [%v,%v)", d.Lo, d.Hi)
+		}
+		dist = stats.Uniform{Lo: d.Lo, Hi: d.Hi}
+	case "exponential":
+		if d.Mean <= 0 {
+			return nil, fmt.Errorf("config: exponential needs mean > 0, got %v", d.Mean)
+		}
+		dist = stats.Exponential{Lambda: 1 / d.Mean}
+	case "normal":
+		if d.SD < 0 {
+			return nil, fmt.Errorf("config: normal needs sd >= 0, got %v", d.SD)
+		}
+		dist = stats.Normal{Mu: d.Mean, Sigma: d.SD, Min: d.Min, Max: d.Max}
+	case "lognormal":
+		if d.Mean <= 0 || d.SD <= 0 {
+			return nil, fmt.Errorf("config: lognormal needs mean, sd > 0, got %v/%v", d.Mean, d.SD)
+		}
+		dist = stats.LogNormalFromMoments(d.Mean, d.SD)
+	case "pareto":
+		if d.Scale <= 0 || d.Alpha <= 0 {
+			return nil, fmt.Errorf("config: pareto needs scale, alpha > 0")
+		}
+		dist = stats.Pareto{Xm: d.Scale, Alpha: d.Alpha}
+	case "boundedpareto":
+		if d.Lo <= 0 || d.Hi <= d.Lo || d.Alpha <= 0 {
+			return nil, fmt.Errorf("config: boundedpareto needs 0 < lo < hi and alpha > 0")
+		}
+		dist = stats.BoundedPareto{L: d.Lo, H: d.Hi, Alpha: d.Alpha}
+	case "":
+		return nil, fmt.Errorf("config: distribution spec missing \"type\"")
+	default:
+		return nil, fmt.Errorf("config: unknown distribution type %q", d.Type)
+	}
+	if d.ClampHi > d.ClampLo {
+		dist = stats.Clamped{D: dist, Lo: d.ClampLo, Hi: d.ClampHi}
+	}
+	return dist, nil
+}
+
+// ProfileSpec mirrors Profile with JSON-friendly distribution specs, so
+// experiments on clusters the paper never measured (different disks,
+// fabrics, scales) need only a config file.
+type ProfileSpec struct {
+	Name             string  `json:"name"`
+	Kind             string  `json:"kind"` // "dedicated" | "virtual"
+	Slaves           int     `json:"slaves"`
+	RAMPerNodeGB     float64 `json:"ramPerNodeGB,omitempty"`
+	CoresPerNode     int     `json:"coresPerNode,omitempty"`
+	StoragePerNodeGB float64 `json:"storagePerNodeGB,omitempty"`
+	Platform         string  `json:"platform,omitempty"`
+	Network          string  `json:"network,omitempty"`
+	OS               string  `json:"os,omitempty"`
+
+	MapSlotsPerNode    int `json:"mapSlotsPerNode"`
+	ReduceSlotsPerNode int `json:"reduceSlotsPerNode"`
+	BlockSizeMB        int `json:"blockSizeMB"`
+	ReplicationFactor  int `json:"replicationFactor"`
+
+	DiskBW DistSpec `json:"diskBW"`
+	NetBW  DistSpec `json:"netBW"`
+	RTT    DistSpec `json:"rtt"`
+
+	Racks       int     `json:"racks,omitempty"`
+	Pods        int     `json:"pods,omitempty"`
+	RackSize    int     `json:"rackSize,omitempty"`
+	PerHopRTT   float64 `json:"perHopRTT,omitempty"`
+	HopBWFactor float64 `json:"hopBWFactor,omitempty"`
+
+	HeartbeatInterval    float64 `json:"heartbeatInterval,omitempty"`
+	TaskOverhead         float64 `json:"taskOverhead,omitempty"`
+	TaskNoiseSigma       float64 `json:"taskNoiseSigma,omitempty"`
+	SpeculativeExecution bool    `json:"speculativeExecution,omitempty"`
+	SpeculativeFactor    float64 `json:"speculativeFactor,omitempty"`
+}
+
+// Build constructs and validates a Profile from the spec, filling the
+// blanks with sane defaults (heartbeat 0.25 s, overhead 0.3 s, hop factor
+// 1.0).
+func (s ProfileSpec) Build() (*Profile, error) {
+	var kind Kind
+	switch s.Kind {
+	case "dedicated", "":
+		kind = Dedicated
+	case "virtual":
+		kind = Virtual
+	default:
+		return nil, fmt.Errorf("config: unknown cluster kind %q (want dedicated|virtual)", s.Kind)
+	}
+	disk, err := s.DiskBW.Build()
+	if err != nil {
+		return nil, fmt.Errorf("config: diskBW: %w", err)
+	}
+	net, err := s.NetBW.Build()
+	if err != nil {
+		return nil, fmt.Errorf("config: netBW: %w", err)
+	}
+	rtt, err := s.RTT.Build()
+	if err != nil {
+		return nil, fmt.Errorf("config: rtt: %w", err)
+	}
+	p := &Profile{
+		Name:             s.Name,
+		Kind:             kind,
+		Slaves:           s.Slaves,
+		RAMPerNodeGB:     s.RAMPerNodeGB,
+		CoresPerNode:     s.CoresPerNode,
+		StoragePerNodeGB: s.StoragePerNodeGB,
+		Platform:         s.Platform,
+		Network:          s.Network,
+		OS:               s.OS,
+
+		MapSlotsPerNode:    s.MapSlotsPerNode,
+		ReduceSlotsPerNode: s.ReduceSlotsPerNode,
+		BlockSizeMB:        s.BlockSizeMB,
+		ReplicationFactor:  s.ReplicationFactor,
+
+		DiskBW: disk,
+		NetBW:  net,
+		RTT:    rtt,
+
+		Racks:       s.Racks,
+		Pods:        s.Pods,
+		RackSize:    s.RackSize,
+		PerHopRTT:   s.PerHopRTT,
+		HopBWFactor: s.HopBWFactor,
+
+		HeartbeatInterval:    s.HeartbeatInterval,
+		TaskOverhead:         s.TaskOverhead,
+		TaskNoiseSigma:       s.TaskNoiseSigma,
+		SpeculativeExecution: s.SpeculativeExecution,
+		SpeculativeFactor:    s.SpeculativeFactor,
+	}
+	if p.HeartbeatInterval == 0 {
+		p.HeartbeatInterval = 0.25
+	}
+	if p.TaskOverhead == 0 {
+		p.TaskOverhead = 0.3
+	}
+	if p.HopBWFactor == 0 {
+		p.HopBWFactor = 1.0
+	}
+	if p.ReduceSlotsPerNode == 0 {
+		p.ReduceSlotsPerNode = 1
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// LoadProfile decodes a JSON ProfileSpec and builds the Profile. Unknown
+// fields are rejected to catch typos in hand-written configs.
+func LoadProfile(r io.Reader) (*Profile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec ProfileSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("config: parsing profile: %w", err)
+	}
+	return spec.Build()
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"testing"
+
+	"dare/internal/dfs"
+	"dare/internal/stats"
+)
+
+// BenchmarkGreedyLRUOnMapTask measures Algorithm 1's per-task cost at a
+// binding budget (steady-state evict+insert).
+func BenchmarkGreedyLRUOnMapTask(b *testing.B) {
+	p := NewGreedyLRU(100 * 128)
+	for i := 0; i < b.N; i++ {
+		p.OnMapTask(dfs.BlockID(i%1000), dfs.FileID(i%37), 128, i%3 == 0)
+	}
+}
+
+// BenchmarkElephantTrapOnMapTask measures Algorithm 2's per-task cost
+// including the competitive-aging sweeps.
+func BenchmarkElephantTrapOnMapTask(b *testing.B) {
+	et := NewElephantTrap(0.3, 1, 100*128, stats.NewRNG(1))
+	for i := 0; i < b.N; i++ {
+		et.OnMapTask(dfs.BlockID(i%1000), dfs.FileID(i%37), 128, i%3 == 0)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"container/list"
+
+	"dare/internal/dfs"
+	"dare/internal/stats"
+)
+
+// etEntry is one tracked dynamic replica in the ElephantTrap circular
+// list, carrying its access count.
+type etEntry struct {
+	block dfs.BlockID
+	file  dfs.FileID
+	size  int64
+	count int64
+}
+
+// ElephantTrap implements the paper's Algorithm 2, an adaptation of the
+// ElephantTrap heavy-hitter detector (Lu et al., HOTI'07) to block
+// replication. Compared with GreedyLRU it adds two probabilistic levers:
+//
+//   - Sampling: a scheduled map task is *observed* only with probability
+//     p. A sampled non-local task triggers a replication; a sampled local
+//     task increments the tracked block's access count. Unpopular blocks —
+//     touched by a handful of remote reads — are thus mostly ignored,
+//     which prevents thrashing and roughly halves disk writes versus the
+//     greedy policy at similar locality (§I).
+//
+//   - Competitive aging: when the budget forces an eviction, the policy
+//     walks the circular list from the eviction pointer, halving each
+//     entry's access count, until it finds an entry whose count has
+//     dropped below threshold. Recently popular blocks decay quickly once
+//     their popularity fades, yet newly replicated popular blocks are not
+//     evicted prematurely.
+//
+// If the full sweep finds no victim (every entry still ≥ threshold) or the
+// candidate belongs to the same file as the incoming block, the
+// replication is abandoned (Algorithm 2 returns null).
+type ElephantTrap struct {
+	p         float64
+	threshold int64
+	budget    int64
+	used      int64
+
+	ring  *list.List // circular order is implied: Next of Back is Front
+	index map[dfs.BlockID]*list.Element
+	// evict is the eviction pointer into ring; nil means "at Front".
+	evict *list.Element
+
+	rng   *stats.RNG
+	stats PolicyStats
+}
+
+// NewElephantTrap creates the Algorithm 2 policy. p is the sampling
+// probability (paper default 0.3), threshold the aging threshold (paper
+// default 1), budgetBytes the node's replication budget. rng must be a
+// dedicated sub-stream.
+func NewElephantTrap(p float64, threshold int64, budgetBytes int64, rng *stats.RNG) *ElephantTrap {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if threshold < 0 {
+		threshold = 0
+	}
+	return &ElephantTrap{
+		p:         p,
+		threshold: threshold,
+		budget:    budgetBytes,
+		ring:      list.New(),
+		index:     make(map[dfs.BlockID]*list.Element),
+		rng:       rng,
+	}
+}
+
+// Kind implements NodePolicy.
+func (t *ElephantTrap) Kind() PolicyKind { return ElephantTrapPolicy }
+
+// BudgetBytes implements NodePolicy.
+func (t *ElephantTrap) BudgetBytes() int64 { return t.budget }
+
+// UsedBytes implements NodePolicy.
+func (t *ElephantTrap) UsedBytes() int64 { return t.used }
+
+// Stats implements NodePolicy.
+func (t *ElephantTrap) Stats() PolicyStats { return t.stats }
+
+// Contains implements NodePolicy.
+func (t *ElephantTrap) Contains(b dfs.BlockID) bool {
+	_, ok := t.index[b]
+	return ok
+}
+
+// Len reports the number of tracked dynamic replicas.
+func (t *ElephantTrap) Len() int { return t.ring.Len() }
+
+// Count reports the current access count of a tracked block (testing and
+// introspection).
+func (t *ElephantTrap) Count(b dfs.BlockID) (int64, bool) {
+	el, ok := t.index[b]
+	if !ok {
+		return 0, false
+	}
+	return el.Value.(*etEntry).count, true
+}
+
+// OnMapTask implements NodePolicy (Algorithm 2).
+func (t *ElephantTrap) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local bool) Decision {
+	// The coin decides both whether to replicate and whether to update the
+	// access-tracking structures.
+	if !t.rng.Bool(t.p) {
+		if !local {
+			t.stats.RemoteSkipped++
+		}
+		return Decision{}
+	}
+	if local {
+		if el, ok := t.index[b]; ok {
+			el.Value.(*etEntry).count++
+			t.stats.Refreshes++
+		}
+		return Decision{}
+	}
+	if t.Contains(b) {
+		// Remote read of a block we already track: count it as an access.
+		t.index[b].Value.(*etEntry).count++
+		t.stats.Refreshes++
+		return Decision{}
+	}
+
+	var evict []dfs.BlockID
+	for t.used+size > t.budget {
+		victim := t.markBlockForDeletion(f)
+		if victim == nil {
+			// Couldn't find a block to evict; will not replicate.
+			t.stats.RemoteSkipped++
+			t.stats.Evictions += int64(len(evict))
+			return Decision{Evict: evict}
+		}
+		evict = append(evict, victim.block)
+		t.used -= victim.size
+	}
+	t.stats.Evictions += int64(len(evict))
+
+	// Insert right before the eviction pointer: the new entry is the last
+	// one the pointer will reach, giving it a full aging cycle to prove
+	// its popularity.
+	e := &etEntry{block: b, file: f, size: size, count: 0}
+	var el *list.Element
+	if t.evict != nil {
+		el = t.ring.InsertBefore(e, t.evict)
+	} else {
+		el = t.ring.PushBack(e)
+	}
+	t.index[b] = el
+	t.used += size
+	t.stats.ReplicasCreated++
+	return Decision{Replicate: true, Evict: evict}
+}
+
+// markBlockForDeletion walks the circular list from the eviction pointer,
+// halving access counts, until an entry drops below threshold or the
+// whole list has been visited. The found victim is evicted unless it
+// belongs to evictingFile. Returns nil when no victim can be evicted.
+func (t *ElephantTrap) markBlockForDeletion(evictingFile dfs.FileID) *etEntry {
+	n := t.ring.Len()
+	if n == 0 {
+		return nil
+	}
+	if t.evict == nil {
+		t.evict = t.ring.Front()
+	}
+	var victim *list.Element
+	for i := 0; i < n; i++ {
+		e := t.evict.Value.(*etEntry)
+		if e.count < t.threshold {
+			victim = t.evict
+			break
+		}
+		e.count /= 2
+		t.advance()
+	}
+	if victim == nil {
+		// Full sweep aged everything but nothing fell below threshold.
+		return nil
+	}
+	e := victim.Value.(*etEntry)
+	if e.file == evictingFile {
+		// Same file ⇒ same popularity as the incoming block; evicting it
+		// would be self-defeating. Abandon (Algorithm 2 returns null).
+		return nil
+	}
+	t.advance() // move the pointer off the element being removed
+	if t.evict == victim {
+		t.evict = nil // victim was the only element
+	}
+	t.ring.Remove(victim)
+	delete(t.index, e.block)
+	return e
+}
+
+// advance moves the eviction pointer one step around the ring.
+func (t *ElephantTrap) advance() {
+	if t.evict == nil {
+		t.evict = t.ring.Front()
+		return
+	}
+	t.evict = t.evict.Next()
+	if t.evict == nil {
+		t.evict = t.ring.Front()
+	}
+}

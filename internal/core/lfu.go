@@ -1,0 +1,160 @@
+package core
+
+import (
+	"container/heap"
+
+	"dare/internal/dfs"
+)
+
+// GreedyLFU is the least-frequently-used variant of the greedy approach.
+// The paper's §IV names LFU alongside LRU as the traditional eviction
+// choices ("Choice between LRU and LFU should be made after profiling
+// typical workloads"); this implementation lets that profiling actually
+// happen. Like Algorithm 1 it captures every remote read; when the budget
+// binds it evicts the tracked replica with the fewest accesses (ties
+// broken by insertion order, i.e. oldest first), skipping victims that
+// share the incoming block's file.
+type GreedyLFU struct {
+	budget int64
+	used   int64
+	pq     lfuHeap
+	index  map[dfs.BlockID]*lfuEntry
+	seq    uint64
+	stats  PolicyStats
+}
+
+// lfuEntry is one tracked dynamic replica with its access frequency.
+type lfuEntry struct {
+	block dfs.BlockID
+	file  dfs.FileID
+	size  int64
+	count int64
+	seq   uint64 // insertion order, the tie-break
+	pos   int    // heap index
+}
+
+// NewGreedyLFU creates the LFU policy with the given budget in bytes.
+func NewGreedyLFU(budgetBytes int64) *GreedyLFU {
+	return &GreedyLFU{budget: budgetBytes, index: make(map[dfs.BlockID]*lfuEntry)}
+}
+
+// Kind implements NodePolicy.
+func (p *GreedyLFU) Kind() PolicyKind { return GreedyLFUPolicy }
+
+// BudgetBytes implements NodePolicy.
+func (p *GreedyLFU) BudgetBytes() int64 { return p.budget }
+
+// UsedBytes implements NodePolicy.
+func (p *GreedyLFU) UsedBytes() int64 { return p.used }
+
+// Stats implements NodePolicy.
+func (p *GreedyLFU) Stats() PolicyStats { return p.stats }
+
+// Contains implements NodePolicy.
+func (p *GreedyLFU) Contains(b dfs.BlockID) bool {
+	_, ok := p.index[b]
+	return ok
+}
+
+// Len reports the number of tracked dynamic replicas.
+func (p *GreedyLFU) Len() int { return len(p.pq) }
+
+// Count reports a tracked block's access count (introspection/tests).
+func (p *GreedyLFU) Count(b dfs.BlockID) (int64, bool) {
+	e, ok := p.index[b]
+	if !ok {
+		return 0, false
+	}
+	return e.count, true
+}
+
+// OnMapTask implements NodePolicy.
+func (p *GreedyLFU) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local bool) Decision {
+	if e, ok := p.index[b]; ok {
+		// Any read of a tracked replica bumps its frequency.
+		e.count++
+		heap.Fix(&p.pq, e.pos)
+		p.stats.Refreshes++
+		return Decision{}
+	}
+	if local {
+		return Decision{}
+	}
+	var evict []dfs.BlockID
+	for p.used+size > p.budget {
+		victim := p.popVictim(f)
+		if victim == nil {
+			p.stats.RemoteSkipped++
+			p.stats.Evictions += int64(len(evict))
+			return Decision{Evict: evict}
+		}
+		evict = append(evict, victim.block)
+		p.used -= victim.size
+	}
+	p.stats.Evictions += int64(len(evict))
+	e := &lfuEntry{block: b, file: f, size: size, seq: p.seq}
+	p.seq++
+	heap.Push(&p.pq, e)
+	p.index[b] = e
+	p.used += size
+	p.stats.ReplicasCreated++
+	return Decision{Replicate: true, Evict: evict}
+}
+
+// popVictim removes the least-frequently-used entry whose file differs
+// from evictingFile. Same-file entries are temporarily set aside and
+// restored, preserving their counts.
+func (p *GreedyLFU) popVictim(evictingFile dfs.FileID) *lfuEntry {
+	var setAside []*lfuEntry
+	var victim *lfuEntry
+	for len(p.pq) > 0 {
+		e := heap.Pop(&p.pq).(*lfuEntry)
+		if e.file == evictingFile {
+			setAside = append(setAside, e)
+			continue
+		}
+		victim = e
+		break
+	}
+	for _, e := range setAside {
+		heap.Push(&p.pq, e)
+	}
+	if victim != nil {
+		delete(p.index, victim.block)
+	}
+	return victim
+}
+
+// lfuHeap is a min-heap on (count, seq).
+type lfuHeap []*lfuEntry
+
+func (h lfuHeap) Len() int { return len(h) }
+
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+
+func (h *lfuHeap) Push(x any) {
+	e := x.(*lfuEntry)
+	e.pos = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.pos = -1
+	*h = old[:n-1]
+	return e
+}

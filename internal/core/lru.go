@@ -1,0 +1,120 @@
+package core
+
+import (
+	"container/list"
+
+	"dare/internal/dfs"
+)
+
+// lruEntry is one dynamically replicated block in LRU order.
+type lruEntry struct {
+	block dfs.BlockID
+	file  dfs.FileID
+	size  int64
+}
+
+// GreedyLRU implements the paper's Algorithm 1: every non-data-local map
+// task triggers a replication of its input block; when the replication
+// budget would be exceeded, least-recently-used dynamic replicas are
+// marked for (lazy) deletion, skipping victims that belong to the same
+// file as the incoming block (same file ⇒ same popularity, so evicting it
+// would thrash). The usage-order queue is refreshed on every read: blocks
+// are inserted at the tail and evicted from the front.
+type GreedyLRU struct {
+	budget int64
+	used   int64
+	// order holds *lruEntry with the LRU victim at the front.
+	order *list.List
+	index map[dfs.BlockID]*list.Element
+	stats PolicyStats
+}
+
+// NewGreedyLRU creates the Algorithm 1 policy with the given budget in
+// bytes. A non-positive budget disables replication entirely (every
+// insertion would overflow it).
+func NewGreedyLRU(budgetBytes int64) *GreedyLRU {
+	return &GreedyLRU{
+		budget: budgetBytes,
+		order:  list.New(),
+		index:  make(map[dfs.BlockID]*list.Element),
+	}
+}
+
+// Kind implements NodePolicy.
+func (p *GreedyLRU) Kind() PolicyKind { return GreedyLRUPolicy }
+
+// BudgetBytes implements NodePolicy.
+func (p *GreedyLRU) BudgetBytes() int64 { return p.budget }
+
+// UsedBytes implements NodePolicy.
+func (p *GreedyLRU) UsedBytes() int64 { return p.used }
+
+// Stats implements NodePolicy.
+func (p *GreedyLRU) Stats() PolicyStats { return p.stats }
+
+// Contains implements NodePolicy.
+func (p *GreedyLRU) Contains(b dfs.BlockID) bool {
+	_, ok := p.index[b]
+	return ok
+}
+
+// Len reports the number of tracked dynamic replicas.
+func (p *GreedyLRU) Len() int { return p.order.Len() }
+
+// OnMapTask implements NodePolicy (Algorithm 1).
+func (p *GreedyLRU) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local bool) Decision {
+	if local {
+		// The queue is refreshed on every read: move to most-recent end.
+		if el, ok := p.index[b]; ok {
+			p.order.MoveToBack(el)
+			p.stats.Refreshes++
+		}
+		return Decision{}
+	}
+	if p.Contains(b) {
+		// Already replicated here but the task read remotely anyway (e.g.
+		// the local copy is still being written); just refresh.
+		p.order.MoveToBack(p.index[b])
+		p.stats.Refreshes++
+		return Decision{}
+	}
+	// Greedy: always try to capture the remote read, evicting LRU victims
+	// until the budget accommodates the incoming block.
+	var evict []dfs.BlockID
+	for p.used+size > p.budget {
+		victim := p.popVictim(f)
+		if victim == nil {
+			// Could not make room (budget too small, or every remaining
+			// victim shares the incoming block's file): skip this
+			// replication. Victims already popped stay evicted — they were
+			// the least recently used regardless.
+			p.stats.RemoteSkipped++
+			p.stats.Evictions += int64(len(evict))
+			return Decision{Evict: evict}
+		}
+		evict = append(evict, victim.block)
+		p.used -= victim.size
+	}
+	p.stats.Evictions += int64(len(evict))
+	p.index[b] = p.order.PushBack(&lruEntry{block: b, file: f, size: size})
+	p.used += size
+	p.stats.ReplicasCreated++
+	return Decision{Replicate: true, Evict: evict}
+}
+
+// popVictim removes and returns the least recently used entry whose file
+// differs from evictingFile, or nil when none exists. Same-file entries
+// are skipped in place, preserving their relative order (Algorithm 1's
+// "continue" without removal).
+func (p *GreedyLRU) popVictim(evictingFile dfs.FileID) *lruEntry {
+	for el := p.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		if e.file == evictingFile {
+			continue
+		}
+		p.order.Remove(el)
+		delete(p.index, e.block)
+		return e
+	}
+	return nil
+}

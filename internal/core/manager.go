@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dare/internal/dfs"
+	"dare/internal/stats"
+	"dare/internal/topology"
+)
+
+// Config selects and parameterizes the DARE policy for a cluster run.
+// The defaults mirror the paper's headline configuration (§V, Fig. 7):
+// ElephantTrap with p = 0.3, threshold = 1, budget = 0.2.
+type Config struct {
+	Kind PolicyKind
+	// P is the ElephantTrap sampling probability.
+	P float64
+	// Threshold is the ElephantTrap aging threshold.
+	Threshold int64
+	// BudgetFraction bounds dynamic-replica storage as a fraction of the
+	// cluster's average per-node primary bytes (§IV: "a value between 10%
+	// and 20% is reasonable").
+	BudgetFraction float64
+	// AnnounceDelay is the seconds between a replication decision and the
+	// name node learning about the new replica (it is piggybacked on the
+	// next heartbeat, §IV-B).
+	AnnounceDelay float64
+	// LazyDeleteDelay is the seconds between marking a victim and its
+	// actual removal ("blocks marked for deletion are lazily removed to
+	// avoid conflicting with other operations", §IV-B).
+	LazyDeleteDelay float64
+
+	// Scarlett-only knobs (ignored by the DARE policies): the epoch
+	// length in seconds, the accesses-per-extra-replica quota, and the
+	// cap on extra replicas per block.
+	Epoch              float64
+	AccessesPerReplica float64
+	MaxExtraReplicas   int
+}
+
+// DefaultConfig returns the paper's headline DARE configuration.
+func DefaultConfig() Config {
+	return Config{
+		Kind:            ElephantTrapPolicy,
+		P:               0.3,
+		Threshold:       1,
+		BudgetFraction:  0.2,
+		AnnounceDelay:   1.0,
+		LazyDeleteDelay: 1.0,
+	}
+}
+
+// MetaStore is the slice of the name node the Manager needs. *dfs.NameNode
+// implements it.
+type MetaStore interface {
+	HasReplica(b dfs.BlockID, node topology.NodeID) bool
+	AddDynamicReplica(b dfs.BlockID, node topology.NodeID) error
+	RemoveDynamicReplica(b dfs.BlockID, node topology.NodeID) error
+	TotalPrimaryBytes() int64
+	N() int
+}
+
+// DeferFunc schedules fn to run after delay seconds of simulated time.
+// The simulation engine's Schedule method has this shape.
+type DeferFunc func(delay float64, fn func())
+
+// pendingAdd tracks a replica created locally but not yet announced to the
+// name node; an eviction arriving before the announce simply cancels it.
+type pendingAdd struct{ canceled bool }
+
+// Manager instantiates one NodePolicy per data node and applies their
+// decisions to the name node, modelling the heartbeat announce delay and
+// lazy deletion. It is the component a modified Hadoop DataNode would
+// embed (the paper's 228-line patch, §V-A).
+type Manager struct {
+	cfg      Config
+	store    MetaStore
+	policies []NodePolicy
+	deferFn  DeferFunc
+	pending  []map[dfs.BlockID]*pendingAdd
+	// errs records unexpected metadata failures; a correct run has none.
+	errs []error
+}
+
+// NewManager builds per-node policies for every data node in store. The
+// per-node budget is BudgetFraction × (total primary bytes / nodes),
+// computed from the store's current contents — create the input files
+// before the manager. rng seeds the per-node probabilistic policies.
+func NewManager(cfg Config, store MetaStore, rng *stats.RNG, deferFn DeferFunc) *Manager {
+	n := store.N()
+	m := &Manager{
+		cfg:      cfg,
+		store:    store,
+		policies: make([]NodePolicy, n),
+		deferFn:  deferFn,
+		pending:  make([]map[dfs.BlockID]*pendingAdd, n),
+	}
+	budget := int64(cfg.BudgetFraction * float64(store.TotalPrimaryBytes()) / float64(n))
+	for i := 0; i < n; i++ {
+		m.pending[i] = make(map[dfs.BlockID]*pendingAdd)
+		switch cfg.Kind {
+		case GreedyLRUPolicy:
+			m.policies[i] = NewGreedyLRU(budget)
+		case GreedyLFUPolicy:
+			m.policies[i] = NewGreedyLFU(budget)
+		case ElephantTrapPolicy:
+			m.policies[i] = NewElephantTrap(cfg.P, cfg.Threshold, budget, rng.Split(uint64(i)+1))
+		default:
+			m.policies[i] = NewNonePolicy()
+		}
+	}
+	return m
+}
+
+// Policy exposes the per-node policy (testing, introspection).
+func (m *Manager) Policy(node topology.NodeID) NodePolicy { return m.policies[node] }
+
+// Errors returns metadata failures observed while applying decisions.
+func (m *Manager) Errors() []error { return m.errs }
+
+// OnMapTask reports to node's policy that a map task reading block b
+// (size bytes, of file f) was scheduled there, with the given locality,
+// and applies the resulting decision.
+func (m *Manager) OnMapTask(node topology.NodeID, b dfs.BlockID, f dfs.FileID, size int64, local bool) {
+	d := m.policies[node].OnMapTask(b, f, size, local)
+	for _, victim := range d.Evict {
+		m.evict(node, victim)
+	}
+	if d.Replicate {
+		m.announce(node, b)
+	}
+}
+
+// announce registers the new dynamic replica with the name node after the
+// heartbeat delay, unless an eviction cancels it first.
+func (m *Manager) announce(node topology.NodeID, b dfs.BlockID) {
+	pa := &pendingAdd{}
+	m.pending[node][b] = pa
+	m.deferred(m.cfg.AnnounceDelay, func() {
+		if pa.canceled {
+			return
+		}
+		delete(m.pending[node], b)
+		if m.store.HasReplica(b, node) {
+			return // someone registered it meanwhile; nothing to do
+		}
+		if err := m.store.AddDynamicReplica(b, node); err != nil {
+			if errors.Is(err, dfs.ErrNodeDown) {
+				return // the node died with the replica; nothing to announce
+			}
+			m.errs = append(m.errs, fmt.Errorf("core: announce block %d at node %d: %w", b, node, err))
+		}
+	})
+}
+
+// evict removes a dynamic replica after the lazy-deletion delay; if the
+// replica was never announced, the pending announce is canceled instead.
+func (m *Manager) evict(node topology.NodeID, b dfs.BlockID) {
+	if pa, ok := m.pending[node][b]; ok {
+		pa.canceled = true
+		delete(m.pending[node], b)
+		return
+	}
+	m.deferred(m.cfg.LazyDeleteDelay, func() {
+		if !m.store.HasReplica(b, node) {
+			return // already gone
+		}
+		if err := m.store.RemoveDynamicReplica(b, node); err != nil {
+			m.errs = append(m.errs, fmt.Errorf("core: evict block %d at node %d: %w", b, node, err))
+		}
+	})
+}
+
+func (m *Manager) deferred(delay float64, fn func()) {
+	if m.deferFn == nil || delay <= 0 {
+		fn()
+		return
+	}
+	m.deferFn(delay, fn)
+}
+
+// TotalStats aggregates the per-node policy counters.
+func (m *Manager) TotalStats() PolicyStats {
+	var total PolicyStats
+	for _, p := range m.policies {
+		s := p.Stats()
+		total.ReplicasCreated += s.ReplicasCreated
+		total.Evictions += s.Evictions
+		total.RemoteSkipped += s.RemoteSkipped
+		total.Refreshes += s.Refreshes
+	}
+	return total
+}
+
+// UsedBytes reports the dynamic-replica bytes tracked across all nodes.
+func (m *Manager) UsedBytes() int64 {
+	var total int64
+	for _, p := range m.policies {
+		total += p.UsedBytes()
+	}
+	return total
+}

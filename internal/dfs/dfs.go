@@ -1,0 +1,397 @@
+// Package dfs models the distributed file system that co-exists with the
+// compute nodes in a MapReduce cluster (GFS/HDFS, §II-A). Using HDFS
+// terminology as the paper does: a name node holds all metadata (files,
+// blocks, replica locations), data nodes hold the block replicas.
+//
+// Files are read-only sequences of fixed-size blocks. Each block starts
+// with ReplicationFactor pinned ("primary") replicas placed by the
+// rack-aware default policy; DARE later adds and evicts *dynamic* replicas
+// on top of those. Dynamic replicas are first-order replicas — the name
+// node registers them and the scheduler sees them like any other (§IV-B) —
+// but only dynamic replicas may be evicted.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dare/internal/stats"
+	"dare/internal/topology"
+)
+
+// ErrNodeDown marks metadata operations addressed to a failed data node;
+// callers racing a failure (e.g. a DARE announce whose node died after the
+// decision) can detect it with errors.Is and drop the operation.
+var ErrNodeDown = errors.New("node is down")
+
+// BlockID identifies a block cluster-wide.
+type BlockID int64
+
+// FileID identifies a file cluster-wide.
+type FileID int32
+
+// ReplicaKind distinguishes pinned primaries from DARE-created replicas.
+type ReplicaKind int8
+
+const (
+	// Primary replicas implement the static replication factor; they are
+	// never evicted.
+	Primary ReplicaKind = iota
+	// Dynamic replicas are created by DARE from remote reads and may be
+	// evicted to respect the replication budget.
+	Dynamic
+)
+
+// Block is one fixed-size unit of a file.
+type Block struct {
+	ID    BlockID
+	File  FileID
+	Index int
+	Size  int64
+}
+
+// File is a named, read-only sequence of blocks.
+type File struct {
+	ID     FileID
+	Name   string
+	Blocks []BlockID
+	// Created is the simulated creation time (seconds); used by the trace
+	// analyzer for age-at-access distributions.
+	Created float64
+}
+
+// NameNode is the master metadata service. It is single-threaded like the
+// simulation that drives it.
+type NameNode struct {
+	topo        topology.Topology
+	rng         *stats.RNG
+	replication int
+
+	files  map[FileID]*File
+	blocks map[BlockID]*Block
+	// locations[b][n] records that node n holds a replica of b and whether
+	// it is pinned.
+	locations map[BlockID]map[topology.NodeID]ReplicaKind
+	// perNode[n] tracks what node n stores, for placement and for the
+	// popularity-index metric (Fig. 11).
+	perNode []map[BlockID]ReplicaKind
+	// primaryBytes[n] and dynamicBytes[n] track storage accounting.
+	primaryBytes []int64
+	dynamicBytes []int64
+
+	// failed marks downed data nodes; placement avoids them.
+	failed map[topology.NodeID]bool
+
+	nextFile  FileID
+	nextBlock BlockID
+}
+
+// NewNameNode creates a name node for the given topology with the given
+// static replication factor. rng drives placement randomness and must be a
+// dedicated sub-stream of the experiment seed.
+func NewNameNode(topo topology.Topology, replication int, rng *stats.RNG) *NameNode {
+	if replication < 1 {
+		panic(fmt.Sprintf("dfs: replication factor must be >= 1, got %d", replication))
+	}
+	n := topo.N()
+	nn := &NameNode{
+		topo:         topo,
+		rng:          rng,
+		replication:  replication,
+		files:        make(map[FileID]*File),
+		blocks:       make(map[BlockID]*Block),
+		locations:    make(map[BlockID]map[topology.NodeID]ReplicaKind),
+		perNode:      make([]map[BlockID]ReplicaKind, n),
+		primaryBytes: make([]int64, n),
+		dynamicBytes: make([]int64, n),
+	}
+	for i := range nn.perNode {
+		nn.perNode[i] = make(map[BlockID]ReplicaKind)
+	}
+	nn.failed = make(map[topology.NodeID]bool)
+	return nn
+}
+
+// N reports the number of data nodes.
+func (nn *NameNode) N() int { return nn.topo.N() }
+
+// Topology exposes the cluster layout (for schedulers and cost models).
+func (nn *NameNode) Topology() topology.Topology { return nn.topo }
+
+// ReplicationFactor reports the static replication factor.
+func (nn *NameNode) ReplicationFactor() int { return nn.replication }
+
+// CreateFile allocates a file of numBlocks blocks of blockSize bytes at
+// simulated time now, placing primary replicas with the rack-aware default
+// policy. It returns the new file.
+func (nn *NameNode) CreateFile(name string, numBlocks int, blockSize int64, now float64) (*File, error) {
+	if numBlocks < 1 {
+		return nil, fmt.Errorf("dfs: file %q must have at least one block", name)
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("dfs: file %q block size must be positive", name)
+	}
+	f := &File{ID: nn.nextFile, Name: name, Created: now}
+	nn.nextFile++
+	for i := 0; i < numBlocks; i++ {
+		b := &Block{ID: nn.nextBlock, File: f.ID, Index: i, Size: blockSize}
+		nn.nextBlock++
+		nn.blocks[b.ID] = b
+		f.Blocks = append(f.Blocks, b.ID)
+		nn.placePrimaries(b)
+	}
+	nn.files[f.ID] = f
+	return f, nil
+}
+
+// placePrimaries implements the HDFS default placement: first replica on a
+// random node, second on a node in a different rack when one exists, third
+// in the same rack as the second; any further replicas go to random
+// distinct nodes. Fewer nodes than replicas degrades gracefully.
+func (nn *NameNode) placePrimaries(b *Block) {
+	n := nn.topo.N()
+	want := nn.replication
+	if want > n {
+		want = n
+	}
+	chosen := make([]topology.NodeID, 0, want)
+	used := make(map[topology.NodeID]bool, want)
+	pick := func(ok func(topology.NodeID) bool) (topology.NodeID, bool) {
+		// Bounded random probing, then linear fallback keeps placement
+		// O(n) worst-case while staying random in the common case. Downed
+		// nodes never receive new replicas.
+		usable := func(cand topology.NodeID) bool {
+			return !used[cand] && !nn.failed[cand] && (ok == nil || ok(cand))
+		}
+		for t := 0; t < 8; t++ {
+			if cand := topology.NodeID(nn.rng.Intn(n)); usable(cand) {
+				return cand, true
+			}
+		}
+		start := nn.rng.Intn(n)
+		for i := 0; i < n; i++ {
+			if cand := topology.NodeID((start + i) % n); usable(cand) {
+				return cand, true
+			}
+		}
+		return 0, false
+	}
+
+	first, ok := pick(nil)
+	if !ok {
+		return
+	}
+	chosen = append(chosen, first)
+	used[first] = true
+
+	if want >= 2 {
+		r0 := nn.topo.Rack(first)
+		second, ok := pick(func(c topology.NodeID) bool { return nn.topo.Rack(c) != r0 })
+		if !ok {
+			second, ok = pick(nil) // single-rack cluster: any distinct node
+		}
+		if ok {
+			chosen = append(chosen, second)
+			used[second] = true
+		}
+	}
+	if want >= 3 && len(chosen) >= 2 {
+		r1 := nn.topo.Rack(chosen[1])
+		third, ok := pick(func(c topology.NodeID) bool { return nn.topo.Rack(c) == r1 })
+		if !ok {
+			third, ok = pick(nil)
+		}
+		if ok {
+			chosen = append(chosen, third)
+			used[third] = true
+		}
+	}
+	for len(chosen) < want {
+		extra, ok := pick(nil)
+		if !ok {
+			break
+		}
+		chosen = append(chosen, extra)
+		used[extra] = true
+	}
+
+	locs := make(map[topology.NodeID]ReplicaKind, len(chosen))
+	for _, node := range chosen {
+		locs[node] = Primary
+		nn.perNode[node][b.ID] = Primary
+		nn.primaryBytes[node] += b.Size
+	}
+	nn.locations[b.ID] = locs
+}
+
+// File returns a file by ID, or nil.
+func (nn *NameNode) File(id FileID) *File { return nn.files[id] }
+
+// Files reports the number of files.
+func (nn *NameNode) Files() int { return len(nn.files) }
+
+// Block returns a block by ID, or nil.
+func (nn *NameNode) Block(id BlockID) *Block { return nn.blocks[id] }
+
+// Blocks reports the number of blocks.
+func (nn *NameNode) Blocks() int { return len(nn.blocks) }
+
+// Locations returns the nodes currently holding replicas of b. The slice
+// is freshly allocated and sorted by node ID for determinism.
+func (nn *NameNode) Locations(b BlockID) []topology.NodeID {
+	locs := nn.locations[b]
+	out := make([]topology.NodeID, 0, len(locs))
+	for n := range locs {
+		out = append(out, n)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// HasReplica reports whether node holds any replica of b.
+func (nn *NameNode) HasReplica(b BlockID, node topology.NodeID) bool {
+	_, ok := nn.locations[b][node]
+	return ok
+}
+
+// ReplicaKindAt reports the kind of replica node holds for b.
+func (nn *NameNode) ReplicaKindAt(b BlockID, node topology.NodeID) (ReplicaKind, bool) {
+	k, ok := nn.locations[b][node]
+	return k, ok
+}
+
+// NumReplicas reports how many replicas b currently has.
+func (nn *NameNode) NumReplicas(b BlockID) int { return len(nn.locations[b]) }
+
+// AddDynamicReplica registers a DARE-created replica of b at node. Adding
+// where any replica already exists is an error — callers must check
+// HasReplica first (DARE only replicates after a *remote* read, so a local
+// copy cannot exist).
+func (nn *NameNode) AddDynamicReplica(b BlockID, node topology.NodeID) error {
+	blk := nn.blocks[b]
+	if blk == nil {
+		return fmt.Errorf("dfs: unknown block %d", b)
+	}
+	if int(node) < 0 || int(node) >= nn.topo.N() {
+		return fmt.Errorf("dfs: invalid node %d", node)
+	}
+	if nn.failed[node] {
+		return fmt.Errorf("dfs: node %d: %w", node, ErrNodeDown)
+	}
+	if _, exists := nn.locations[b][node]; exists {
+		return fmt.Errorf("dfs: node %d already holds a replica of block %d", node, b)
+	}
+	nn.locations[b][node] = Dynamic
+	nn.perNode[node][b] = Dynamic
+	nn.dynamicBytes[node] += blk.Size
+	return nil
+}
+
+// RemoveDynamicReplica evicts a dynamic replica. Removing a primary
+// replica is an error: DARE never touches the static replication factor.
+func (nn *NameNode) RemoveDynamicReplica(b BlockID, node topology.NodeID) error {
+	k, ok := nn.locations[b][node]
+	if !ok {
+		return fmt.Errorf("dfs: node %d holds no replica of block %d", node, b)
+	}
+	if k != Dynamic {
+		return fmt.Errorf("dfs: refusing to remove primary replica of block %d at node %d", b, node)
+	}
+	delete(nn.locations[b], node)
+	delete(nn.perNode[node], b)
+	nn.dynamicBytes[node] -= nn.blocks[b].Size
+	return nil
+}
+
+// NodeBlocks returns the blocks stored on node (any kind), sorted by ID.
+func (nn *NameNode) NodeBlocks(node topology.NodeID) []BlockID {
+	m := nn.perNode[node]
+	out := make([]BlockID, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	sortBlockIDs(out)
+	return out
+}
+
+// PrimaryBytesOn reports bytes of pinned replicas on node.
+func (nn *NameNode) PrimaryBytesOn(node topology.NodeID) int64 { return nn.primaryBytes[node] }
+
+// DynamicBytesOn reports bytes of dynamic replicas on node.
+func (nn *NameNode) DynamicBytesOn(node topology.NodeID) int64 { return nn.dynamicBytes[node] }
+
+// TotalPrimaryBytes reports pinned bytes across the cluster; the
+// replication budget is defined relative to this.
+func (nn *NameNode) TotalPrimaryBytes() int64 {
+	var total int64
+	for _, b := range nn.primaryBytes {
+		total += b
+	}
+	return total
+}
+
+// TotalDynamicBytes reports DARE-created bytes across the cluster.
+func (nn *NameNode) TotalDynamicBytes() int64 {
+	var total int64
+	for _, b := range nn.dynamicBytes {
+		total += b
+	}
+	return total
+}
+
+// CheckInvariants validates internal consistency; tests call it after
+// simulations. It verifies that every block keeps at least
+// min(replication, N) replicas, that byte accounting matches the location
+// maps, and that the per-node and per-block views agree.
+func (nn *NameNode) CheckInvariants() error {
+	minRepl := nn.replication
+	if n := nn.topo.N(); minRepl > n {
+		minRepl = n
+	}
+	// After failures, blocks may legitimately be under-replicated (or
+	// unavailable) until repair completes; accounting is still verified.
+	if len(nn.failed) > 0 {
+		minRepl = 0
+	}
+	primBytes := make([]int64, nn.topo.N())
+	dynBytes := make([]int64, nn.topo.N())
+	for id, locs := range nn.locations {
+		blk := nn.blocks[id]
+		if blk == nil {
+			return fmt.Errorf("dfs: location entry for unknown block %d", id)
+		}
+		primaries := 0
+		for node, kind := range locs {
+			if got, ok := nn.perNode[node][id]; !ok || got != kind {
+				return fmt.Errorf("dfs: per-node view disagrees for block %d node %d", id, node)
+			}
+			if kind == Primary {
+				primaries++
+				primBytes[node] += blk.Size
+			} else {
+				dynBytes[node] += blk.Size
+			}
+		}
+		if primaries < minRepl {
+			return fmt.Errorf("dfs: block %d has %d primary replicas, want >= %d", id, primaries, minRepl)
+		}
+	}
+	for n := range primBytes {
+		if primBytes[n] != nn.primaryBytes[n] {
+			return fmt.Errorf("dfs: primary byte accounting off on node %d: %d vs %d", n, primBytes[n], nn.primaryBytes[n])
+		}
+		if dynBytes[n] != nn.dynamicBytes[n] {
+			return fmt.Errorf("dfs: dynamic byte accounting off on node %d: %d vs %d", n, dynBytes[n], nn.dynamicBytes[n])
+		}
+	}
+	return nil
+}
+
+func sortNodeIDs(s []topology.NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func sortBlockIDs(s []BlockID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,188 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+
+	"dare/internal/topology"
+)
+
+// Failure handling: the availability half of the paper's §IV-B remark that
+// "replicas created by DARE are first-order replicas and as such they also
+// contribute to increasing availability of the data in the presence of
+// failures". When a data node dies, every replica it hosted disappears;
+// blocks whose last replica died become unavailable until (if ever)
+// repaired from elsewhere. The name node then re-replicates
+// under-replicated blocks onto surviving nodes, exactly as HDFS does.
+
+// FailureReport summarizes the metadata impact of one node failure.
+type FailureReport struct {
+	Node topology.NodeID
+	// LostPrimaries and LostDynamic list the replicas that disappeared.
+	LostPrimaries []BlockID
+	LostDynamic   []BlockID
+	// UnavailableBlocks lists blocks left with zero live replicas.
+	UnavailableBlocks []BlockID
+}
+
+// FailNode removes every replica hosted on node and marks the node down:
+// future placement (primary or dynamic) avoids it. Failing an
+// already-failed node is a no-op returning an empty report.
+func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
+	rep := FailureReport{Node: node}
+	if int(node) < 0 || int(node) >= nn.topo.N() || nn.failed[node] {
+		return rep
+	}
+	if nn.failed == nil {
+		nn.failed = make(map[topology.NodeID]bool)
+	}
+	nn.failed[node] = true
+
+	blocks := make([]BlockID, 0, len(nn.perNode[node]))
+	for b := range nn.perNode[node] {
+		blocks = append(blocks, b)
+	}
+	sortBlockIDs(blocks)
+	for _, b := range blocks {
+		kind := nn.perNode[node][b]
+		size := nn.blocks[b].Size
+		delete(nn.locations[b], node)
+		delete(nn.perNode[node], b)
+		if kind == Primary {
+			nn.primaryBytes[node] -= size
+			rep.LostPrimaries = append(rep.LostPrimaries, b)
+		} else {
+			nn.dynamicBytes[node] -= size
+			rep.LostDynamic = append(rep.LostDynamic, b)
+		}
+		if len(nn.locations[b]) == 0 {
+			rep.UnavailableBlocks = append(rep.UnavailableBlocks, b)
+		}
+	}
+	return rep
+}
+
+// NodeFailed reports whether node has been failed.
+func (nn *NameNode) NodeFailed(node topology.NodeID) bool { return nn.failed[node] }
+
+// FailedNodes reports how many nodes have been failed.
+func (nn *NameNode) FailedNodes() int { return len(nn.failed) }
+
+// UpNodes returns the live node IDs, sorted.
+func (nn *NameNode) UpNodes() []topology.NodeID {
+	out := make([]topology.NodeID, 0, nn.topo.N()-len(nn.failed))
+	for i := 0; i < nn.topo.N(); i++ {
+		if !nn.failed[topology.NodeID(i)] {
+			out = append(out, topology.NodeID(i))
+		}
+	}
+	return out
+}
+
+// AddPrimaryReplica registers a repaired primary replica of b at node —
+// the re-replication path. The node must be up and not already hold b.
+func (nn *NameNode) AddPrimaryReplica(b BlockID, node topology.NodeID) error {
+	blk := nn.blocks[b]
+	if blk == nil {
+		return fmt.Errorf("dfs: unknown block %d", b)
+	}
+	if int(node) < 0 || int(node) >= nn.topo.N() {
+		return fmt.Errorf("dfs: invalid node %d", node)
+	}
+	if nn.failed[node] {
+		return fmt.Errorf("dfs: node %d: %w", node, ErrNodeDown)
+	}
+	if _, exists := nn.locations[b][node]; exists {
+		return fmt.Errorf("dfs: node %d already holds a replica of block %d", node, b)
+	}
+	nn.locations[b][node] = Primary
+	nn.perNode[node][b] = Primary
+	nn.primaryBytes[node] += blk.Size
+	return nil
+}
+
+// UnderReplicated returns the blocks whose live primary count is below
+// min(replication factor, live nodes) but that still have at least one
+// live replica to copy from, sorted by ID — the name node's repair queue.
+func (nn *NameNode) UnderReplicated() []BlockID {
+	want := nn.replication
+	if up := nn.topo.N() - len(nn.failed); want > up {
+		want = up
+	}
+	var out []BlockID
+	for b, locs := range nn.locations {
+		if len(locs) == 0 {
+			continue // unavailable: nothing to copy from
+		}
+		primaries := 0
+		for _, k := range locs {
+			if k == Primary {
+				primaries++
+			}
+		}
+		if primaries < want {
+			out = append(out, b)
+		}
+	}
+	sortBlockIDs(out)
+	return out
+}
+
+// RepairTarget picks a live node that does not hold b, preferring the one
+// with the fewest primary bytes (space balancing, as HDFS's replicator
+// does). ok is false when every live node already holds b.
+func (nn *NameNode) RepairTarget(b BlockID) (topology.NodeID, bool) {
+	best := topology.NodeID(-1)
+	var bestLoad int64
+	for _, node := range nn.UpNodes() {
+		if nn.HasReplica(b, node) {
+			continue
+		}
+		load := nn.primaryBytes[node]
+		if best < 0 || load < bestLoad {
+			best, bestLoad = node, load
+		}
+	}
+	return best, best >= 0
+}
+
+// Availability reports (blocks with >= 1 live replica, total blocks).
+func (nn *NameNode) Availability() (available, total int) {
+	for b := range nn.blocks {
+		total++
+		if len(nn.locations[b]) > 0 {
+			available++
+		}
+	}
+	return available, total
+}
+
+// WeightedAvailability reports the fraction of access weight that remains
+// readable: Σ weight(b) over available blocks / Σ weight(b). weights maps
+// BlockID to a non-negative popularity weight; unweighted blocks count 0.
+func (nn *NameNode) WeightedAvailability(weights map[BlockID]float64) float64 {
+	var avail, total float64
+	// Deterministic iteration for reproducible floating-point sums.
+	ids := make([]BlockID, 0, len(weights))
+	for b := range weights {
+		ids = append(ids, b)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, b := range ids {
+		w := weights[b]
+		if w <= 0 {
+			continue
+		}
+		if _, ok := nn.blocks[b]; !ok {
+			continue
+		}
+		total += w
+		if len(nn.locations[b]) > 0 {
+			avail += w
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return avail / total
+}

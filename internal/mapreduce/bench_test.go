@@ -1,0 +1,32 @@
+package mapreduce_test
+
+import (
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/mapreduce"
+	"dare/internal/scheduler"
+	"dare/internal/workload"
+)
+
+// BenchmarkSmallSimulation measures a complete 50-job cluster simulation:
+// file load, arrivals, heartbeats, task lifecycle, metrics.
+func BenchmarkSmallSimulation(b *testing.B) {
+	p := config.CCT()
+	p.Slaves = 8
+	wl := workload.Generate(workload.GenConfig{NumJobs: 50, NumFiles: 20, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := mapreduce.NewCluster(p, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

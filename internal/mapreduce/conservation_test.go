@@ -1,0 +1,130 @@
+package mapreduce_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/mapreduce"
+	"dare/internal/scheduler"
+	"dare/internal/stats"
+	"dare/internal/workload"
+)
+
+// TestConservationProperty drives random small workloads end-to-end under
+// random scheduler/policy combinations and checks the conservation laws
+// that any correct execution must satisfy:
+//
+//   - every job completes exactly its spec'd number of map tasks;
+//   - every node's slots return to their configured capacity;
+//   - the DFS metadata stays internally consistent;
+//   - results are complete and sorted.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed uint64, schedPick, polPick uint8, jobsRaw uint8) bool {
+		jobs := int(jobsRaw%40) + 10
+		p := config.CCT()
+		p.Slaves = 8
+		c, err := mapreduce.NewCluster(p, seed)
+		if err != nil {
+			return false
+		}
+		wl := workload.Generate(workload.GenConfig{NumJobs: jobs, NumFiles: 12, Seed: seed})
+
+		var sel mapreduce.TaskSelector
+		if schedPick%2 == 0 {
+			sel = scheduler.NewFIFO()
+		} else {
+			sel = scheduler.NewFair(0)
+		}
+		tr, err := mapreduce.NewTracker(c, wl, sel, nil)
+		if err != nil {
+			return false
+		}
+		switch polPick % 3 {
+		case 1:
+			tr.SetHook(core.NewManager(core.DefaultConfig(), c.NN, stats.NewRNG(seed), c.Eng.Defer))
+		case 2:
+			cfg := core.Config{Kind: core.GreedyLRUPolicy, BudgetFraction: 0.05, AnnounceDelay: 0.25, LazyDeleteDelay: 0.25}
+			tr.SetHook(core.NewManager(cfg, c.NN, stats.NewRNG(seed), c.Eng.Defer))
+		}
+
+		results, err := tr.Run()
+		if err != nil {
+			return false
+		}
+		if len(results) != jobs {
+			return false
+		}
+		for i, r := range results {
+			if r.ID != i {
+				return false
+			}
+			if r.Local+r.Rack+r.Remote != r.NumMaps {
+				return false
+			}
+			if r.NumMaps != wl.Jobs[i].NumMaps {
+				return false
+			}
+			if r.Finish < r.Arrival || r.Turnaround <= 0 {
+				return false
+			}
+		}
+		for _, n := range c.Nodes {
+			if n.FreeMapSlots != p.MapSlotsPerNode || n.FreeReduceSlots != p.ReduceSlotsPerNode {
+				return false
+			}
+			if n.ActiveRemoteReads != 0 {
+				return false
+			}
+		}
+		return c.NN.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationWithFailuresProperty repeats the conservation checks
+// with a mid-run node failure (downed node's slots are exempt).
+func TestConservationWithFailuresProperty(t *testing.T) {
+	f := func(seed uint64, victim uint8) bool {
+		p := config.CCT()
+		p.Slaves = 8
+		c, err := mapreduce.NewCluster(p, seed)
+		if err != nil {
+			return false
+		}
+		wl := workload.Generate(workload.GenConfig{NumJobs: 30, NumFiles: 10, Seed: seed})
+		tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO(), nil)
+		if err != nil {
+			return false
+		}
+		node := int(victim % 8)
+		tr.ScheduleNodeFailure(c.Nodes[node].ID, 2)
+		results, err := tr.Run()
+		if err != nil {
+			return false
+		}
+		if len(results) != 30 {
+			return false
+		}
+		for _, r := range results {
+			if r.Local+r.Rack+r.Remote != r.NumMaps {
+				return false
+			}
+		}
+		for i, n := range c.Nodes {
+			if i == node {
+				continue // failed node keeps whatever slot state it died with
+			}
+			if n.FreeMapSlots != p.MapSlotsPerNode || n.FreeReduceSlots != p.ReduceSlotsPerNode {
+				return false
+			}
+		}
+		return c.NN.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

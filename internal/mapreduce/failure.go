@@ -1,0 +1,177 @@
+package mapreduce
+
+import (
+	"sort"
+
+	"dare/internal/dfs"
+	"dare/internal/sim"
+	"dare/internal/topology"
+)
+
+// Failure injection: the tracker can kill data nodes mid-run. A failed
+// node stops heartbeating, its running tasks die and are re-queued (as the
+// Hadoop job tracker does on task-tracker timeout), its replicas vanish
+// from the name node, and — unless repair is disabled — the name node
+// re-replicates under-replicated blocks onto survivors after a detection
+// delay, HDFS-style.
+
+// FailureEvent records the cluster state right after one injected failure.
+type FailureEvent struct {
+	Time float64
+	Node topology.NodeID
+	// KilledMaps and KilledReduces count the running tasks that died and
+	// were re-queued.
+	KilledMaps, KilledReduces int
+	// Report is the name node's metadata impact.
+	Report dfs.FailureReport
+	// AvailableBlocks/TotalBlocks snapshot block availability immediately
+	// after the failure, before any repair.
+	AvailableBlocks, TotalBlocks int
+}
+
+// plannedFailure is a failure registered before Run.
+type plannedFailure struct {
+	node topology.NodeID
+	at   float64
+}
+
+// taskRec tracks one in-flight task attempt for cancellation on node
+// failure and for speculative-execution bookkeeping.
+type taskRec struct {
+	job   *Job
+	block dfs.BlockID // map tasks only
+	isMap bool
+	ev    *sim.Event
+	// Map-task attempt metadata.
+	group *taskGroup
+	node  *Node
+	loc   Locality
+	dur   float64
+}
+
+// taskGroup is one logical map task with its (1..2) running attempts.
+type taskGroup struct {
+	job     *Job
+	block   dfs.BlockID
+	started float64
+	done    bool
+	recs    map[*taskRec]bool
+}
+
+// ScheduleNodeFailure registers node to fail at simulated time `at`. Call
+// before Run. Repairs are scheduled automatically unless DisableRepair was
+// called.
+func (t *Tracker) ScheduleNodeFailure(node topology.NodeID, at float64) {
+	t.failures = append(t.failures, plannedFailure{node: node, at: at})
+}
+
+// DisableRepair turns off automatic re-replication after failures (used
+// by availability experiments that measure the pre-repair state).
+func (t *Tracker) DisableRepair() { t.repairDisabled = true }
+
+// FailureEvents returns the recorded failure snapshots, in time order.
+func (t *Tracker) FailureEvents() []FailureEvent { return t.failureEvents }
+
+// RepairsDone reports how many block re-replications completed.
+func (t *Tracker) RepairsDone() int { return t.repairsDone }
+
+// failNode executes one injected failure.
+func (t *Tracker) failNode(node *Node) {
+	if !node.Up {
+		return
+	}
+	node.Up = false
+	// Stop the node's heartbeat: no new tasks land there.
+	for i, n := range t.c.Nodes {
+		if n == node && i < len(t.tickers) {
+			t.tickers[i].Stop()
+		}
+	}
+
+	ev := FailureEvent{Time: t.c.Eng.Now(), Node: node.ID}
+
+	// Kill in-flight tasks and requeue their work.
+	recs := t.inflight[node]
+	ordered := make([]*taskRec, 0, len(recs))
+	for r := range recs {
+		ordered = append(ordered, r)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].isMap != ordered[j].isMap {
+			return ordered[i].isMap
+		}
+		return ordered[i].block < ordered[j].block
+	})
+	for _, r := range ordered {
+		t.c.Eng.Cancel(r.ev)
+		if r.isMap {
+			r.job.runningMaps--
+			delete(r.group.recs, r)
+			// Requeue only when no sibling attempt survives elsewhere.
+			if !r.group.done && len(r.group.recs) == 0 {
+				r.job.Requeue(r.block)
+			}
+			ev.KilledMaps++
+		} else {
+			r.job.runningReduces--
+			r.job.pendingReduces++
+			ev.KilledReduces++
+		}
+	}
+	delete(t.inflight, node)
+
+	// Metadata impact + availability snapshot.
+	ev.Report = t.c.NN.FailNode(node.ID)
+	ev.AvailableBlocks, ev.TotalBlocks = t.c.NN.Availability()
+	t.failureEvents = append(t.failureEvents, ev)
+
+	if !t.repairDisabled {
+		t.scheduleRepairs()
+	}
+}
+
+// scheduleRepairs runs one HDFS-style re-replication round: after the
+// detection delay (missed heartbeats), under-replicated blocks are copied
+// to surviving nodes, staggered to model limited re-replication
+// parallelism.
+func (t *Tracker) scheduleRepairs() {
+	detect := 3 * t.c.Profile.HeartbeatInterval
+	if at := t.c.Eng.Now() + detect; at > t.lastRepairAt {
+		t.lastRepairAt = at
+	}
+	t.c.Eng.Schedule(detect, func() {
+		queue := t.c.NN.UnderReplicated()
+		blockTime := float64(t.c.Profile.BlockSizeBytes()) / (t.c.Profile.NetBW.Mean() * float64(1<<20))
+		// Two parallel repair streams, each copying one block at a time.
+		const streams = 2
+		for i, b := range queue {
+			b := b
+			delay := blockTime * float64(i/streams+1)
+			if at := t.c.Eng.Now() + delay; at > t.lastRepairAt {
+				t.lastRepairAt = at
+			}
+			t.c.Eng.Schedule(delay, func() { t.repairBlock(b) })
+		}
+	})
+}
+
+func (t *Tracker) repairBlock(b dfs.BlockID) {
+	// Re-check: the block may have been repaired or lost meanwhile.
+	target, ok := t.c.NN.RepairTarget(b)
+	if !ok {
+		return
+	}
+	still := false
+	for _, ub := range t.c.NN.UnderReplicated() {
+		if ub == b {
+			still = true
+			break
+		}
+	}
+	if !still {
+		return
+	}
+	if err := t.c.NN.AddPrimaryReplica(b, target); err == nil {
+		t.repairsDone++
+	}
+}

@@ -1,0 +1,294 @@
+package mapreduce
+
+import (
+	"dare/internal/config"
+	"dare/internal/dfs"
+	"dare/internal/topology"
+	"dare/internal/workload"
+)
+
+// Locality classifies where a map task ran relative to its input block.
+type Locality int
+
+const (
+	// NodeLocal: the input block has a replica on the executing node.
+	NodeLocal Locality = iota
+	// RackLocal: a replica exists in the executing node's rack.
+	RackLocal
+	// Remote: the nearest replica is off-rack.
+	Remote
+)
+
+// String implements fmt.Stringer.
+func (l Locality) String() string {
+	switch l {
+	case NodeLocal:
+		return "node-local"
+	case RackLocal:
+		return "rack-local"
+	default:
+		return "remote"
+	}
+}
+
+// Job is the runtime state of one trace job inside the cluster.
+type Job struct {
+	Spec workload.Job
+	// File is the DFS file backing the job's input window.
+	File *dfs.File
+
+	cluster *Cluster
+
+	// pending holds not-yet-started map input blocks in file order.
+	pending []dfs.BlockID
+	// pendingSet mirrors pending for O(1) membership.
+	pendingSet map[dfs.BlockID]bool
+
+	runningMaps   int
+	completedMaps int
+
+	localMaps     int
+	rackMaps      int
+	remoteMaps    int
+	mapTimeSum    float64
+	remoteBytes   int64
+	outputBytes   int64
+	firstTaskTime float64
+
+	pendingReduces  int
+	runningReduces  int
+	finishedReduces int
+
+	finished   bool
+	finishTime float64
+}
+
+// NewJob binds a trace job to its DFS file in cluster c. The tracker
+// creates jobs at their arrival times; tests and library users may create
+// them directly.
+func NewJob(spec workload.Job, file *dfs.File, c *Cluster) *Job {
+	j := &Job{
+		Spec:           spec,
+		File:           file,
+		cluster:        c,
+		pendingSet:     make(map[dfs.BlockID]bool, spec.NumMaps),
+		pendingReduces: spec.NumReduces,
+		firstTaskTime:  -1,
+	}
+	for i := spec.FirstBlock; i < spec.FirstBlock+spec.NumMaps; i++ {
+		b := file.Blocks[i]
+		j.pending = append(j.pending, b)
+		j.pendingSet[b] = true
+	}
+	return j
+}
+
+// ID reports the trace job ID.
+func (j *Job) ID() int { return j.Spec.ID }
+
+// Arrival reports the submission time.
+func (j *Job) Arrival() float64 { return j.Spec.Arrival }
+
+// PendingMaps reports map tasks not yet launched.
+func (j *Job) PendingMaps() int { return len(j.pending) }
+
+// RunningMaps reports in-flight map tasks.
+func (j *Job) RunningMaps() int { return j.runningMaps }
+
+// CompletedMaps reports finished map tasks.
+func (j *Job) CompletedMaps() int { return j.completedMaps }
+
+// MapsDone reports whether the entire map phase has completed.
+func (j *Job) MapsDone() bool { return j.completedMaps == j.Spec.NumMaps }
+
+// PendingReduces reports reduce tasks not yet launched. Reduces only
+// become runnable once the map phase completes.
+func (j *Job) PendingReduces() int {
+	if !j.MapsDone() {
+		return 0
+	}
+	return j.pendingReduces
+}
+
+// RunningReduces reports in-flight reduce tasks.
+func (j *Job) RunningReduces() int { return j.runningReduces }
+
+// Finished reports whether the job has fully completed.
+func (j *Job) Finished() bool { return j.finished }
+
+// TakeLocalBlock removes and returns a pending block with a replica on
+// node, preferring the lowest file offset for determinism.
+func (j *Job) TakeLocalBlock(node topology.NodeID) (dfs.BlockID, bool) {
+	for i, b := range j.pending {
+		if j.cluster.NN.HasReplica(b, node) {
+			j.removePendingAt(i)
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// TakeRackLocalBlock removes and returns a pending block with a replica in
+// node's rack (but not on node itself).
+func (j *Job) TakeRackLocalBlock(node topology.NodeID) (dfs.BlockID, bool) {
+	rack := j.cluster.Topo.Rack(node)
+	for i, b := range j.pending {
+		for _, loc := range j.cluster.NN.Locations(b) {
+			if loc != node && j.cluster.Topo.Rack(loc) == rack {
+				j.removePendingAt(i)
+				return b, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TakeAnyBlock removes and returns the first pending block.
+func (j *Job) TakeAnyBlock() (dfs.BlockID, bool) {
+	if len(j.pending) == 0 {
+		return 0, false
+	}
+	b := j.pending[0]
+	j.removePendingAt(0)
+	return b, true
+}
+
+// HasLocalBlock reports whether any pending block is node-local without
+// removing it (used by delay scheduling to decide whether to wait).
+func (j *Job) HasLocalBlock(node topology.NodeID) bool {
+	for _, b := range j.pending {
+		if j.cluster.NN.HasReplica(b, node) {
+			return true
+		}
+	}
+	return false
+}
+
+// outputBlocksPerReduce splits the job's output volume evenly across its
+// reduce tasks.
+func (j *Job) outputBlocksPerReduce() float64 {
+	if j.Spec.NumReduces == 0 {
+		return 0
+	}
+	return float64(j.Spec.OutputBlocks) / float64(j.Spec.NumReduces)
+}
+
+// outputNetworkBytesPerReduce is the fabric traffic one reduce task's
+// output pipeline generates: (replication-1) downstream copies.
+func (j *Job) outputNetworkBytesPerReduce(p *config.Profile) int64 {
+	if j.Spec.NumReduces == 0 || p.ReplicationFactor <= 1 {
+		return 0
+	}
+	perReduce := j.outputBlocksPerReduce() * float64(p.BlockSizeBytes())
+	return int64(perReduce * float64(p.ReplicationFactor-1))
+}
+
+// Requeue returns a block to the pending set after its task was killed by
+// a node failure; the scheduler will relaunch it elsewhere.
+func (j *Job) Requeue(b dfs.BlockID) {
+	if j.pendingSet[b] {
+		return
+	}
+	j.pending = append(j.pending, b)
+	j.pendingSet[b] = true
+}
+
+func (j *Job) removePendingAt(i int) {
+	delete(j.pendingSet, j.pending[i])
+	j.pending = append(j.pending[:i], j.pending[i+1:]...)
+}
+
+// Locality reports the fraction of completed map tasks that ran
+// node-local — the paper's headline system metric.
+func (j *Job) Locality() float64 {
+	total := j.localMaps + j.rackMaps + j.remoteMaps
+	if total == 0 {
+		return 0
+	}
+	return float64(j.localMaps) / float64(total)
+}
+
+// Result summarizes a finished job for the metrics layer.
+type Result struct {
+	ID       int
+	Arrival  float64
+	Finish   float64
+	NumMaps  int
+	NumRed   int
+	Local    int
+	Rack     int
+	Remote   int
+	FileRank int // workload file index (popularity rank - 1)
+	// MapTimeSum is the summed wall-clock duration of all map tasks,
+	// backing the map-completion-time reduction claim (§V-C).
+	MapTimeSum float64
+	// RemoteBytes is the input bytes this job moved across the network
+	// (non-node-local reads). Locality gains show up directly here: the
+	// paper's §V-B argues reduced fabric traffic is DARE's key system-level
+	// benefit.
+	RemoteBytes int64
+	// OutputBytes is the network traffic of the output replication
+	// pipeline — identical with and without DARE, which is why
+	// output-bound jobs see no benefit (§V-C).
+	OutputBytes int64
+	// OutputBlocks echoes the job's output volume for input/output-bound
+	// classification.
+	OutputBlocks int
+	// Turnaround is Finish - Arrival (the paper's TT_k in eq. 1).
+	Turnaround float64
+	// FirstLaunch is when the job's first task started; Finish -
+	// FirstLaunch is the service time, free of queueing delay.
+	FirstLaunch float64
+	// Dedicated is the analytic 100%-local empty-cluster running time —
+	// the slowdown denominator (§V-A).
+	Dedicated float64
+}
+
+// Slowdown reports Turnaround / Dedicated.
+func (r Result) Slowdown() float64 {
+	if r.Dedicated <= 0 {
+		return 0
+	}
+	return r.Turnaround / r.Dedicated
+}
+
+// ServiceTime reports the job's running time once scheduled (Finish -
+// FirstLaunch), the §V-A "running time" used in the slowdown definition.
+func (r Result) ServiceTime() float64 {
+	if r.FirstLaunch < 0 {
+		return r.Turnaround
+	}
+	return r.Finish - r.FirstLaunch
+}
+
+// Locality reports the node-local fraction of the job's map tasks.
+func (r Result) Locality() float64 {
+	total := r.Local + r.Rack + r.Remote
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Local) / float64(total)
+}
+
+// result builds the Result snapshot for a finished job.
+func (j *Job) result() Result {
+	return Result{
+		ID:           j.Spec.ID,
+		Arrival:      j.Spec.Arrival,
+		Finish:       j.finishTime,
+		NumMaps:      j.Spec.NumMaps,
+		NumRed:       j.Spec.NumReduces,
+		Local:        j.localMaps,
+		Rack:         j.rackMaps,
+		Remote:       j.remoteMaps,
+		FileRank:     j.Spec.File,
+		MapTimeSum:   j.mapTimeSum,
+		RemoteBytes:  j.remoteBytes,
+		OutputBytes:  j.outputBytes,
+		OutputBlocks: j.Spec.OutputBlocks,
+		FirstLaunch:  j.firstTaskTime,
+		Turnaround:   j.finishTime - j.Spec.Arrival,
+		Dedicated: j.cluster.DedicatedRunTime(
+			j.Spec.NumMaps, j.Spec.CPUPerTask, j.Spec.NumReduces, j.Spec.ReduceTime, j.Spec.OutputBlocks),
+	}
+}

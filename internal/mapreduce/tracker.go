@@ -1,0 +1,411 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dare/internal/dfs"
+	"dare/internal/sim"
+	"dare/internal/topology"
+	"dare/internal/workload"
+)
+
+// TaskSelector is the pluggable scheduling policy (FIFO or Fair with delay
+// scheduling; see internal/scheduler). The tracker offers it a node with a
+// free slot at each heartbeat; the selector picks a job and removes the
+// chosen block from that job's pending set.
+type TaskSelector interface {
+	// Name labels the scheduler in reports.
+	Name() string
+	// AddJob registers a newly arrived job.
+	AddJob(j *Job)
+	// RemoveJob deregisters a finished job.
+	RemoveJob(j *Job)
+	// SelectMapTask picks a map task for a free map slot on node, or
+	// ok=false when nothing should launch there now.
+	SelectMapTask(node topology.NodeID, now float64) (j *Job, b dfs.BlockID, ok bool)
+	// SelectReduceTask picks a job to run a reduce task on node.
+	SelectReduceTask(node topology.NodeID, now float64) (j *Job, ok bool)
+}
+
+// ReplicationHook observes every scheduled map task; the DARE manager
+// implements it. A nil hook disables dynamic replication (vanilla Hadoop).
+type ReplicationHook interface {
+	OnMapTask(node topology.NodeID, b dfs.BlockID, f dfs.FileID, size int64, local bool)
+}
+
+// Tracker is the job tracker: it loads the workload's files into the DFS,
+// replays job arrivals, drives per-node heartbeats, launches tasks, and
+// collects results.
+type Tracker struct {
+	c    *Cluster
+	sel  TaskSelector
+	hook ReplicationHook
+
+	wl      *workload.Workload
+	files   []*dfs.File
+	active  map[*Job]bool
+	results []Result
+
+	totalJobs int
+	completed int
+	tickers   []*sim.Ticker
+
+	// Failure-injection state (see failure.go).
+	failures       []plannedFailure
+	inflight       map[*Node]map[*taskRec]bool
+	failureEvents  []FailureEvent
+	repairDisabled bool
+	repairsDone    int
+	lastRepairAt   float64
+
+	// Speculative-execution state (active attempt groups, in creation
+	// order for determinism) and its activity counter.
+	specGroups   []*taskGroup
+	specLaunched int
+}
+
+// NewTracker wires a tracker to a cluster, a scheduler, and an optional
+// replication hook. It loads the workload's file population into the DFS
+// immediately (files exist before the first job arrives, as in the
+// paper's experiments where SWIM pre-populates HDFS).
+func NewTracker(c *Cluster, wl *workload.Workload, sel TaskSelector, hook ReplicationHook) (*Tracker, error) {
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tracker{
+		c:         c,
+		sel:       sel,
+		hook:      hook,
+		wl:        wl,
+		active:    make(map[*Job]bool),
+		totalJobs: len(wl.Jobs),
+		inflight:  make(map[*Node]map[*taskRec]bool),
+	}
+	blockSize := c.Profile.BlockSizeBytes()
+	for _, fs := range wl.Files {
+		f, err := c.NN.CreateFile(fs.Name, fs.Blocks, blockSize, 0)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: loading %q: %w", fs.Name, err)
+		}
+		t.files = append(t.files, f)
+	}
+	return t, nil
+}
+
+// SetHook installs (or replaces) the replication hook. Call before Run.
+// It exists because the DARE manager derives its budget from the bytes the
+// tracker loads into the DFS, so the natural order is NewTracker →
+// NewManager → SetHook.
+func (t *Tracker) SetHook(hook ReplicationHook) { t.hook = hook }
+
+// Files exposes the DFS files backing the workload, index-aligned with
+// workload.Files.
+func (t *Tracker) Files() []*dfs.File { return t.files }
+
+// Cluster exposes the underlying cluster.
+func (t *Tracker) Cluster() *Cluster { return t.c }
+
+// SpeculativeLaunches reports how many backup attempts were started.
+func (t *Tracker) SpeculativeLaunches() int { return t.specLaunched }
+
+// Run replays the whole workload and returns per-job results sorted by
+// job ID. It is single-use.
+func (t *Tracker) Run() ([]Result, error) {
+	eng := t.c.Eng
+	for _, spec := range t.wl.Jobs {
+		spec := spec
+		eng.At(spec.Arrival, func() { t.arrive(spec) })
+	}
+	for _, pf := range t.failures {
+		pf := pf
+		if int(pf.node) < 0 || int(pf.node) >= len(t.c.Nodes) {
+			return nil, fmt.Errorf("mapreduce: failure scheduled for invalid node %d", pf.node)
+		}
+		eng.At(pf.at, func() { t.failNode(t.c.Nodes[pf.node]) })
+	}
+	// De-synchronized heartbeats, like real clusters.
+	interval := t.c.Profile.HeartbeatInterval
+	for i, node := range t.c.Nodes {
+		node := node
+		phase := interval * float64(i) / float64(len(t.c.Nodes))
+		tk := sim.NewTicker(eng, interval, func() { t.heartbeat(node) })
+		tk.Start(phase)
+		t.tickers = append(t.tickers, tk)
+	}
+	// Generous runaway guard: a workload that cannot finish in simulated
+	// years indicates a scheduling bug; surface it instead of spinning.
+	horizon := t.lastArrival() + 1e7
+	eng.RunUntil(horizon)
+	for _, tk := range t.tickers {
+		tk.Stop()
+	}
+	// Background re-replication outlives the workload: drain the repair
+	// queue so post-run state reflects a healed DFS. The loop re-reads the
+	// bound because the detection event itself extends it.
+	for t.lastRepairAt > eng.Now() {
+		eng.RunUntil(t.lastRepairAt + 1e-9)
+	}
+	if t.completed != t.totalJobs {
+		return nil, fmt.Errorf("mapreduce: only %d/%d jobs completed by horizon %g", t.completed, t.totalJobs, horizon)
+	}
+	sort.Slice(t.results, func(i, j int) bool { return t.results[i].ID < t.results[j].ID })
+	return t.results, nil
+}
+
+func (t *Tracker) lastArrival() float64 {
+	if len(t.wl.Jobs) == 0 {
+		return 0
+	}
+	return t.wl.Jobs[len(t.wl.Jobs)-1].Arrival
+}
+
+func (t *Tracker) arrive(spec workload.Job) {
+	j := NewJob(spec, t.files[spec.File], t.c)
+	t.active[j] = true
+	t.sel.AddJob(j)
+}
+
+// heartbeat offers node's free slots to the scheduler, Hadoop-style: the
+// task tracker reports in, the job tracker hands back tasks. Slots left
+// idle by the scheduler may speculate on stragglers.
+func (t *Tracker) heartbeat(node *Node) {
+	now := t.c.Eng.Now()
+	for node.FreeMapSlots > 0 {
+		j, b, ok := t.sel.SelectMapTask(node.ID, now)
+		if !ok {
+			break
+		}
+		t.launchMap(node, j, b)
+	}
+	if t.c.Profile.SpeculativeExecution {
+		for node.FreeMapSlots > 0 {
+			g := t.findStraggler(node)
+			if g == nil {
+				break
+			}
+			t.specLaunched++
+			t.launchAttempt(node, g)
+		}
+	}
+	for node.FreeReduceSlots > 0 {
+		j, ok := t.sel.SelectReduceTask(node.ID, now)
+		if !ok {
+			break
+		}
+		t.launchReduce(node, j)
+	}
+}
+
+// classify determines the locality level of running block b on node.
+func (t *Tracker) classify(b dfs.BlockID, node topology.NodeID) Locality {
+	if t.c.NN.HasReplica(b, node) {
+		return NodeLocal
+	}
+	rack := t.c.Topo.Rack(node)
+	for _, loc := range t.c.NN.Locations(b) {
+		if t.c.Topo.Rack(loc) == rack {
+			return RackLocal
+		}
+	}
+	return Remote
+}
+
+// launchMap starts the first attempt of a new map task (attempt group).
+func (t *Tracker) launchMap(node *Node, j *Job, b dfs.BlockID) {
+	g := &taskGroup{job: j, block: b, started: t.c.Eng.Now(), recs: make(map[*taskRec]bool, 1)}
+	if t.c.Profile.SpeculativeExecution {
+		t.specGroups = append(t.specGroups, g)
+	}
+	t.launchAttempt(node, g)
+}
+
+// launchAttempt starts one attempt (original or speculative backup) of the
+// group's map task on node.
+func (t *Tracker) launchAttempt(node *Node, g *taskGroup) {
+	j := g.job
+	b := g.block
+	blk := t.c.NN.Block(b)
+	loc := t.classify(b, node.ID)
+	local := loc == NodeLocal
+
+	// DARE hook: "if a map task is scheduled" (Algorithms 1 and 2) —
+	// speculative attempts are scheduled map tasks too.
+	if t.hook != nil {
+		t.hook.OnMapTask(node.ID, b, blk.File, blk.Size, local)
+	}
+
+	var read float64
+	if local {
+		read = t.c.LocalReadTime(node.ID, blk.Size)
+	} else {
+		var err error
+		read, _, err = t.c.RemoteReadTime(b, node.ID, blk.Size)
+		if err != nil {
+			// No replica reachable (e.g. all replicas lost to failures):
+			// model a cold-storage restore at half disk speed so the run
+			// degrades instead of hanging.
+			read = t.c.LocalReadTime(node.ID, blk.Size) * 2
+		} else {
+			node.ActiveRemoteReads++
+			t.c.Eng.Schedule(read, func() { node.ActiveRemoteReads-- })
+		}
+	}
+	dur := (math.Max(read, j.Spec.CPUPerTask) + t.c.Profile.TaskOverhead) * t.c.taskNoise()
+
+	if !local {
+		j.remoteBytes += blk.Size
+	}
+	node.FreeMapSlots--
+	j.runningMaps++
+	if j.firstTaskTime < 0 {
+		j.firstTaskTime = t.c.Eng.Now()
+	}
+	rec := &taskRec{job: j, block: b, isMap: true, group: g, node: node, loc: loc, dur: dur}
+	g.recs[rec] = true
+	rec.ev = t.c.Eng.Schedule(dur, func() { t.completeAttempt(rec) })
+	t.track(node, rec)
+}
+
+// completeAttempt finishes the winning attempt of a map-task group,
+// killing any sibling backup still running.
+func (t *Tracker) completeAttempt(rec *taskRec) {
+	g := rec.group
+	t.untrack(rec.node, rec)
+	delete(g.recs, rec)
+	rec.node.FreeMapSlots++
+	g.job.runningMaps--
+	if g.done {
+		return
+	}
+	g.done = true
+	// Kill siblings (at most one backup; sorted iteration for
+	// determinism regardless).
+	siblings := make([]*taskRec, 0, len(g.recs))
+	for s := range g.recs {
+		siblings = append(siblings, s)
+	}
+	sort.Slice(siblings, func(i, j int) bool { return siblings[i].node.ID < siblings[j].node.ID })
+	for _, s := range siblings {
+		t.c.Eng.Cancel(s.ev)
+		t.untrack(s.node, s)
+		s.node.FreeMapSlots++
+		g.job.runningMaps--
+		delete(g.recs, s)
+	}
+	t.finishMap(g.job, rec.loc, rec.dur)
+}
+
+// findStraggler returns the oldest running map-task group that qualifies
+// for a speculative backup on node, compacting finished groups as it
+// scans.
+func (t *Tracker) findStraggler(node *Node) *taskGroup {
+	factor := t.c.Profile.SpeculativeFactor
+	if factor <= 1 {
+		factor = 1.5
+	}
+	now := t.c.Eng.Now()
+	kept := t.specGroups[:0]
+	var found *taskGroup
+	for _, g := range t.specGroups {
+		if g.done || len(g.recs) == 0 {
+			continue // completed, or all attempts died with the node
+		}
+		kept = append(kept, g)
+		if found != nil {
+			continue
+		}
+		j := g.job
+		if j.completedMaps < 3 || len(g.recs) != 1 {
+			continue // need a duration estimate; one backup max
+		}
+		mean := j.mapTimeSum / float64(j.completedMaps)
+		if now-g.started <= factor*mean {
+			continue
+		}
+		onThisNode := false
+		for r := range g.recs {
+			if r.node == node {
+				onThisNode = true
+			}
+		}
+		if !onThisNode {
+			found = g
+		}
+	}
+	t.specGroups = kept
+	return found
+}
+
+// track and untrack maintain the in-flight task set used by failure
+// injection.
+func (t *Tracker) track(node *Node, rec *taskRec) {
+	set := t.inflight[node]
+	if set == nil {
+		set = make(map[*taskRec]bool)
+		t.inflight[node] = set
+	}
+	set[rec] = true
+}
+
+func (t *Tracker) untrack(node *Node, rec *taskRec) {
+	if set := t.inflight[node]; set != nil {
+		delete(set, rec)
+	}
+}
+
+func (t *Tracker) finishMap(j *Job, loc Locality, dur float64) {
+	j.completedMaps++
+	j.mapTimeSum += dur
+	switch loc {
+	case NodeLocal:
+		j.localMaps++
+	case RackLocal:
+		j.rackMaps++
+	default:
+		j.remoteMaps++
+	}
+	if j.MapsDone() && j.Spec.NumReduces == 0 {
+		t.finishJob(j)
+	}
+}
+
+func (t *Tracker) launchReduce(node *Node, j *Job) {
+	node.FreeReduceSlots--
+	j.pendingReduces--
+	j.runningReduces++
+	write := t.c.OutputWriteTime(node.ID, j.outputBlocksPerReduce())
+	dur := (j.Spec.ReduceTime + write + t.c.Profile.TaskOverhead) * t.c.taskNoise()
+	j.outputBytes += j.outputNetworkBytesPerReduce(t.c.Profile)
+	rec := &taskRec{job: j, isMap: false}
+	rec.ev = t.c.Eng.Schedule(dur, func() {
+		t.untrack(node, rec)
+		t.finishReduce(node, j)
+	})
+	t.track(node, rec)
+}
+
+func (t *Tracker) finishReduce(node *Node, j *Job) {
+	node.FreeReduceSlots++
+	j.runningReduces--
+	j.finishedReduces++
+	if j.MapsDone() && j.finishedReduces == j.Spec.NumReduces {
+		t.finishJob(j)
+	}
+}
+
+func (t *Tracker) finishJob(j *Job) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.finishTime = t.c.Eng.Now()
+	delete(t.active, j)
+	t.sel.RemoveJob(j)
+	t.results = append(t.results, j.result())
+	t.completed++
+	if t.completed == t.totalJobs {
+		t.c.Eng.Stop()
+	}
+}

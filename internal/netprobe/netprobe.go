@@ -1,0 +1,115 @@
+// Package netprobe reproduces the paper's environment-characterization
+// experiments (§II-B): the all-to-all ping campaign of Table I, the
+// hdparm/iperf bandwidth measurements of Table II, and the traceroute
+// hop-count census of Fig. 1.
+//
+// The "instruments" sample the calibrated stochastic models in
+// internal/config instead of real hardware; the reproduced artifact is the
+// published summary statistics and, crucially, the derived insight the
+// rest of the paper builds on — the network/disk bandwidth ratio is lower
+// in the virtualized cloud, so data locality pays off more there.
+package netprobe
+
+import (
+	"fmt"
+	"strings"
+
+	"dare/internal/config"
+	"dare/internal/stats"
+	"dare/internal/topology"
+)
+
+// RTTCampaign runs the all-to-all ping experiment of Table I on a cluster
+// built from p: every ordered pair of distinct slaves is pinged rounds
+// times, and the RTT summary (in milliseconds, as the paper reports) is
+// returned.
+func RTTCampaign(p *config.Profile, rounds int, seed uint64) stats.Summary {
+	if rounds < 1 {
+		rounds = 1
+	}
+	g := stats.NewRNG(seed)
+	topo := topology.FromProfile(p, g.Split(1))
+	ping := g.Split(2)
+	var s stats.Summary
+	for r := 0; r < rounds; r++ {
+		for _, rtt := range topology.AllPairsRTT(topo, ping) {
+			s.Add(rtt * 1e3) // seconds → ms
+		}
+	}
+	s.Finalize()
+	return s
+}
+
+// BandwidthCampaign measures per-node disk read bandwidth (hdparm) and
+// pairwise network bandwidth (iperf) in MB/s, returning both summaries.
+// samplesPerNode controls the number of repeated probes per node.
+func BandwidthCampaign(p *config.Profile, samplesPerNode int, seed uint64) (disk, net stats.Summary) {
+	if samplesPerNode < 1 {
+		samplesPerNode = 1
+	}
+	g := stats.NewRNG(seed)
+	dg, ng := g.Split(1), g.Split(2)
+	for n := 0; n < p.Slaves; n++ {
+		for s := 0; s < samplesPerNode; s++ {
+			disk.Add(p.DiskBW.Sample(dg))
+			net.Add(p.NetBW.Sample(ng))
+		}
+	}
+	disk.Finalize()
+	net.Finalize()
+	return disk, net
+}
+
+// HopCensus runs the traceroute experiment behind Fig. 1: the hop-count
+// distribution over all unordered node pairs of a cluster built from p.
+func HopCensus(p *config.Profile, seed uint64) *stats.IntCounter {
+	g := stats.NewRNG(seed)
+	topo := topology.FromProfile(p, g)
+	return topology.HopHistogram(topo)
+}
+
+// BandwidthRatio reports mean network bandwidth over mean disk bandwidth —
+// the §II-B insight metric. Higher means remote reads are relatively
+// cheaper (dedicated clusters); lower means locality matters more
+// (virtualized clouds).
+func BandwidthRatio(p *config.Profile, samplesPerNode int, seed uint64) float64 {
+	disk, net := BandwidthCampaign(p, samplesPerNode, seed)
+	return net.Mean / disk.Mean
+}
+
+// TableI renders the Table I layout (all-to-all ping RTTs, ms) for the
+// given profiles.
+func TableI(rounds int, seed uint64, profiles ...*config.Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %14s\n", "", "Min", "Mean", "Max", "Std. Deviation")
+	for _, p := range profiles {
+		s := RTTCampaign(p, rounds, seed)
+		fmt.Fprintf(&b, "%-8s %8.2fms %8.2fms %8.2fms %12.2fms\n", p.Name, s.Min, s.Mean, s.Max, s.Std)
+	}
+	return b.String()
+}
+
+// TableII renders the Table II layout (disk and network bandwidth, MB/s)
+// for the given profiles.
+func TableII(samples int, seed uint64, profiles ...*config.Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %8s %8s %8s %10s\n", "", "Min", "Mean", "Max", "Std. Dev.")
+	for _, p := range profiles {
+		disk, net := BandwidthCampaign(p, samples, seed)
+		fmt.Fprintf(&b, "%-26s %8.1f %8.1f %8.1f %10.2f\n", p.Name+" disk bandwidth", disk.Min, disk.Mean, disk.Max, disk.Std)
+		fmt.Fprintf(&b, "%-26s %8.1f %8.1f %8.1f %10.2f\n", p.Name+" network bandwidth", net.Min, net.Mean, net.Max, net.Std)
+	}
+	return b.String()
+}
+
+// Fig1 renders the hop-count distribution (proportion of node pairs per
+// hop count) for a cluster built from p, the series plotted in Fig. 1.
+func Fig1(p *config.Profile, seed uint64) string {
+	c := HopCensus(p, seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %s\n", "Hop count", "Proportion of node pairs")
+	for h := 0; h <= c.Max(); h++ {
+		fmt.Fprintf(&b, "%-10d %.3f\n", h, c.Fraction(h))
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package netprobe
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dare/internal/config"
+)
+
+func TestRTTCampaignCCT(t *testing.T) {
+	s := RTTCampaign(config.CCT(), 5, 1)
+	// 19 slaves => 19*18 ordered pairs * 5 rounds.
+	if s.N != 19*18*5 {
+		t.Fatalf("N=%d", s.N)
+	}
+	if math.Abs(s.Mean-0.18) > 0.05 {
+		t.Fatalf("CCT RTT mean %.3f ms, Table I reports 0.18", s.Mean)
+	}
+	if s.Min < 0.01-1e-9 {
+		t.Fatalf("CCT RTT min %.4f below measured floor", s.Min)
+	}
+}
+
+func TestRTTCampaignEC2HeavierThanCCT(t *testing.T) {
+	cct := RTTCampaign(config.CCT(), 5, 2)
+	ec2 := RTTCampaign(config.EC2Small(), 5, 2)
+	if ec2.Mean <= cct.Mean {
+		t.Fatalf("EC2 mean RTT %.3f should exceed CCT %.3f", ec2.Mean, cct.Mean)
+	}
+	if ec2.Std <= cct.Std {
+		t.Fatalf("EC2 RTT std %.3f should exceed CCT %.3f", ec2.Std, cct.Std)
+	}
+	if ec2.Max < 2 {
+		t.Fatalf("EC2 max RTT %.3f ms lacks the heavy tail of Table I", ec2.Max)
+	}
+}
+
+func TestRTTCampaignDeterministic(t *testing.T) {
+	a := RTTCampaign(config.EC2Small(), 2, 7)
+	b := RTTCampaign(config.EC2Small(), 2, 7)
+	if a.Mean != b.Mean || a.Max != b.Max {
+		t.Fatal("campaign not deterministic under equal seeds")
+	}
+}
+
+func TestRTTCampaignMinimumRounds(t *testing.T) {
+	s := RTTCampaign(config.CCT(), 0, 1) // clamps to 1 round
+	if s.N != 19*18 {
+		t.Fatalf("N=%d, want one round of all pairs", s.N)
+	}
+}
+
+func TestBandwidthCampaign(t *testing.T) {
+	disk, net := BandwidthCampaign(config.CCT(), 50, 3)
+	if disk.N != 19*50 || net.N != 19*50 {
+		t.Fatalf("sample counts %d/%d", disk.N, net.N)
+	}
+	if math.Abs(disk.Mean-157.8) > 3 {
+		t.Fatalf("CCT disk mean %.1f, Table II reports 157.8", disk.Mean)
+	}
+	if math.Abs(net.Mean-117.7) > 2 {
+		t.Fatalf("CCT net mean %.1f, Table II reports 117.7", net.Mean)
+	}
+}
+
+func TestBandwidthRatioInsight(t *testing.T) {
+	rc := BandwidthRatio(config.CCT(), 200, 4)
+	re := BandwidthRatio(config.EC2(), 200, 4)
+	if rc <= re {
+		t.Fatalf("CCT net/disk ratio %.3f must exceed EC2 %.3f (§II-B)", rc, re)
+	}
+}
+
+func TestHopCensusShapes(t *testing.T) {
+	cct := HopCensus(config.CCT(), 5)
+	if cct.Fraction(2) != 1 {
+		t.Fatalf("CCT should be all 2-hop pairs, got %v", cct.Fraction(2))
+	}
+	ec2 := HopCensus(config.EC2Small(), 5)
+	if ec2.Fraction(4) < 0.3 {
+		t.Fatalf("EC2-20 4-hop fraction %v; Fig. 1 shows the mode at 4", ec2.Fraction(4))
+	}
+	total := ec2.Fraction(2) + ec2.Fraction(4) + ec2.Fraction(6)
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("hop fractions sum to %v", total)
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	out := TableI(2, 1, config.CCT(), config.EC2Small())
+	if !strings.Contains(out, "CCT") || !strings.Contains(out, "EC2-20") {
+		t.Fatalf("missing profiles in:\n%s", out)
+	}
+	if !strings.Contains(out, "Mean") {
+		t.Fatalf("missing header in:\n%s", out)
+	}
+}
+
+func TestTableIIRendering(t *testing.T) {
+	out := TableII(20, 1, config.CCT(), config.EC2())
+	for _, want := range []string{"CCT disk bandwidth", "CCT network bandwidth", "EC2 disk bandwidth", "EC2 network bandwidth"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Rendering(t *testing.T) {
+	out := Fig1(config.EC2Small(), 1)
+	if !strings.Contains(out, "Hop count") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+}

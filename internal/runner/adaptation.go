@@ -1,0 +1,91 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+// AdaptationRow is one policy's behaviour through a popularity shift: the
+// mean per-job locality in each quarter of the job stream (the shift
+// happens at the midpoint, i.e. at the start of Q3) plus the network cost
+// of creating replicas.
+type AdaptationRow struct {
+	Policy string
+	// QuarterLocality[q] is the mean job locality in quarter q (0-based).
+	QuarterLocality [4]float64
+	// RecoveryQ4OverQ2 compares post-shift steady state (Q4) to pre-shift
+	// steady state (Q2): 1.0 means full recovery.
+	RecoveryQ4OverQ2 float64
+	// ReplicationNetworkBytes is the fabric traffic spent creating
+	// replicas (zero for DARE — it piggybacks on existing reads; positive
+	// for Scarlett's proactive copies).
+	ReplicationNetworkBytes int64
+}
+
+// Adaptation runs the §VI comparison the paper argues but does not plot:
+// a workload whose popular file set rotates halfway through, replayed
+// under vanilla, DARE (ElephantTrap), and the epoch-based Scarlett
+// baseline. Scarlett's aggressive whole-file proactive replication wins
+// while popularity is stationary, but it pays real network traffic for
+// every copy and its plan goes stale at the shift for up to an epoch; the
+// reactive scheme starts re-replicating with the very first post-shift
+// remote reads, for free.
+func Adaptation(jobs int, seed uint64) ([]AdaptationRow, error) {
+	if jobs <= 0 {
+		jobs = 500
+	}
+	wl := workload.Generate(workload.GenConfig{
+		Name:       "shift",
+		NumJobs:    jobs,
+		Seed:       seed,
+		ShiftAtJob: jobs / 2,
+	})
+	var rows []AdaptationRow
+	for _, kind := range []core.PolicyKind{core.NonePolicy, core.ElephantTrapPolicy, core.ScarlettPolicy} {
+		out, err := Run(Options{
+			Profile:   config.CCT(),
+			Workload:  wl,
+			Scheduler: "fifo",
+			Policy:    PolicyFor(kind),
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runner: adaptation/%s: %w", kind, err)
+		}
+		row := AdaptationRow{Policy: kind.String(), ReplicationNetworkBytes: out.ExtraNetworkBytes}
+		var counts [4]int
+		for i, r := range out.Results {
+			q := i * 4 / len(out.Results)
+			row.QuarterLocality[q] += r.Locality()
+			counts[q]++
+		}
+		for q := range row.QuarterLocality {
+			if counts[q] > 0 {
+				row.QuarterLocality[q] /= float64(counts[q])
+			}
+		}
+		if row.QuarterLocality[1] > 0 {
+			row.RecoveryQ4OverQ2 = row.QuarterLocality[3] / row.QuarterLocality[1]
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAdaptation prints the adaptation comparison.
+func RenderAdaptation(rows []AdaptationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s %8s %10s %14s\n",
+		"policy", "Q1", "Q2", "Q3*", "Q4", "recovery", "repl-net(MB)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.3f %8.3f %8.3f %8.3f %10.2f %14.1f\n",
+			r.Policy, r.QuarterLocality[0], r.QuarterLocality[1], r.QuarterLocality[2], r.QuarterLocality[3],
+			r.RecoveryQ4OverQ2, float64(r.ReplicationNetworkBytes)/(1<<20))
+	}
+	b.WriteString("(* popularity shift at the start of Q3; recovery = Q4/Q2 locality)\n")
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+// TestAdaptationReactiveBeatsEpochBased locks in the §VI claim: after a
+// popularity shift, the reactive DARE recovers its locality faster than
+// the epoch-based Scarlett baseline, and does so without spending any
+// network traffic on replica creation.
+func TestAdaptationReactiveBeatsEpochBased(t *testing.T) {
+	rows, err := Adaptation(500, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]AdaptationRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	van, et, scar := byPolicy["vanilla"], byPolicy["elephanttrap"], byPolicy["scarlett"]
+
+	// Pre-shift (Q2): both replication schemes beat vanilla.
+	if et.QuarterLocality[1] <= van.QuarterLocality[1] {
+		t.Fatalf("DARE Q2 %.3f not above vanilla %.3f", et.QuarterLocality[1], van.QuarterLocality[1])
+	}
+	if scar.QuarterLocality[1] <= van.QuarterLocality[1] {
+		t.Fatalf("Scarlett Q2 %.3f not above vanilla %.3f", scar.QuarterLocality[1], van.QuarterLocality[1])
+	}
+
+	// Immediately post-shift (Q3): the reactive scheme is already above
+	// vanilla — it needs no epoch boundary to start re-replicating.
+	if et.QuarterLocality[2] <= van.QuarterLocality[2] {
+		t.Fatalf("DARE Q3 %.3f not above vanilla %.3f right after the shift", et.QuarterLocality[2], van.QuarterLocality[2])
+	}
+	// Post-shift steady state (Q4): DARE above vanilla again.
+	if et.QuarterLocality[3] <= van.QuarterLocality[3] {
+		t.Fatalf("DARE Q4 %.3f not above vanilla %.3f", et.QuarterLocality[3], van.QuarterLocality[3])
+	}
+
+	// Relative dip at the shift: the reactive scheme's locality falls by
+	// no deeper a fraction of its own pre-shift level than the epoch
+	// scheme's (small tolerance — both are stochastic).
+	dip := func(r AdaptationRow) float64 {
+		if r.QuarterLocality[1] == 0 {
+			return 0
+		}
+		return (r.QuarterLocality[1] - r.QuarterLocality[2]) / r.QuarterLocality[1]
+	}
+	if dip(et) > dip(scar)+0.10 {
+		t.Fatalf("DARE dip %.2f much deeper than Scarlett %.2f", dip(et), dip(scar))
+	}
+
+	// Network cost: DARE and vanilla pay nothing for replication;
+	// Scarlett's proactive copies move real bytes.
+	if et.ReplicationNetworkBytes != 0 || van.ReplicationNetworkBytes != 0 {
+		t.Fatal("DARE/vanilla replication must be free of network cost")
+	}
+	if scar.ReplicationNetworkBytes == 0 {
+		t.Fatal("Scarlett replication should cost network traffic")
+	}
+}
+
+func TestAdaptationDeterministic(t *testing.T) {
+	a, err := Adaptation(150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Adaptation(150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRenderAdaptation(t *testing.T) {
+	rows := []AdaptationRow{{Policy: "vanilla", QuarterLocality: [4]float64{0.1, 0.2, 0.2, 0.1}, RecoveryQ4OverQ2: 0.5}}
+	out := RenderAdaptation(rows)
+	if !strings.Contains(out, "vanilla") || !strings.Contains(out, "recovery") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+}
+
+// TestScarlettRunIntegration: a full run with the Scarlett policy keeps
+// the DFS consistent and reports its stats through the standard Output.
+func TestScarlettRunIntegration(t *testing.T) {
+	wl := truncate(workload.WL2(testSeed), 200)
+	out, err := Run(Options{
+		Profile:   config.CCT(),
+		Workload:  wl,
+		Scheduler: "fifo",
+		Policy:    PolicyFor(core.ScarlettPolicy),
+		Seed:      testSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PolicyName != "scarlett" {
+		t.Fatalf("policy name %q", out.PolicyName)
+	}
+	if out.Summary.ReplicasCreated == 0 {
+		t.Fatal("Scarlett created no replicas")
+	}
+	if out.ExtraNetworkBytes == 0 {
+		t.Fatal("Scarlett replication should cost network bytes")
+	}
+}

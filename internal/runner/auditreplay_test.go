@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuditReplayDAREWins: replaying the §III access process end-to-end,
+// DARE must raise locality and cut fabric traffic versus vanilla — the
+// paper's whole thesis in one run.
+func TestAuditReplayDAREWins(t *testing.T) {
+	rows, err := AuditReplay(300, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	byPolicy := map[string]AuditReplayRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	van, lru := byPolicy["vanilla"], byPolicy["lru"]
+	if lru.Locality <= van.Locality {
+		t.Fatalf("DARE locality %.3f not above vanilla %.3f on the audit replay", lru.Locality, van.Locality)
+	}
+	if lru.NetworkGB >= van.NetworkGB {
+		t.Fatalf("DARE network %.1f GB not below vanilla %.1f GB", lru.NetworkGB, van.NetworkGB)
+	}
+	if lru.GMTT >= van.GMTT {
+		t.Fatalf("DARE GMTT %.2f not below vanilla %.2f", lru.GMTT, van.GMTT)
+	}
+	if van.BlocksPerJob != 0 || lru.BlocksPerJob == 0 {
+		t.Fatal("replication activity accounting wrong")
+	}
+}
+
+func TestAuditReplayDeterministic(t *testing.T) {
+	a, err := AuditReplay(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AuditReplay(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRenderAuditReplay(t *testing.T) {
+	out := RenderAuditReplay([]AuditReplayRow{{Policy: "vanilla", Locality: 0.2, NetworkGB: 90}})
+	if !strings.Contains(out, "vanilla") || !strings.Contains(out, "network(GB)") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+}

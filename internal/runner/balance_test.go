@@ -1,0 +1,65 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBalanceStudyDistinction locks in the conceptual point behind
+// Fig. 11: byte balance and popularity balance are different goals, and
+// only DARE delivers the latter.
+func TestBalanceStudyDistinction(t *testing.T) {
+	rows, err := BalanceStudy(300, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScenario := map[string]BalanceRow{}
+	for _, r := range rows {
+		byScenario[r.Scenario] = r
+	}
+	van := byScenario["vanilla"]
+	bal := byScenario["hdfs-balancer"]
+	dareRow := byScenario["dare"]
+
+	// The balancer does its own job: storage cv improves, at real cost.
+	if bal.StorageCV >= van.StorageCV {
+		t.Fatalf("balancer did not improve storage cv: %.3f -> %.3f", van.StorageCV, bal.StorageCV)
+	}
+	if bal.MovedGB == 0 {
+		t.Fatal("balancer moved no bytes")
+	}
+	// ...but it does not do DARE's job: popularity cv stays high.
+	if bal.PopularityCV < 0.6*van.PopularityCV {
+		t.Fatalf("balancer unexpectedly fixed popularity cv: %.3f -> %.3f", van.PopularityCV, bal.PopularityCV)
+	}
+	// DARE fixes popularity cv at zero rearrangement cost.
+	if dareRow.PopularityCV >= 0.6*van.PopularityCV {
+		t.Fatalf("DARE did not flatten popularity cv: %.3f -> %.3f", van.PopularityCV, dareRow.PopularityCV)
+	}
+	if dareRow.MovedGB != 0 {
+		t.Fatal("DARE should move no dedicated traffic")
+	}
+}
+
+func TestBalanceStudyDeterministic(t *testing.T) {
+	a, err := BalanceStudy(120, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BalanceStudy(120, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRenderBalance(t *testing.T) {
+	out := RenderBalance([]BalanceRow{{Scenario: "vanilla", StorageCV: 0.1, PopularityCV: 0.5}})
+	if !strings.Contains(out, "vanilla") || !strings.Contains(out, "popularity-cv") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+}

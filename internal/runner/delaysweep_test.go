@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDelaySweepComplementarity locks in the §VI synergy: at every
+// patience level DARE's locality is at least vanilla's, and DARE reaches
+// vanilla's high-patience locality with at most half the patience.
+func TestDelaySweepComplementarity(t *testing.T) {
+	rows, err := DelaySweep(400, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	van := map[int]DelayRow{}
+	et := map[int]DelayRow{}
+	for _, r := range rows {
+		if r.Policy == "vanilla" {
+			van[r.MaxSkips] = r
+		} else {
+			et[r.MaxSkips] = r
+		}
+	}
+	for _, skips := range []int{1, 2, 4, 8, 16, 32} {
+		if et[skips].Locality < van[skips].Locality-0.02 {
+			t.Fatalf("skips=%d: DARE locality %.3f below vanilla %.3f", skips, et[skips].Locality, van[skips].Locality)
+		}
+	}
+	// DARE at patience 4 matches (or beats) vanilla at patience 8: the
+	// replicas halve the waiting needed.
+	if et[4].Locality < van[8].Locality-0.03 {
+		t.Fatalf("DARE@4 %.3f does not reach vanilla@8 %.3f", et[4].Locality, van[8].Locality)
+	}
+	// Vanilla locality must grow with patience (delay scheduling works).
+	if van[32].Locality <= van[1].Locality {
+		t.Fatalf("vanilla locality flat across patience: %.3f -> %.3f", van[1].Locality, van[32].Locality)
+	}
+}
+
+func TestDelaySweepDeterministic(t *testing.T) {
+	a, err := DelaySweep(120, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DelaySweep(120, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRenderDelaySweep(t *testing.T) {
+	out := RenderDelaySweep([]DelayRow{{MaxSkips: 4, Policy: "vanilla", Locality: 0.5, GMTT: 5}})
+	if !strings.Contains(out, "max-skips") || !strings.Contains(out, "vanilla") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"dare/internal/config"
+	"dare/internal/core"
+)
+
+// EvictionRow compares the eviction policies §IV names — greedy LRU,
+// greedy LFU, and the probabilistic ElephantTrap — under a budget tight
+// enough that the eviction choice actually matters ("Choice between LRU
+// and LFU should be made after profiling typical workloads").
+type EvictionRow struct {
+	Workload  string
+	Policy    string
+	Locality  float64
+	GMTT      float64
+	Writes    int64
+	Evictions int64
+}
+
+// EvictionStudy profiles the three eviction policies on both paper
+// workloads under FIFO at a binding budget (0.03 — below the knee of
+// Fig. 9, so evictions churn continuously).
+func EvictionStudy(jobs int, seed uint64) ([]EvictionRow, error) {
+	var rows []EvictionRow
+	for _, wlName := range []string{"wl1", "wl2"} {
+		wl, err := WorkloadByName(wlName, seed)
+		if err != nil {
+			return nil, err
+		}
+		wl = truncate(wl, jobs)
+		for _, kind := range []core.PolicyKind{core.GreedyLRUPolicy, core.GreedyLFUPolicy, core.ElephantTrapPolicy} {
+			pcfg := PolicyFor(kind)
+			pcfg.BudgetFraction = 0.03
+			out, err := Run(Options{
+				Profile:   config.CCT(),
+				Workload:  wl,
+				Scheduler: "fifo",
+				Policy:    pcfg,
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("runner: eviction/%s/%s: %w", wlName, kind, err)
+			}
+			rows = append(rows, EvictionRow{
+				Workload:  wlName,
+				Policy:    kind.String(),
+				Locality:  out.Summary.JobLocality,
+				GMTT:      out.Summary.GMTT,
+				Writes:    out.Summary.DiskWrites,
+				Evictions: out.Summary.Evictions,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderEviction prints the eviction-policy profile.
+func RenderEviction(rows []EvictionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-14s %9s %9s %8s %10s\n", "wl", "policy", "locality", "gmtt(s)", "writes", "evictions")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %-14s %9.3f %9.2f %8d %10d\n", r.Workload, r.Policy, r.Locality, r.GMTT, r.Writes, r.Evictions)
+	}
+	b.WriteString("(FIFO scheduler, budget 0.03 so the eviction choice binds)\n")
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+func TestEvictionStudyShapes(t *testing.T) {
+	rows, err := EvictionStudy(300, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows %d, want 6 (2 workloads x 3 policies)", len(rows))
+	}
+	byKey := map[string]EvictionRow{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+r.Policy] = r
+	}
+	for _, wl := range []string{"wl1", "wl2"} {
+		lru := byKey[wl+"/lru"]
+		lfu := byKey[wl+"/lfu"]
+		et := byKey[wl+"/elephanttrap"]
+		// At a binding budget the greedy policies churn; ElephantTrap's
+		// sampling suppresses both writes and evictions.
+		if lru.Evictions == 0 || lfu.Evictions == 0 {
+			t.Fatalf("%s: greedy policies did not evict (budget not binding)", wl)
+		}
+		if et.Writes >= lru.Writes {
+			t.Fatalf("%s: ET writes %d not below LRU %d", wl, et.Writes, lru.Writes)
+		}
+		if et.Evictions >= lru.Evictions {
+			t.Fatalf("%s: ET evictions %d not below LRU %d", wl, et.Evictions, lru.Evictions)
+		}
+		// All three policies deliver useful locality.
+		for _, r := range []EvictionRow{lru, lfu, et} {
+			if r.Locality < 0.25 {
+				t.Fatalf("%s/%s locality %.3f too low", wl, r.Policy, r.Locality)
+			}
+		}
+		// LFU should be competitive with LRU on these recurrent-popularity
+		// workloads (within 15%).
+		if lfu.Locality < 0.85*lru.Locality {
+			t.Fatalf("%s: LFU locality %.3f far below LRU %.3f", wl, lfu.Locality, lru.Locality)
+		}
+	}
+}
+
+func TestLFUFullRunIntegration(t *testing.T) {
+	wl := truncate(workload.WL1(testSeed), 150)
+	out, err := Run(Options{
+		Profile:   config.CCT(),
+		Workload:  wl,
+		Scheduler: "fifo",
+		Policy:    PolicyFor(core.GreedyLFUPolicy),
+		Seed:      testSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PolicyName != "lfu" {
+		t.Fatalf("policy name %q", out.PolicyName)
+	}
+	if out.Summary.ReplicasCreated == 0 {
+		t.Fatal("LFU created no replicas")
+	}
+}
+
+func TestRenderEviction(t *testing.T) {
+	out := RenderEviction([]EvictionRow{{Workload: "wl1", Policy: "lfu", Locality: 0.5}})
+	if !strings.Contains(out, "lfu") || !strings.Contains(out, "evictions") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,408 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+// EvaluatedPolicies is the figure legend of Figs. 7, 9 and 10: vanilla
+// Hadoop, DARE with greedy LRU eviction, DARE with ElephantTrap eviction.
+var EvaluatedPolicies = []core.PolicyKind{core.NonePolicy, core.GreedyLRUPolicy, core.ElephantTrapPolicy}
+
+// PerfRow is one bar of the performance figures (7a/b/c, 10a/b/c).
+type PerfRow struct {
+	Workload  string
+	Scheduler string
+	Policy    string
+	// Locality is the mean per-job data locality (Fig. 7a/10a).
+	Locality float64
+	// GMTT is the geometric mean turnaround time in seconds; GMTTNorm is
+	// normalized to the vanilla run of the same (workload, scheduler) pair,
+	// matching the figures' normalized y-axis (Fig. 7b/10b).
+	GMTT, GMTTNorm float64
+	// Slowdown is the mean job slowdown (Fig. 7c/10c).
+	Slowdown float64
+	// MeanMapTime backs the §V-C map-completion-time claim.
+	MeanMapTime float64
+	// BlocksPerJob and DiskWrites back the replication-activity panels and
+	// the LRU-vs-ElephantTrap write ablation.
+	BlocksPerJob float64
+	DiskWrites   int64
+}
+
+// truncate limits a workload to its first n jobs (n <= 0 keeps all),
+// letting benchmarks run scaled-down versions of the 500-job experiments.
+func truncate(wl *workload.Workload, n int) *workload.Workload {
+	if n <= 0 || n >= len(wl.Jobs) {
+		return wl
+	}
+	out := *wl
+	out.Jobs = wl.Jobs[:n]
+	return &out
+}
+
+// PerfGrid runs the {workload × scheduler × policy} grid on a profile and
+// computes the normalized metrics of Figs. 7 and 10.
+func PerfGrid(profile *config.Profile, workloads, schedulers []string, jobs int, seed uint64) ([]PerfRow, error) {
+	var rows []PerfRow
+	for _, wlName := range workloads {
+		wl, err := WorkloadByName(wlName, seed)
+		if err != nil {
+			return nil, err
+		}
+		wl = truncate(wl, jobs)
+		for _, sched := range schedulers {
+			var vanillaGMTT float64
+			for _, kind := range EvaluatedPolicies {
+				out, err := Run(Options{
+					Profile:   profile,
+					Workload:  wl,
+					Scheduler: sched,
+					Policy:    PolicyFor(kind),
+					Seed:      seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("runner: %s/%s/%s: %w", wlName, sched, kind, err)
+				}
+				if kind == core.NonePolicy {
+					vanillaGMTT = out.Summary.GMTT
+				}
+				norm := 0.0
+				if vanillaGMTT > 0 {
+					norm = out.Summary.GMTT / vanillaGMTT
+				}
+				rows = append(rows, PerfRow{
+					Workload:     wlName,
+					Scheduler:    sched,
+					Policy:       kind.String(),
+					Locality:     out.Summary.JobLocality,
+					GMTT:         out.Summary.GMTT,
+					GMTTNorm:     norm,
+					Slowdown:     out.Summary.MeanSlowdown,
+					MeanMapTime:  out.Summary.MeanMapTime,
+					BlocksPerJob: out.Summary.BlocksPerJob,
+					DiskWrites:   out.Summary.DiskWrites,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig7 reproduces the dedicated-cluster performance grid (Fig. 7a/b/c):
+// wl1 and wl2 under FIFO and Fair on the 20-node CCT profile.
+func Fig7(jobs int, seed uint64) ([]PerfRow, error) {
+	return PerfGrid(config.CCT(), []string{"wl1", "wl2"}, []string{"fifo", "fair"}, jobs, seed)
+}
+
+// Fig10 reproduces the virtualized-cloud grid (Fig. 10a/b/c): wl1 under
+// FIFO and Fair on the 100-node EC2 profile. Arrivals are compressed by
+// the slot ratio so the 5×-larger cluster sees the same per-slot load as
+// the CCT runs (SWIM's scaling rule).
+func Fig10(jobs int, seed uint64) ([]PerfRow, error) {
+	cct, ec2 := config.CCT(), config.EC2()
+	factor := float64(cct.Slaves*cct.MapSlotsPerNode) / float64(ec2.Slaves*ec2.MapSlotsPerNode)
+	wl := truncate(workload.WL1(seed), jobs).ScaleArrivals(factor)
+	var rows []PerfRow
+	for _, sched := range []string{"fifo", "fair"} {
+		var vanillaGMTT float64
+		for _, kind := range EvaluatedPolicies {
+			out, err := Run(Options{Profile: ec2, Workload: wl, Scheduler: sched, Policy: PolicyFor(kind), Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("runner: fig10 %s/%s: %w", sched, kind, err)
+			}
+			if kind == core.NonePolicy {
+				vanillaGMTT = out.Summary.GMTT
+			}
+			norm := 0.0
+			if vanillaGMTT > 0 {
+				norm = out.Summary.GMTT / vanillaGMTT
+			}
+			rows = append(rows, PerfRow{
+				Workload: "wl1", Scheduler: sched, Policy: kind.String(),
+				Locality: out.Summary.JobLocality, GMTT: out.Summary.GMTT, GMTTNorm: norm,
+				Slowdown: out.Summary.MeanSlowdown, MeanMapTime: out.Summary.MeanMapTime,
+				BlocksPerJob: out.Summary.BlocksPerJob, DiskWrites: out.Summary.DiskWrites,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderPerf prints PerfRows in the layout of the paper's bar charts.
+func RenderPerf(rows []PerfRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-5s %-13s %9s %10s %9s %9s %10s %10s\n",
+		"wl", "sched", "policy", "locality", "gmtt-norm", "gmtt(s)", "slowdown", "maptime(s)", "blocks/job")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %-5s %-13s %9.3f %10.3f %9.1f %9.2f %10.2f %10.2f\n",
+			r.Workload, r.Scheduler, r.Policy, r.Locality, r.GMTTNorm, r.GMTT, r.Slowdown, r.MeanMapTime, r.BlocksPerJob)
+	}
+	return b.String()
+}
+
+// SensRow is one point of the sensitivity figures (8 and 9): locality and
+// replication activity as one parameter varies.
+type SensRow struct {
+	Param     string
+	Value     float64
+	Scheduler string
+	Policy    string
+	Locality  float64
+	// BlocksPerJob is the bottom panel of Figs. 8 and 9.
+	BlocksPerJob float64
+}
+
+// RenderSens prints SensRows grouped the way Figs. 8–9 plot them.
+func RenderSens(rows []SensRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %7s %-5s %-13s %9s %11s\n", "param", "value", "sched", "policy", "locality", "blocks/job")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %7.2f %-5s %-13s %9.3f %11.2f\n", r.Param, r.Value, r.Scheduler, r.Policy, r.Locality, r.BlocksPerJob)
+	}
+	return b.String()
+}
+
+// sensitivitySweep runs wl2 (the paper's sensitivity workload, §V-D) for
+// each value, building the policy via mkPolicy.
+func sensitivitySweep(param string, values []float64, schedulers []string, mkPolicy func(v float64) core.Config, jobs int, seed uint64) ([]SensRow, error) {
+	wl := truncate(workload.WL2(seed), jobs)
+	var rows []SensRow
+	for _, sched := range schedulers {
+		for _, v := range values {
+			pcfg := mkPolicy(v)
+			out, err := Run(Options{
+				Profile:   config.CCT(),
+				Workload:  wl,
+				Scheduler: sched,
+				Policy:    pcfg,
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("runner: sweep %s=%v/%s: %w", param, v, sched, err)
+			}
+			rows = append(rows, SensRow{
+				Param:        param,
+				Value:        v,
+				Scheduler:    sched,
+				Policy:       pcfg.Kind.String(),
+				Locality:     out.Summary.JobLocality,
+				BlocksPerJob: out.Summary.BlocksPerJob,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8P reproduces Fig. 8a: ElephantTrap sampling probability p from 0 to
+// 0.9 with threshold = 1 and budget = 0.20, on wl2 under both schedulers.
+func Fig8P(jobs int, seed uint64) ([]SensRow, error) {
+	values := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	return sensitivitySweep("p", values, []string{"fifo", "fair"}, func(v float64) core.Config {
+		return core.Config{Kind: core.ElephantTrapPolicy, P: v, Threshold: 1, BudgetFraction: 0.20}
+	}, jobs, seed)
+}
+
+// Fig8Threshold reproduces Fig. 8b: aging threshold 1–5 with p = 0.90.
+// The paper runs this sweep at budget = 0.50; in our simulator the storage
+// to access-demand ratio is higher than on the testbed, so a 0.50 budget
+// never forces an eviction and the threshold (which only acts during
+// eviction sweeps) would be a flat line. We use budget = 0.03 — the
+// smallest setting where the aging mechanism is continuously exercised —
+// and record the deviation in EXPERIMENTS.md.
+func Fig8Threshold(jobs int, seed uint64) ([]SensRow, error) {
+	values := []float64{1, 2, 3, 4, 5}
+	return sensitivitySweep("threshold", values, []string{"fifo", "fair"}, func(v float64) core.Config {
+		return core.Config{Kind: core.ElephantTrapPolicy, P: 0.90, Threshold: int64(v), BudgetFraction: 0.03}
+	}, jobs, seed)
+}
+
+// Fig9LRU reproduces Fig. 9a: replication budget 0–0.9 with greedy LRU
+// eviction.
+func Fig9LRU(jobs int, seed uint64) ([]SensRow, error) {
+	return sensitivitySweep("budget", budgetValues(), []string{"fifo", "fair"}, func(v float64) core.Config {
+		return core.Config{Kind: core.GreedyLRUPolicy, BudgetFraction: v}
+	}, jobs, seed)
+}
+
+// Fig9ET reproduces Fig. 9b: replication budget 0–0.9 with ElephantTrap at
+// p = 0.9 and p = 0.3, threshold = 1.
+func Fig9ET(jobs int, seed uint64) ([]SensRow, error) {
+	var rows []SensRow
+	for _, p := range []float64{0.9, 0.3} {
+		p := p
+		sub, err := sensitivitySweep(fmt.Sprintf("budget(p=%.1f)", p), budgetValues(), []string{"fifo", "fair"}, func(v float64) core.Config {
+			return core.Config{Kind: core.ElephantTrapPolicy, P: p, Threshold: 1, BudgetFraction: v}
+		}, jobs, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sub...)
+	}
+	return rows, nil
+}
+
+// budgetValues spans the paper's 0-0.9 range with a finer grid at the low
+// end, where the budget actually binds in our simulator (the knee sits
+// below 0.1 because our DFS stores more cold bytes per accessed byte than
+// the testbed did).
+func budgetValues() []float64 {
+	return []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+}
+
+// Fig11Row is one point of the placement-uniformity experiment.
+type Fig11Row struct {
+	P                 float64
+	CVBefore, CVAfter float64
+}
+
+// Fig11 reproduces the uniformity experiment (§V-F): wl1 under FIFO with
+// the probabilistic DARE (budget = 20%, threshold = 1), sweeping p, and
+// reporting the coefficient of variation of the node popularity indices
+// before and after the run.
+func Fig11(jobs int, seed uint64) ([]Fig11Row, error) {
+	wl := truncate(workload.WL1(seed), jobs)
+	var rows []Fig11Row
+	for _, p := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		out, err := Run(Options{
+			Profile:   config.CCT(),
+			Workload:  wl,
+			Scheduler: "fifo",
+			Policy:    core.Config{Kind: core.ElephantTrapPolicy, P: p, Threshold: 1, BudgetFraction: 0.20},
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig11Row{P: p, CVBefore: out.CVBefore, CVAfter: out.CVAfter})
+	}
+	return rows, nil
+}
+
+// RenderFig11 prints Fig. 11's two series.
+func RenderFig11(rows []Fig11Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %12s %12s\n", "p", "cv-before", "cv-after")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6.2f %12.3f %12.3f\n", r.P, r.CVBefore, r.CVAfter)
+	}
+	return b.String()
+}
+
+// WritesRow compares greedy LRU and ElephantTrap disk-write activity at
+// comparable locality — the §I claim that the competitive aging policy
+// needs only ~50% of the greedy policy's writes.
+type WritesRow struct {
+	Scheduler   string
+	LRULocality float64
+	ETLocality  float64
+	LRUWrites   int64
+	ETWrites    int64
+}
+
+// WriteRatio reports ET writes over LRU writes.
+func (r WritesRow) WriteRatio() float64 {
+	if r.LRUWrites == 0 {
+		return 0
+	}
+	return float64(r.ETWrites) / float64(r.LRUWrites)
+}
+
+// AblationWrites runs wl2 under both schedulers comparing the two eviction
+// policies' locality and disk writes.
+func AblationWrites(jobs int, seed uint64) ([]WritesRow, error) {
+	wl := truncate(workload.WL2(seed), jobs)
+	var rows []WritesRow
+	for _, sched := range []string{"fifo", "fair"} {
+		var row WritesRow
+		row.Scheduler = sched
+		for _, kind := range []core.PolicyKind{core.GreedyLRUPolicy, core.ElephantTrapPolicy} {
+			out, err := Run(Options{
+				Profile:   config.CCT(),
+				Workload:  wl,
+				Scheduler: sched,
+				Policy:    PolicyFor(kind),
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if kind == core.GreedyLRUPolicy {
+				row.LRULocality = out.Summary.JobLocality
+				row.LRUWrites = out.Summary.DiskWrites
+			} else {
+				row.ETLocality = out.Summary.JobLocality
+				row.ETWrites = out.Summary.DiskWrites
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderWrites prints the write-ablation table.
+func RenderWrites(rows []WritesRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %12s %12s %11s %11s %11s\n", "sched", "lru-locality", "et-locality", "lru-writes", "et-writes", "et/lru")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %12.3f %12.3f %11d %11d %11.2f\n", r.Scheduler, r.LRULocality, r.ETLocality, r.LRUWrites, r.ETWrites, r.WriteRatio())
+	}
+	return b.String()
+}
+
+// MapTimeRow backs the §V-C claim: mean map-task completion time reduction
+// from dynamic replication (12% FIFO, 11% Fair in the paper).
+type MapTimeRow struct {
+	Scheduler        string
+	VanillaMapTime   float64
+	DareMapTime      float64
+	ReductionPercent float64
+}
+
+// AblationMapTime measures the map-completion-time reduction on wl2,
+// using the greedy policy (the strongest replicator) as the DARE arm.
+func AblationMapTime(jobs int, seed uint64) ([]MapTimeRow, error) {
+	wl := truncate(workload.WL2(seed), jobs)
+	var rows []MapTimeRow
+	for _, sched := range []string{"fifo", "fair"} {
+		var vanilla, dare float64
+		for _, kind := range []core.PolicyKind{core.NonePolicy, core.GreedyLRUPolicy} {
+			out, err := Run(Options{
+				Profile:   config.CCT(),
+				Workload:  wl,
+				Scheduler: sched,
+				Policy:    PolicyFor(kind),
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if kind == core.NonePolicy {
+				vanilla = out.Summary.MeanMapTime
+			} else {
+				dare = out.Summary.MeanMapTime
+			}
+		}
+		rows = append(rows, MapTimeRow{
+			Scheduler:        sched,
+			VanillaMapTime:   vanilla,
+			DareMapTime:      dare,
+			ReductionPercent: (vanilla - dare) / vanilla * 100,
+		})
+	}
+	return rows, nil
+}
+
+// RenderMapTime prints the map-time ablation table.
+func RenderMapTime(rows []MapTimeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %14s %12s %12s\n", "sched", "vanilla(s)", "dare(s)", "reduction%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %14.2f %12.2f %12.1f\n", r.Scheduler, r.VanillaMapTime, r.DareMapTime, r.ReductionPercent)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/mapreduce"
+	"dare/internal/stats"
+	"dare/internal/workload"
+)
+
+// OutputBoundRow splits the §V-C observation by job class: "We believe
+// this is due to a mixture of input-bound and output-bound tasks in the
+// trace. Dynamic replication does not expedite output-bound tasks, whose
+// turnaround time is dominated by output processing."
+type OutputBoundRow struct {
+	Class string // "input-bound" or "output-bound"
+	Jobs  int
+	// VanillaGMTT and DareGMTT are the class's geometric-mean service
+	// time (launch to finish) under each policy; ReductionPercent the
+	// improvement.
+	VanillaGMTT, DareGMTT float64
+	ReductionPercent      float64
+}
+
+// OutputBound replays wl2 under FIFO with and without DARE and reports
+// per-class turnaround gains. A job is output-bound when its output volume
+// is at least its input volume (the ~1.2× transformation class of the
+// generator's bimodal output-ratio mixture).
+func OutputBound(jobs int, seed uint64) ([]OutputBoundRow, error) {
+	wl := truncate(workload.WL2(seed), jobs)
+	results := map[core.PolicyKind][]mapreduce.Result{}
+	for _, kind := range []core.PolicyKind{core.NonePolicy, core.GreedyLRUPolicy} {
+		out, err := Run(Options{
+			Profile:   config.CCT(),
+			Workload:  wl,
+			Scheduler: "fifo",
+			Policy:    PolicyFor(kind),
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runner: output-bound/%s: %w", kind, err)
+		}
+		results[kind] = out.Results
+	}
+
+	classify := func(r mapreduce.Result) string {
+		if r.OutputBlocks >= r.NumMaps {
+			return "output-bound"
+		}
+		return "input-bound"
+	}
+	classes := []string{"input-bound", "output-bound"}
+	var rows []OutputBoundRow
+	for _, class := range classes {
+		// Service time (launch -> finish) isolates the per-job effect from
+		// the shared queueing delay, which DARE shortens for every class
+		// alike on a loaded cluster.
+		var vanTT, dareTT []float64
+		van := results[core.NonePolicy]
+		dare := results[core.GreedyLRUPolicy]
+		for i := range van {
+			if classify(van[i]) != class {
+				continue
+			}
+			vanTT = append(vanTT, van[i].ServiceTime())
+			dareTT = append(dareTT, dare[i].ServiceTime())
+		}
+		row := OutputBoundRow{Class: class, Jobs: len(vanTT)}
+		if len(vanTT) > 0 {
+			row.VanillaGMTT = geomean(vanTT)
+			row.DareGMTT = geomean(dareTT)
+			row.ReductionPercent = (row.VanillaGMTT - row.DareGMTT) / row.VanillaGMTT * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func geomean(xs []float64) float64 {
+	return stats.GeometricMean(xs)
+}
+
+// RenderOutputBound prints the per-class comparison.
+func RenderOutputBound(rows []OutputBoundRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %14s %12s %12s\n", "class", "jobs", "vanilla-gmtt", "dare-gmtt", "reduction%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %6d %14.2f %12.2f %12.1f\n", r.Class, r.Jobs, r.VanillaGMTT, r.DareGMTT, r.ReductionPercent)
+	}
+	b.WriteString("(wl2, FIFO, geometric-mean service time; output-bound = output >= input, §V-C)\n")
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOutputBoundGapUntouched operationalizes §V-C: "Dynamic replication
+// does not expedite output-bound tasks, whose turnaround time is
+// dominated by output processing." The output-write pipeline makes
+// output-bound jobs substantially slower than input-bound ones, and DARE
+// — which only accelerates input reads — must leave that gap essentially
+// intact.
+func TestOutputBoundGapUntouched(t *testing.T) {
+	rows, err := OutputBound(400, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var in, out OutputBoundRow
+	for _, r := range rows {
+		switch r.Class {
+		case "input-bound":
+			in = r
+		case "output-bound":
+			out = r
+		}
+	}
+	if in.Jobs == 0 || out.Jobs == 0 {
+		t.Fatalf("empty class: %+v", rows)
+	}
+	// The write pipeline is visible: output-bound jobs are much slower
+	// under both policies.
+	if out.VanillaGMTT < 1.2*in.VanillaGMTT {
+		t.Fatalf("output-bound vanilla GMTT %.2f not clearly above input-bound %.2f", out.VanillaGMTT, in.VanillaGMTT)
+	}
+	if out.DareGMTT < 1.2*in.DareGMTT {
+		t.Fatalf("output-bound DARE GMTT %.2f not clearly above input-bound %.2f", out.DareGMTT, in.DareGMTT)
+	}
+	// DARE cannot close the output-processing gap: the absolute
+	// service-time gap between the classes survives replication.
+	gapVanilla := out.VanillaGMTT - in.VanillaGMTT
+	gapDare := out.DareGMTT - in.DareGMTT
+	if gapDare < 0.7*gapVanilla {
+		t.Fatalf("DARE closed the output gap (%.2f -> %.2f); it should not touch output processing", gapVanilla, gapDare)
+	}
+	// Neither class regresses materially.
+	for _, r := range rows {
+		if r.ReductionPercent < -3 {
+			t.Fatalf("%s regressed by %.1f%%", r.Class, -r.ReductionPercent)
+		}
+	}
+}
+
+func TestOutputBoundDeterministic(t *testing.T) {
+	a, err := OutputBound(150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OutputBound(150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRenderOutputBound(t *testing.T) {
+	out := RenderOutputBound([]OutputBoundRow{{Class: "input-bound", Jobs: 10, VanillaGMTT: 5, DareGMTT: 4.5, ReductionPercent: 10}})
+	if !strings.Contains(out, "input-bound") || !strings.Contains(out, "reduction%") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+}

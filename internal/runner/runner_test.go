@@ -1,0 +1,324 @@
+package runner
+
+import (
+	"math"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+const (
+	testJobs = 300
+	testSeed = 12345
+)
+
+func mustRun(t *testing.T, opts Options) *Output {
+	t.Helper()
+	out, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func cctOpts(sched string, kind core.PolicyKind, wl *workload.Workload) Options {
+	return Options{
+		Profile:   config.CCT(),
+		Workload:  wl,
+		Scheduler: sched,
+		Policy:    PolicyFor(kind),
+		Seed:      testSeed,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	wl := truncate(workload.WL1(testSeed), 10)
+	if _, err := Run(Options{Workload: wl, Scheduler: "fifo"}); err == nil {
+		t.Fatal("missing profile accepted")
+	}
+	if _, err := Run(Options{Profile: config.CCT(), Scheduler: "fifo"}); err == nil {
+		t.Fatal("missing workload accepted")
+	}
+	if _, err := Run(Options{Profile: config.CCT(), Workload: wl, Scheduler: "bogus"}); err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	wl := truncate(workload.WL1(testSeed), 100)
+	a := mustRun(t, cctOpts("fifo", core.ElephantTrapPolicy, wl))
+	b := mustRun(t, cctOpts("fifo", core.ElephantTrapPolicy, wl))
+	if a.Summary != b.Summary {
+		t.Fatalf("identical runs diverged:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+}
+
+// TestDAREImprovesFIFOLocality is the headline result (Fig. 7a): dynamic
+// replication must raise FIFO locality by a large factor.
+func TestDAREImprovesFIFOLocality(t *testing.T) {
+	wl := truncate(workload.WL1(testSeed), testJobs)
+	vanilla := mustRun(t, cctOpts("fifo", core.NonePolicy, wl))
+	lru := mustRun(t, cctOpts("fifo", core.GreedyLRUPolicy, wl))
+	et := mustRun(t, cctOpts("fifo", core.ElephantTrapPolicy, wl))
+
+	if vanilla.Summary.JobLocality > 0.35 {
+		t.Fatalf("vanilla FIFO locality %.3f; expected a low baseline", vanilla.Summary.JobLocality)
+	}
+	if lru.Summary.JobLocality < 2*vanilla.Summary.JobLocality {
+		t.Fatalf("LRU locality %.3f vs vanilla %.3f: DARE should at least double it",
+			lru.Summary.JobLocality, vanilla.Summary.JobLocality)
+	}
+	if et.Summary.JobLocality < 1.5*vanilla.Summary.JobLocality {
+		t.Fatalf("ElephantTrap locality %.3f vs vanilla %.3f", et.Summary.JobLocality, vanilla.Summary.JobLocality)
+	}
+}
+
+// TestDAREReducesGMTTAndSlowdown covers Fig. 7b/7c's direction: turnaround
+// and slowdown improve under DARE for the FIFO scheduler.
+func TestDAREReducesGMTTAndSlowdown(t *testing.T) {
+	wl := truncate(workload.WL1(testSeed), testJobs)
+	vanilla := mustRun(t, cctOpts("fifo", core.NonePolicy, wl))
+	lru := mustRun(t, cctOpts("fifo", core.GreedyLRUPolicy, wl))
+	if lru.Summary.GMTT >= vanilla.Summary.GMTT {
+		t.Fatalf("GMTT %.2f not below vanilla %.2f", lru.Summary.GMTT, vanilla.Summary.GMTT)
+	}
+	if lru.Summary.MeanSlowdown >= vanilla.Summary.MeanSlowdown {
+		t.Fatalf("slowdown %.2f not below vanilla %.2f", lru.Summary.MeanSlowdown, vanilla.Summary.MeanSlowdown)
+	}
+	if lru.Summary.MeanMapTime >= vanilla.Summary.MeanMapTime {
+		t.Fatalf("map time %.2f not below vanilla %.2f (§V-C)", lru.Summary.MeanMapTime, vanilla.Summary.MeanMapTime)
+	}
+}
+
+// TestFairSchedulerHighBaseline covers the §V-B observation: the Fair
+// scheduler with delay scheduling achieves high locality even without
+// DARE, and DARE pushes it higher still.
+func TestFairSchedulerHighBaseline(t *testing.T) {
+	wl := truncate(workload.WL2(testSeed), testJobs)
+	vanilla := mustRun(t, cctOpts("fair", core.NonePolicy, wl))
+	lru := mustRun(t, cctOpts("fair", core.GreedyLRUPolicy, wl))
+	if vanilla.Summary.JobLocality < 0.6 {
+		t.Fatalf("fair vanilla locality %.3f; delay scheduling should give a high baseline (~0.83 in the paper)",
+			vanilla.Summary.JobLocality)
+	}
+	if lru.Summary.JobLocality <= vanilla.Summary.JobLocality {
+		t.Fatalf("fair+DARE locality %.3f not above vanilla %.3f", lru.Summary.JobLocality, vanilla.Summary.JobLocality)
+	}
+	if lru.Summary.JobLocality < 0.85 {
+		t.Fatalf("fair+DARE locality %.3f; paper reports >85%%", lru.Summary.JobLocality)
+	}
+}
+
+// TestElephantTrapWriteEfficiency covers the §I claim: ElephantTrap
+// achieves comparable locality to greedy LRU with roughly half the disk
+// writes.
+func TestElephantTrapWriteEfficiency(t *testing.T) {
+	rows, err := AblationWrites(testJobs, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ETWrites >= r.LRUWrites {
+			t.Fatalf("%s: ET writes %d not below LRU %d", r.Scheduler, r.ETWrites, r.LRUWrites)
+		}
+		if ratio := r.WriteRatio(); ratio > 0.7 {
+			t.Fatalf("%s: ET/LRU write ratio %.2f; paper reports ~0.5", r.Scheduler, ratio)
+		}
+		if r.ETLocality < 0.6*r.LRULocality {
+			t.Fatalf("%s: ET locality %.3f too far below LRU %.3f", r.Scheduler, r.ETLocality, r.LRULocality)
+		}
+	}
+}
+
+// TestFig8PMonotoneTrend: locality grows with p and flattens; replication
+// activity grows with p (Fig. 8a).
+func TestFig8PMonotoneTrend(t *testing.T) {
+	rows, err := Fig8P(testJobs, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byP := map[float64]SensRow{}
+	for _, r := range rows {
+		if r.Scheduler == "fifo" {
+			byP[r.Value] = r
+		}
+	}
+	if byP[0.9].Locality <= byP[0].Locality {
+		t.Fatalf("locality at p=0.9 (%.3f) not above p=0 (%.3f)", byP[0.9].Locality, byP[0].Locality)
+	}
+	if byP[0.9].BlocksPerJob <= byP[0.1].BlocksPerJob {
+		t.Fatalf("blocks/job at p=0.9 (%.2f) not above p=0.1 (%.2f)", byP[0.9].BlocksPerJob, byP[0.1].BlocksPerJob)
+	}
+	if byP[0].BlocksPerJob != 0 {
+		t.Fatalf("p=0 must create no replicas, got %.2f per job", byP[0].BlocksPerJob)
+	}
+	// Most of the gain arrives by p ~ 0.2-0.3 (§V-D).
+	gainAt03 := byP[0.3].Locality - byP[0].Locality
+	gainTotal := byP[0.9].Locality - byP[0].Locality
+	if gainAt03 < 0.4*gainTotal {
+		t.Fatalf("p=0.3 captures only %.0f%% of the total locality gain; paper says most of it", 100*gainAt03/gainTotal)
+	}
+}
+
+// TestFig9BudgetTrend: blocks created per job decrease as the budget
+// grows, while locality weakly increases (Fig. 9).
+func TestFig9BudgetTrend(t *testing.T) {
+	rows, err := Fig9LRU(testJobs, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lowB, highB SensRow
+	for _, r := range rows {
+		if r.Scheduler != "fifo" {
+			continue
+		}
+		if r.Value == 0.01 {
+			lowB = r
+		}
+		if r.Value == 0.9 {
+			highB = r
+		}
+	}
+	if highB.Locality < lowB.Locality {
+		t.Fatalf("locality at budget 0.9 (%.3f) below budget 0.01 (%.3f)", highB.Locality, lowB.Locality)
+	}
+	if highB.BlocksPerJob >= lowB.BlocksPerJob {
+		t.Fatalf("blocks/job at budget 0.9 (%.2f) not below 0.01 (%.2f): thrashing should fall with budget",
+			highB.BlocksPerJob, lowB.BlocksPerJob)
+	}
+}
+
+// TestFig11UniformityImproves: DARE flattens the popularity-index
+// distribution (Fig. 11), with pronounced gains by p = 0.2.
+func TestFig11UniformityImproves(t *testing.T) {
+	rows, err := Fig11(testJobs, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byP := map[float64]Fig11Row{}
+	for _, r := range rows {
+		byP[r.P] = r
+	}
+	if r := byP[0]; math.Abs(r.CVAfter-r.CVBefore) > 1e-9 {
+		t.Fatalf("p=0 must not change placement: before %.3f after %.3f", r.CVBefore, r.CVAfter)
+	}
+	if r := byP[0.2]; r.CVAfter >= 0.8*r.CVBefore {
+		t.Fatalf("p=0.2 cv after %.3f vs before %.3f: expected significant uniformity gain", r.CVAfter, r.CVBefore)
+	}
+	for _, p := range []float64{0.2, 0.5, 0.9} {
+		if byP[p].CVAfter >= byP[p].CVBefore {
+			t.Fatalf("p=%.1f: cv did not improve (%.3f -> %.3f)", p, byP[p].CVBefore, byP[p].CVAfter)
+		}
+	}
+}
+
+// TestEC2GainsExceedCCT covers §V-E: for comparable locality improvement,
+// GMTT/slowdown gains are at least as significant on the virtualized
+// cluster.
+func TestEC2RunsImprove(t *testing.T) {
+	rows, err := Fig10(200, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]PerfRow{}
+	for _, r := range rows {
+		byKey[r.Scheduler+"/"+r.Policy] = r
+	}
+	van := byKey["fifo/vanilla"]
+	lru := byKey["fifo/lru"]
+	if van.Locality > 0.2 {
+		t.Fatalf("EC2 FIFO vanilla locality %.3f; 3 replicas over 99 nodes must give a very low baseline", van.Locality)
+	}
+	if lru.Locality < 2*van.Locality {
+		t.Fatalf("EC2 FIFO DARE locality %.3f vs vanilla %.3f", lru.Locality, van.Locality)
+	}
+	if lru.GMTTNorm >= 1 {
+		t.Fatalf("EC2 GMTT did not improve: norm %.3f", lru.GMTTNorm)
+	}
+	fvan := byKey["fair/vanilla"]
+	flru := byKey["fair/lru"]
+	if flru.Locality <= fvan.Locality {
+		t.Fatalf("EC2 fair locality did not improve: %.3f vs %.3f", flru.Locality, fvan.Locality)
+	}
+}
+
+func TestAblationMapTime(t *testing.T) {
+	rows, err := AblationMapTime(testJobs, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// FIFO has plenty of headroom; the fair scheduler's baseline is
+		// already near-local, so only direction (no regression) is
+		// asserted there.
+		if r.Scheduler == "fifo" && r.ReductionPercent <= 2 {
+			t.Fatalf("fifo: map time reduction %.1f%%; paper reports ~12%%", r.ReductionPercent)
+		}
+		if r.ReductionPercent < -2 {
+			t.Fatalf("%s: map time regressed by %.1f%%", r.Scheduler, -r.ReductionPercent)
+		}
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	for _, name := range []string{"wl1", "wl2"} {
+		wl, err := WorkloadByName(name, 1)
+		if err != nil || wl.Name != name {
+			t.Fatalf("WorkloadByName(%s): %v", name, err)
+		}
+	}
+	if _, err := WorkloadByName("wl9", 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	wl := workload.WL1(1)
+	short := truncate(wl, 10)
+	if len(short.Jobs) != 10 {
+		t.Fatalf("truncate kept %d jobs", len(short.Jobs))
+	}
+	if truncate(wl, 0) != wl || truncate(wl, len(wl.Jobs)+5) != wl {
+		t.Fatal("truncate should be a no-op outside range")
+	}
+	if len(wl.Jobs) != 500 {
+		t.Fatal("truncate mutated the original")
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	if PolicyFor(core.NonePolicy).Kind != core.NonePolicy {
+		t.Fatal("none policy wrong")
+	}
+	if p := PolicyFor(core.GreedyLRUPolicy); p.Kind != core.GreedyLRUPolicy || p.BudgetFraction != 0.2 {
+		t.Fatalf("lru policy %+v", p)
+	}
+	if p := PolicyFor(core.ElephantTrapPolicy); p.P != 0.3 || p.Threshold != 1 || p.BudgetFraction != 0.2 {
+		t.Fatalf("et policy %+v", p)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	perf := []PerfRow{{Workload: "wl1", Scheduler: "fifo", Policy: "vanilla", Locality: 0.1}}
+	if out := RenderPerf(perf); len(out) == 0 {
+		t.Fatal("empty perf render")
+	}
+	sens := []SensRow{{Param: "p", Value: 0.3, Scheduler: "fifo", Policy: "et", Locality: 0.5}}
+	if out := RenderSens(sens); len(out) == 0 {
+		t.Fatal("empty sens render")
+	}
+	f11 := []Fig11Row{{P: 0.2, CVBefore: 0.5, CVAfter: 0.2}}
+	if out := RenderFig11(f11); len(out) == 0 {
+		t.Fatal("empty fig11 render")
+	}
+	wr := []WritesRow{{Scheduler: "fifo", LRUWrites: 100, ETWrites: 50}}
+	if out := RenderWrites(wr); len(out) == 0 {
+		t.Fatal("empty writes render")
+	}
+	mt := []MapTimeRow{{Scheduler: "fifo", VanillaMapTime: 2, DareMapTime: 1.8, ReductionPercent: 10}}
+	if out := RenderMapTime(mt); len(out) == 0 {
+		t.Fatal("empty maptime render")
+	}
+}

@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+// SpeculationRow compares a run with and without Hadoop-style speculative
+// execution — an evaluation extension beyond the paper, relevant because
+// §II-B shows the virtualized cloud's task durations are wildly variable
+// (Table II's σ): exactly the regime backup tasks were designed for, and a
+// check that DARE composes with the standard straggler mitigation.
+type SpeculationRow struct {
+	Speculative bool
+	Policy      string
+	Locality    float64
+	GMTT        float64
+	MeanMapTime float64
+	Makespan    float64
+	// Backups counts speculative attempts launched.
+	Backups int
+}
+
+// SpeculationStudy replays wl1 on the noisy EC2 profile with speculation
+// off and on, under vanilla and DARE.
+func SpeculationStudy(jobs int, seed uint64) ([]SpeculationRow, error) {
+	cct, ec2 := config.CCT(), config.EC2()
+	factor := float64(cct.Slaves*cct.MapSlotsPerNode) / float64(ec2.Slaves*ec2.MapSlotsPerNode)
+	wl := truncate(workload.WL1(seed), jobs).ScaleArrivals(factor)
+	var rows []SpeculationRow
+	for _, speculative := range []bool{false, true} {
+		for _, kind := range []core.PolicyKind{core.NonePolicy, core.ElephantTrapPolicy} {
+			profile := config.EC2()
+			profile.SpeculativeExecution = speculative
+			out, err := Run(Options{
+				Profile:   profile,
+				Workload:  wl,
+				Scheduler: "fifo",
+				Policy:    PolicyFor(kind),
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("runner: speculation/%v/%s: %w", speculative, kind, err)
+			}
+			rows = append(rows, SpeculationRow{
+				Speculative: speculative,
+				Policy:      kind.String(),
+				Locality:    out.Summary.JobLocality,
+				GMTT:        out.Summary.GMTT,
+				MeanMapTime: out.Summary.MeanMapTime,
+				Makespan:    out.Summary.Makespan,
+				Backups:     out.SpeculativeLaunches,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderSpeculation prints the speculation study.
+func RenderSpeculation(rows []SpeculationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s %9s %9s %11s %10s %8s\n",
+		"speculation", "policy", "locality", "gmtt(s)", "maptime(s)", "makespan", "backups")
+	for _, r := range rows {
+		mode := "off"
+		if r.Speculative {
+			mode = "on"
+		}
+		fmt.Fprintf(&b, "%-12s %-14s %9.3f %9.2f %11.2f %10.1f %8d\n",
+			mode, r.Policy, r.Locality, r.GMTT, r.MeanMapTime, r.Makespan, r.Backups)
+	}
+	return b.String()
+}

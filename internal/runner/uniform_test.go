@@ -1,0 +1,48 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUniformVsAdaptivePremise locks in §III's premise: uniform
+// replication buys locality only in proportion to its (large) storage
+// cost, while DARE at a 20% budget beats much more expensive uniform
+// configurations.
+func TestUniformVsAdaptivePremise(t *testing.T) {
+	rows, err := UniformVsAdaptive(300, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScenario := map[string]UniformRow{}
+	var factors []UniformRow
+	for _, r := range rows {
+		byScenario[r.Scenario] = r
+		if strings.HasPrefix(r.Scenario, "uniform") {
+			factors = append(factors, r)
+		}
+	}
+	// Locality grows with the uniform factor (more replicas, more chances).
+	for i := 1; i < len(factors); i++ {
+		if factors[i].Locality < factors[i-1].Locality-0.02 {
+			t.Fatalf("uniform locality not increasing: x%d %.3f -> x%d %.3f",
+				factors[i-1].Factor, factors[i-1].Locality, factors[i].Factor, factors[i].Locality)
+		}
+	}
+	dareRow := byScenario["DARE x3 + 20% budget"]
+	x6 := byScenario["uniform x6"]
+	if dareRow.Locality <= x6.Locality-0.02 {
+		t.Fatalf("DARE at 20%% storage (%.3f) should rival uniform x6 at 100%% (%.3f)",
+			dareRow.Locality, x6.Locality)
+	}
+	if dareRow.ExtraStoragePct >= x6.ExtraStoragePct/2 {
+		t.Fatal("storage accounting wrong")
+	}
+}
+
+func TestRenderUniform(t *testing.T) {
+	out := RenderUniform([]UniformRow{{Scenario: "uniform x3", Factor: 3, Locality: 0.2}})
+	if !strings.Contains(out, "uniform x3") || !strings.Contains(out, "extra storage%") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleRun measures the event-heap hot path: schedule and
+// drain batches of events, the core cost of every simulation.
+func BenchmarkScheduleRun(b *testing.B) {
+	const batch = 1024
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < batch; j++ {
+			e.Schedule(float64(j%17), func() {})
+		}
+		e.Run()
+	}
+	b.ReportMetric(float64(batch), "events/iter")
+}
+
+// BenchmarkNestedScheduling measures the common simulation pattern of
+// events scheduling follow-up events (task completion chains).
+func BenchmarkNestedScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		depth := 0
+		var chain func()
+		chain = func() {
+			depth++
+			if depth < 1000 {
+				e.Schedule(1, chain)
+			}
+		}
+		e.Schedule(1, chain)
+		e.Run()
+		depth = 0
+	}
+}
+
+// BenchmarkCancel measures lazy cancellation overhead.
+func BenchmarkCancel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		evs := make([]*Event, 512)
+		for j := range evs {
+			evs[j] = e.Schedule(float64(j), func() {})
+		}
+		for _, ev := range evs {
+			e.Cancel(ev)
+		}
+		e.Run()
+	}
+}

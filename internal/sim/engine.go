@@ -1,0 +1,189 @@
+// Package sim implements a deterministic discrete-event simulation engine:
+// a pending-event set backed by a binary heap with FIFO tie-breaking on
+// equal timestamps. It is the substrate on which the HDFS model, the
+// MapReduce model, the schedulers, and DARE itself run.
+//
+// Time is a float64 number of seconds since simulation start. Determinism
+// is guaranteed: events at the same timestamp fire in the order they were
+// scheduled, and nothing in the engine consults wall-clock time or global
+// randomness.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time = float64
+
+// Event is a scheduled callback. The zero Event is invalid; create events
+// only through Engine.Schedule/At.
+type Event struct {
+	when     Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// When reports the time the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is the simulation executive. It is not safe for concurrent use;
+// the simulated world is single-threaded by design (the standard structure
+// for reproducible event-driven simulation).
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// Processed counts events executed; useful for progress reporting and
+	// runaway detection in tests.
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule runs fn after delay seconds of simulated time. A negative delay
+// is a programming error and panics. It returns the event handle, which
+// may be used to cancel the callback before it fires.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time when. Scheduling in the past panics: the
+// simulated world cannot rewrite history.
+func (e *Engine) At(when Time, fn func()) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Defer is Schedule without the returned handle, for callers that only
+// need fire-and-forget scheduling (e.g. the DARE manager's DeferFunc).
+func (e *Engine) Defer(delay Time, fn func()) {
+	e.Schedule(delay, fn)
+}
+
+// Cancel marks ev so it will not fire. Canceling an already-fired or
+// already-canceled event is a no-op. The event stays in the heap and is
+// discarded lazily when popped, which keeps Cancel O(1).
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.canceled = true
+	}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains. It returns the final clock
+// value.
+func (e *Engine) Run() Time {
+	return e.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with timestamps <= until, then advances the
+// clock to min(until, +inf-of-empty-queue). It returns the clock value on
+// exit. If Stop was requested, execution halts immediately after the
+// current event.
+func (e *Engine) RunUntil(until Time) Time {
+	e.stopped = false
+	for e.queue.Len() > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.when > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		e.now = next.when
+		e.processed++
+		next.fn()
+	}
+	if !math.IsInf(until, 1) && until > e.now && !e.stopped {
+		e.now = until
+	}
+	return e.now
+}
+
+// Step executes exactly one pending non-canceled event, if any, and
+// reports whether one was executed. It exists mainly for tests that need
+// fine-grained control.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.canceled {
+			continue
+		}
+		e.now = next.when
+		e.processed++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Pending reports how many events (including canceled-but-unpopped ones)
+// remain in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventHeap orders by (when, seq): earliest first, FIFO among equal
+// timestamps. That tie-break is what makes runs reproducible.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

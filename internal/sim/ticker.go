@@ -1,0 +1,55 @@
+package sim
+
+// Ticker fires a callback at a fixed period, modelling heartbeats (the DFS
+// data-node heartbeat, the MapReduce task-tracker heartbeat). A Ticker is
+// created stopped; call Start to begin.
+type Ticker struct {
+	eng    *Engine
+	period Time
+	fn     func()
+	ev     *Event
+	active bool
+}
+
+// NewTicker creates a ticker on eng with the given period and callback.
+// Period must be positive.
+func NewTicker(eng *Engine, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	return &Ticker{eng: eng, period: period, fn: fn}
+}
+
+// Start begins ticking; the first tick fires one period from now, after an
+// optional phase offset (useful to de-synchronize many nodes' heartbeats,
+// as real clusters do).
+func (t *Ticker) Start(phase Time) {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.ev = t.eng.Schedule(t.period+phase, t.tick)
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	if !t.active {
+		return
+	}
+	t.active = false
+	t.eng.Cancel(t.ev)
+	t.ev = nil
+}
+
+// Active reports whether the ticker is running.
+func (t *Ticker) Active() bool { return t.active }
+
+func (t *Ticker) tick() {
+	if !t.active {
+		return
+	}
+	t.fn()
+	if t.active { // fn may have stopped us
+		t.ev = t.eng.Schedule(t.period, t.tick)
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDistinctSeedsDiverge(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestRNGSplitDeterministic(t *testing.T) {
+	a := NewRNG(7).Split(3)
+	b := NewRNG(7).Split(3)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("split streams with equal labels diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSplitIndependentLabels(t *testing.T) {
+	a := NewRNG(7).Split(1)
+	b := NewRNG(7).Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams with different labels matched %d/100 draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := g.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	g := NewRNG(99)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.28 || p > 0.32 {
+		t.Fatalf("Bool(0.3) empirical rate %v out of tolerance", p)
+	}
+}
+
+func TestSplitmixDecorrelatesAdjacentSeeds(t *testing.T) {
+	// Adjacent raw seeds must not produce adjacent internal seeds.
+	if splitmix(1) == splitmix(2)+1 || splitmix(1) == splitmix(2) {
+		t.Fatal("splitmix failed to decorrelate adjacent seeds")
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	g := NewRNG(5)
+	p := g.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

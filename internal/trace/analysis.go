@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dare/internal/stats"
+)
+
+// RankPoint is one point of the Fig. 2 rank/popularity curves.
+type RankPoint struct {
+	Rank int
+	// Count is the number of accesses of the rank-th most popular file.
+	Count int64
+	// Weighted is the access count multiplied by the file's block count
+	// (Fig. 2's second panel).
+	Weighted int64
+}
+
+// PopularityRanks computes Fig. 2: files ranked by access count, with and
+// without block weighting. Files with zero accesses are omitted (they do
+// not appear on a log-log rank plot).
+func PopularityRanks(l *Log) []RankPoint {
+	counts := make([]int64, len(l.Files))
+	for _, a := range l.Accesses {
+		counts[a.File]++
+	}
+	type fc struct {
+		count  int64
+		blocks int
+	}
+	var fcs []fc
+	for i, c := range counts {
+		if c > 0 {
+			fcs = append(fcs, fc{count: c, blocks: l.Files[i].Blocks})
+		}
+	}
+	sort.Slice(fcs, func(i, j int) bool { return fcs[i].count > fcs[j].count })
+	out := make([]RankPoint, len(fcs))
+	for i, f := range fcs {
+		out[i] = RankPoint{Rank: i + 1, Count: f.count, Weighted: f.count * int64(f.blocks)}
+	}
+	return out
+}
+
+// AgeCDF computes Fig. 3: the empirical CDF of file age at access time.
+func AgeCDF(l *Log) *stats.ECDF {
+	ages := make([]float64, 0, len(l.Accesses))
+	for _, a := range l.Accesses {
+		age := a.Time - l.Files[a.File].Created
+		if age < 0 {
+			age = 0
+		}
+		ages = append(ages, age)
+	}
+	return stats.NewECDF(ages)
+}
+
+// WindowConfig parameterizes the burst-window analysis of Figs. 4–5.
+type WindowConfig struct {
+	// SlotSize is the slot length in seconds (paper: one hour).
+	SlotSize float64
+	// Coverage is the access fraction a window must contain (paper: 0.8).
+	Coverage float64
+	// From and To bound the analyzed interval (Fig. 4: the whole week;
+	// Fig. 5: day 2 only).
+	From, To float64
+	// BigFileCoverage selects the "big files": the most popular files
+	// that together account for this fraction of accesses (paper: 0.8);
+	// the long tail of one-access files is excluded, as in the paper.
+	BigFileCoverage float64
+}
+
+// DefaultWindowConfig matches Fig. 4: 1-hour slots over the whole week,
+// 80% coverage, big files only.
+func DefaultWindowConfig(l *Log) WindowConfig {
+	return WindowConfig{SlotSize: Hour, Coverage: 0.8, From: 0, To: l.Horizon, BigFileCoverage: 0.8}
+}
+
+// Day2WindowConfig matches Fig. 5: day 2 of the data set.
+func Day2WindowConfig() WindowConfig {
+	return WindowConfig{SlotSize: Hour, Coverage: 0.8, From: Day, To: 2 * Day, BigFileCoverage: 0.8}
+}
+
+// WindowResult is the Fig. 4/5 distribution: for each window size (in
+// slots), the fraction of files whose smallest covering window has exactly
+// that size, plain and access-weighted.
+type WindowResult struct {
+	// Sizes[k] is the fraction of big files whose smallest window
+	// containing Coverage of their accesses spans k+1 slots.
+	Sizes []float64
+	// WeightedSizes is the same distribution with each file weighted by
+	// its access count (Figs. 4b/5b).
+	WeightedSizes []float64
+	// Files is the number of big files analyzed.
+	Files int
+}
+
+// BurstWindows computes the smallest consecutive-slot window containing at
+// least cfg.Coverage of each big file's accesses (Figs. 4 and 5).
+func BurstWindows(l *Log, cfg WindowConfig) (WindowResult, error) {
+	if cfg.SlotSize <= 0 || cfg.To <= cfg.From {
+		return WindowResult{}, fmt.Errorf("trace: invalid window config %+v", cfg)
+	}
+	slots := int(math.Ceil((cfg.To - cfg.From) / cfg.SlotSize))
+
+	// Per-file slot histograms over the interval.
+	perFile := make(map[int][]int64)
+	totals := make(map[int]int64)
+	for _, a := range l.Accesses {
+		if a.Time < cfg.From || a.Time >= cfg.To {
+			continue
+		}
+		s := int((a.Time - cfg.From) / cfg.SlotSize)
+		if s >= slots {
+			s = slots - 1
+		}
+		h := perFile[a.File]
+		if h == nil {
+			h = make([]int64, slots)
+			perFile[a.File] = h
+		}
+		h[s]++
+		totals[a.File]++
+	}
+
+	// Select the big files: most popular first until BigFileCoverage of
+	// in-interval accesses is covered.
+	type ft struct {
+		file  int
+		total int64
+	}
+	var fts []ft
+	var grand int64
+	for f, t := range totals {
+		fts = append(fts, ft{f, t})
+		grand += t
+	}
+	sort.Slice(fts, func(i, j int) bool {
+		if fts[i].total != fts[j].total {
+			return fts[i].total > fts[j].total
+		}
+		return fts[i].file < fts[j].file
+	})
+	var covered int64
+	nBig := 0
+	for _, f := range fts {
+		if cfg.BigFileCoverage < 1 && float64(covered) >= cfg.BigFileCoverage*float64(grand) {
+			break
+		}
+		covered += f.total
+		nBig++
+	}
+
+	res := WindowResult{
+		Sizes:         make([]float64, slots),
+		WeightedSizes: make([]float64, slots),
+		Files:         nBig,
+	}
+	var weightTotal float64
+	for i := 0; i < nBig; i++ {
+		f := fts[i]
+		w := minCoveringWindow(perFile[f.file], f.total, cfg.Coverage)
+		res.Sizes[w-1]++
+		res.WeightedSizes[w-1] += float64(f.total)
+		weightTotal += float64(f.total)
+	}
+	for k := range res.Sizes {
+		if nBig > 0 {
+			res.Sizes[k] /= float64(nBig)
+		}
+		if weightTotal > 0 {
+			res.WeightedSizes[k] /= weightTotal
+		}
+	}
+	return res, nil
+}
+
+// minCoveringWindow returns the length (in slots) of the shortest
+// contiguous run of slots whose accesses sum to at least coverage×total.
+// Classic two-pointer sweep, O(len(hist)).
+func minCoveringWindow(hist []int64, total int64, coverage float64) int {
+	need := int64(math.Ceil(coverage * float64(total)))
+	if need <= 0 {
+		return 1
+	}
+	best := len(hist)
+	var sum int64
+	lo := 0
+	for hi := 0; hi < len(hist); hi++ {
+		sum += hist[hi]
+		for sum-hist[lo] >= need {
+			sum -= hist[lo]
+			lo++
+		}
+		if sum >= need && hi-lo+1 < best {
+			best = hi - lo + 1
+		}
+	}
+	return best
+}
+
+// RenderRanks prints the Fig. 2 series (rank, accesses, block-weighted
+// accesses), sampled logarithmically like the paper's log-log plot.
+func RenderRanks(points []RankPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %12s %12s\n", "rank", "accesses", "weighted")
+	step := 1
+	for i := 0; i < len(points); i += step {
+		p := points[i]
+		fmt.Fprintf(&b, "%8d %12d %12d\n", p.Rank, p.Count, p.Weighted)
+		if p.Rank >= 10 {
+			step = p.Rank / 4
+		}
+	}
+	return b.String()
+}
+
+// RenderAgeCDF prints Fig. 3's CDF at the paper's reference points plus a
+// coarse curve.
+func RenderAgeCDF(cdf *stats.ECDF) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %s\n", "age", "fraction of accesses at age < t")
+	for _, ref := range []struct {
+		label string
+		secs  float64
+	}{
+		{"1 minute", 60}, {"1 hour", Hour}, {"9h45m", 9.75 * Hour},
+		{"1 day", Day}, {"2 days", 2 * Day}, {"1 week", Week},
+	} {
+		fmt.Fprintf(&b, "%-14s %.3f\n", ref.label, cdf.At(ref.secs))
+	}
+	return b.String()
+}
+
+// RenderWindows prints the Fig. 4/5 distributions (window size in hours vs
+// fraction of files, plain and weighted).
+func RenderWindows(r WindowResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s   (files analyzed: %d)\n", "window(hours)", "fraction", "weighted", r.Files)
+	for k, f := range r.Sizes {
+		if f == 0 && r.WeightedSizes[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-14d %10.4f %10.4f\n", k+1, f, r.WeightedSizes[k])
+	}
+	return b.String()
+}
+
+// HourlyProfile computes the access rate by hour of day over the whole
+// log — the diurnal pattern behind the daily periodicity of Fig. 4. The
+// returned slice has 24 entries summing to 1 (empty log: all zeros).
+func HourlyProfile(l *Log) [24]float64 {
+	var prof [24]float64
+	if len(l.Accesses) == 0 {
+		return prof
+	}
+	for _, a := range l.Accesses {
+		h := int(math.Mod(a.Time, Day) / Hour)
+		if h < 0 {
+			h = 0
+		}
+		if h > 23 {
+			h = 23
+		}
+		prof[h]++
+	}
+	for h := range prof {
+		prof[h] /= float64(len(l.Accesses))
+	}
+	return prof
+}
+
+// RenderHourlyProfile prints the diurnal access profile with an ASCII
+// sparkline.
+func RenderHourlyProfile(prof [24]float64) string {
+	max := 0.0
+	for _, p := range prof {
+		if p > max {
+			max = p
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-8s %s\n", "hour", "share", "")
+	for h, p := range prof {
+		bars := 0
+		if max > 0 {
+			bars = int(p / max * 40)
+		}
+		fmt.Fprintf(&b, "%02d:00  %6.2f%%  %s\n", h, p*100, strings.Repeat("#", bars))
+	}
+	return b.String()
+}

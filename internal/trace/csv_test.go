@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLogCSVRoundTrip(t *testing.T) {
+	l := Generate(GenConfig{Files: 50, Accesses: 2000, Seed: 1})
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Horizon != l.Horizon || len(got.Files) != len(l.Files) || len(got.Accesses) != len(l.Accesses) {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range l.Files {
+		if got.Files[i] != l.Files[i] {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+	for i := range l.Accesses {
+		if got.Accesses[i] != l.Accesses[i] {
+			t.Fatalf("access %d differs", i)
+		}
+	}
+}
+
+func TestLogCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"bogus,1\n",
+		"file,1\n",
+		"file,x,3\n",
+		"file,0,x\n",
+		"access,1\n",
+		"access,x,0\n",
+		"access,0,x\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLogCSVValidates(t *testing.T) {
+	// Access referencing a missing file must fail validation.
+	in := "#log,100\nfile,0,2\naccess,5,7\n"
+	if _, err := ReadCSV(bytes.NewBufferString(in)); err == nil {
+		t.Fatal("dangling access accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the workload in a two-section CSV format compatible
+// with SWIM-style replay tooling:
+//
+//	file,<name>,<blocks>
+//	job,<id>,<arrival>,<file>,<firstBlock>,<numMaps>,<cpuPerTask>,<numReduces>,<reduceTime>,<outputBlocks>,<pool>
+func (w *Workload) WriteCSV(out io.Writer) error {
+	cw := csv.NewWriter(out)
+	if err := cw.Write([]string{"#workload", w.Name, strconv.FormatFloat(w.ZipfS, 'g', -1, 64)}); err != nil {
+		return err
+	}
+	for _, f := range w.Files {
+		if err := cw.Write([]string{"file", f.Name, strconv.Itoa(f.Blocks)}); err != nil {
+			return err
+		}
+	}
+	for _, j := range w.Jobs {
+		rec := []string{
+			"job",
+			strconv.Itoa(j.ID),
+			strconv.FormatFloat(j.Arrival, 'g', -1, 64),
+			strconv.Itoa(j.File),
+			strconv.Itoa(j.FirstBlock),
+			strconv.Itoa(j.NumMaps),
+			strconv.FormatFloat(j.CPUPerTask, 'g', -1, 64),
+			strconv.Itoa(j.NumReduces),
+			strconv.FormatFloat(j.ReduceTime, 'g', -1, 64),
+			strconv.Itoa(j.OutputBlocks),
+			j.Pool,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a workload written by WriteCSV and validates it.
+func ReadCSV(in io.Reader) (*Workload, error) {
+	cr := csv.NewReader(in)
+	cr.FieldsPerRecord = -1
+	w := &Workload{}
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if len(rec) == 0 {
+			continue
+		}
+		switch rec[0] {
+		case "#workload":
+			if len(rec) >= 2 {
+				w.Name = rec[1]
+			}
+			if len(rec) >= 3 {
+				if s, err := strconv.ParseFloat(rec[2], 64); err == nil {
+					w.ZipfS = s
+				}
+			}
+		case "file":
+			if len(rec) != 3 {
+				return nil, fmt.Errorf("workload: line %d: file record needs 3 fields", line)
+			}
+			blocks, err := strconv.Atoi(rec[2])
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad block count: %w", line, err)
+			}
+			w.Files = append(w.Files, FileSpec{Name: rec[1], Blocks: blocks})
+		case "job":
+			// 9- and 10-field rows (earlier formats) remain readable.
+			if len(rec) < 9 || len(rec) > 11 {
+				return nil, fmt.Errorf("workload: line %d: job record needs 9-11 fields, got %d", line, len(rec))
+			}
+			var j Job
+			var err error
+			if j.ID, err = strconv.Atoi(rec[1]); err != nil {
+				return nil, fmt.Errorf("workload: line %d: id: %w", line, err)
+			}
+			if j.Arrival, err = strconv.ParseFloat(rec[2], 64); err != nil {
+				return nil, fmt.Errorf("workload: line %d: arrival: %w", line, err)
+			}
+			if j.File, err = strconv.Atoi(rec[3]); err != nil {
+				return nil, fmt.Errorf("workload: line %d: file: %w", line, err)
+			}
+			if j.FirstBlock, err = strconv.Atoi(rec[4]); err != nil {
+				return nil, fmt.Errorf("workload: line %d: firstBlock: %w", line, err)
+			}
+			if j.NumMaps, err = strconv.Atoi(rec[5]); err != nil {
+				return nil, fmt.Errorf("workload: line %d: numMaps: %w", line, err)
+			}
+			if j.CPUPerTask, err = strconv.ParseFloat(rec[6], 64); err != nil {
+				return nil, fmt.Errorf("workload: line %d: cpuPerTask: %w", line, err)
+			}
+			if j.NumReduces, err = strconv.Atoi(rec[7]); err != nil {
+				return nil, fmt.Errorf("workload: line %d: numReduces: %w", line, err)
+			}
+			if j.ReduceTime, err = strconv.ParseFloat(rec[8], 64); err != nil {
+				return nil, fmt.Errorf("workload: line %d: reduceTime: %w", line, err)
+			}
+			if len(rec) >= 10 {
+				if j.OutputBlocks, err = strconv.Atoi(rec[9]); err != nil {
+					return nil, fmt.Errorf("workload: line %d: outputBlocks: %w", line, err)
+				}
+			}
+			if len(rec) >= 11 {
+				j.Pool = rec[10]
+			}
+			w.Jobs = append(w.Jobs, j)
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown record type %q", line, rec[0])
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+
+	"dare/internal/stats"
+	"dare/internal/trace"
+)
+
+// ReplayConfig controls how an audit log (internal/trace) is turned into a
+// replayable MapReduce workload — the bridge between the paper's §III
+// characterization and its §V evaluation: the same access process that
+// produced Figs. 2–5 can be fed straight into the simulator.
+type ReplayConfig struct {
+	// Offset and Jobs select a contiguous slice of accesses (the paper
+	// replays 500-job segments of its trace). Jobs <= 0 means 500.
+	Offset, Jobs int
+	// Span is the simulated duration the slice is compressed into, in
+	// seconds (SWIM's time compression when replaying a week-long log on a
+	// small cluster). <= 0 means 150 s, wl1's arrival span.
+	Span float64
+	// MaxMaps caps the per-job map count (whole-file scans of huge files
+	// would otherwise dominate). <= 0 means 24.
+	MaxMaps int
+	// CPUPerTask is the per-map compute-time distribution; nil uses the
+	// synthesizer's default.
+	CPUPerTask stats.Dist
+	// Seed drives the sampled per-job quantities.
+	Seed uint64
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.Jobs <= 0 {
+		c.Jobs = 500
+	}
+	if c.Span <= 0 {
+		c.Span = 150
+	}
+	if c.MaxMaps <= 0 {
+		c.MaxMaps = 24
+	}
+	if c.CPUPerTask == nil {
+		c.CPUPerTask = stats.LogNormalFromMoments(1.0, 0.5)
+	}
+	return c
+}
+
+// FromAuditLog converts a slice of an access log into a workload: each
+// access becomes one job that scans (a prefix of) the accessed file, with
+// arrivals rebased and compressed into cfg.Span. The induced file
+// popularity and temporal correlation are exactly the log's own —
+// heavy-tailed, bursty, daily-periodic (§III).
+func FromAuditLog(l *trace.Log, cfg ReplayConfig) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: invalid audit log: %w", err)
+	}
+	if cfg.Offset < 0 || cfg.Offset >= len(l.Accesses) {
+		return nil, fmt.Errorf("workload: offset %d outside log (%d accesses)", cfg.Offset, len(l.Accesses))
+	}
+	end := cfg.Offset + cfg.Jobs
+	if end > len(l.Accesses) {
+		end = len(l.Accesses)
+	}
+	slice := l.Accesses[cfg.Offset:end]
+	if len(slice) == 0 {
+		return nil, fmt.Errorf("workload: empty access slice")
+	}
+
+	w := &Workload{Name: "audit-replay"}
+	for i, f := range l.Files {
+		w.Files = append(w.Files, FileSpec{Name: fmt.Sprintf("audit-%04d", i), Blocks: f.Blocks})
+	}
+
+	t0 := slice[0].Time
+	dur := slice[len(slice)-1].Time - t0
+	compress := 1.0
+	if dur > 0 {
+		compress = cfg.Span / dur
+	}
+	g := stats.NewRNG(cfg.Seed)
+	for i, a := range slice {
+		blocks := l.Files[a.File].Blocks
+		maps := blocks
+		if maps > cfg.MaxMaps {
+			maps = cfg.MaxMaps
+		}
+		cpu := cfg.CPUPerTask.Sample(g)
+		if cpu <= 0 {
+			cpu = 0.1
+		}
+		w.Jobs = append(w.Jobs, Job{
+			ID:         i,
+			Arrival:    (a.Time - t0) * compress,
+			File:       a.File,
+			FirstBlock: 0,
+			NumMaps:    maps,
+			CPUPerTask: cpu,
+			NumReduces: 1 + maps/20,
+			ReduceTime: 2 + 0.05*float64(maps),
+		})
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: audit replay produced invalid workload: %w", err)
+	}
+	return w, nil
+}

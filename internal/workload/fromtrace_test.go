@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"testing"
+
+	"dare/internal/trace"
+)
+
+func auditLog(seed uint64) *trace.Log {
+	return trace.Generate(trace.GenConfig{Files: 100, Accesses: 5000, Seed: seed})
+}
+
+func TestFromAuditLogBasics(t *testing.T) {
+	l := auditLog(1)
+	w, err := FromAuditLog(l, ReplayConfig{Jobs: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 300 {
+		t.Fatalf("jobs %d", len(w.Jobs))
+	}
+	if len(w.Files) != 100 {
+		t.Fatalf("files %d", len(w.Files))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals rebased to 0 and compressed into the span.
+	if w.Jobs[0].Arrival != 0 {
+		t.Fatalf("first arrival %v", w.Jobs[0].Arrival)
+	}
+	last := w.Jobs[len(w.Jobs)-1].Arrival
+	if last <= 0 || last > 150+1e-9 {
+		t.Fatalf("last arrival %v, want within the 150 s default span", last)
+	}
+}
+
+func TestFromAuditLogPreservesPopularity(t *testing.T) {
+	l := auditLog(2)
+	w, err := FromAuditLog(l, ReplayConfig{Jobs: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workload's file access counts must equal the log slice's.
+	want := map[int]int{}
+	for _, a := range l.Accesses[:len(w.Jobs)] {
+		want[a.File]++
+	}
+	got := w.AccessCounts()
+	for f, n := range want {
+		if got[f] != n {
+			t.Fatalf("file %d: workload has %d accesses, log slice has %d", f, got[f], n)
+		}
+	}
+}
+
+func TestFromAuditLogMapsCapped(t *testing.T) {
+	l := auditLog(3)
+	w, err := FromAuditLog(l, ReplayConfig{Jobs: 500, MaxMaps: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range w.Jobs {
+		if j.NumMaps > 8 {
+			t.Fatalf("job %d has %d maps, cap is 8", j.ID, j.NumMaps)
+		}
+		if j.NumMaps < 1 {
+			t.Fatalf("job %d has no maps", j.ID)
+		}
+	}
+}
+
+func TestFromAuditLogOffsetSlicing(t *testing.T) {
+	l := auditLog(4)
+	a, err := FromAuditLog(l, ReplayConfig{Offset: 0, Jobs: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromAuditLog(l, ReplayConfig{Offset: 1000, Jobs: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Jobs[0].File == b.Jobs[0].File && a.Jobs[50].File == b.Jobs[50].File && a.Jobs[99].File == b.Jobs[99].File {
+		t.Fatal("different offsets produced identical slices (suspicious)")
+	}
+}
+
+func TestFromAuditLogErrors(t *testing.T) {
+	l := auditLog(5)
+	if _, err := FromAuditLog(l, ReplayConfig{Offset: -1}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := FromAuditLog(l, ReplayConfig{Offset: 1 << 30}); err == nil {
+		t.Fatal("out-of-range offset accepted")
+	}
+	l.Accesses[0].File = 9999 // corrupt
+	if _, err := FromAuditLog(l, ReplayConfig{}); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}
+
+func TestFromAuditLogClampsToLogEnd(t *testing.T) {
+	l := auditLog(6)
+	w, err := FromAuditLog(l, ReplayConfig{Offset: len(l.Accesses) - 50, Jobs: 500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 50 {
+		t.Fatalf("jobs %d, want the 50 remaining accesses", len(w.Jobs))
+	}
+}

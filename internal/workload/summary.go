@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SizeClass buckets jobs by map count the way SWIM characterizes the
+// Facebook trace (most jobs tiny, a long tail of large scans).
+type SizeClass struct {
+	Label      string
+	MinMaps    int
+	MaxMaps    int // inclusive; 0 = unbounded
+	Jobs       int
+	TotalMaps  int
+	MeanMaps   float64
+	ShareJobs  float64
+	ShareTasks float64
+}
+
+// defaultClasses mirrors the bins SWIM uses for the Facebook 2009 trace.
+func defaultClasses() []SizeClass {
+	return []SizeClass{
+		{Label: "tiny (1-2 maps)", MinMaps: 1, MaxMaps: 2},
+		{Label: "small (3-10)", MinMaps: 3, MaxMaps: 10},
+		{Label: "medium (11-50)", MinMaps: 11, MaxMaps: 50},
+		{Label: "large (51+)", MinMaps: 51, MaxMaps: 0},
+	}
+}
+
+// Summary describes a workload the way the paper's §V-A describes its
+// traces: job count, file population, size mix, arrival intensity, and
+// popularity skew.
+type Summary struct {
+	Name          string
+	Jobs          int
+	Files         int
+	TotalMaps     int
+	TotalBlocks   int
+	MeanMapsPer   float64
+	Span          float64 // last arrival, seconds
+	MeanGap       float64
+	Classes       []SizeClass
+	TopFileShare  float64 // fraction of accesses to the most popular file
+	Top10Share    float64
+	OutputHeavyPc float64 // percentage of jobs with output >= input
+}
+
+// Summarize computes the workload's descriptive statistics.
+func (w *Workload) Summarize() Summary {
+	s := Summary{Name: w.Name, Jobs: len(w.Jobs), Files: len(w.Files)}
+	for _, f := range w.Files {
+		s.TotalBlocks += f.Blocks
+	}
+	classes := defaultClasses()
+	outputHeavy := 0
+	for _, j := range w.Jobs {
+		s.TotalMaps += j.NumMaps
+		if j.OutputBlocks >= j.NumMaps {
+			outputHeavy++
+		}
+		for i := range classes {
+			c := &classes[i]
+			if j.NumMaps >= c.MinMaps && (c.MaxMaps == 0 || j.NumMaps <= c.MaxMaps) {
+				c.Jobs++
+				c.TotalMaps += j.NumMaps
+			}
+		}
+	}
+	if s.Jobs > 0 {
+		s.MeanMapsPer = float64(s.TotalMaps) / float64(s.Jobs)
+		s.Span = w.Jobs[len(w.Jobs)-1].Arrival
+		if s.Jobs > 1 {
+			s.MeanGap = s.Span / float64(s.Jobs-1)
+		}
+		s.OutputHeavyPc = float64(outputHeavy) / float64(s.Jobs) * 100
+	}
+	for i := range classes {
+		c := &classes[i]
+		if c.Jobs > 0 {
+			c.MeanMaps = float64(c.TotalMaps) / float64(c.Jobs)
+		}
+		if s.Jobs > 0 {
+			c.ShareJobs = float64(c.Jobs) / float64(s.Jobs)
+		}
+		if s.TotalMaps > 0 {
+			c.ShareTasks = float64(c.TotalMaps) / float64(s.TotalMaps)
+		}
+	}
+	s.Classes = classes
+
+	counts := w.AccessCounts()
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	if s.Jobs > 0 && len(sorted) > 0 {
+		s.TopFileShare = float64(sorted[0]) / float64(s.Jobs)
+		top10 := 0
+		for i := 0; i < 10 && i < len(sorted); i++ {
+			top10 += sorted[i]
+		}
+		s.Top10Share = float64(top10) / float64(s.Jobs)
+	}
+	return s
+}
+
+// String renders the summary for the CLI tools.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %q: %d jobs over %d files (%d blocks)\n", s.Name, s.Jobs, s.Files, s.TotalBlocks)
+	fmt.Fprintf(&b, "  map tasks      %d total, %.1f per job\n", s.TotalMaps, s.MeanMapsPer)
+	fmt.Fprintf(&b, "  arrivals       %.1f s span, %.3f s mean gap\n", s.Span, s.MeanGap)
+	fmt.Fprintf(&b, "  popularity     top file %.0f%% of accesses, top 10 %.0f%%\n", s.TopFileShare*100, s.Top10Share*100)
+	fmt.Fprintf(&b, "  output-heavy   %.0f%% of jobs (output >= input)\n", s.OutputHeavyPc)
+	fmt.Fprintf(&b, "  %-18s %6s %9s %10s %11s\n", "size class", "jobs", "share", "mean maps", "task share")
+	for _, c := range s.Classes {
+		fmt.Fprintf(&b, "  %-18s %6d %8.1f%% %10.1f %10.1f%%\n", c.Label, c.Jobs, c.ShareJobs*100, c.MeanMaps, c.ShareTasks*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeWL1(t *testing.T) {
+	w := WL1(1)
+	s := w.Summarize()
+	if s.Jobs != 500 || s.Files != 120 {
+		t.Fatalf("counts %d/%d", s.Jobs, s.Files)
+	}
+	if s.TotalMaps != w.TotalMaps() {
+		t.Fatal("map totals disagree")
+	}
+	if s.Span != w.Jobs[499].Arrival {
+		t.Fatal("span wrong")
+	}
+	var jobs int
+	var shareSum float64
+	for _, c := range s.Classes {
+		jobs += c.Jobs
+		shareSum += c.ShareJobs
+	}
+	if jobs != 500 {
+		t.Fatalf("classes cover %d jobs", jobs)
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Fatalf("class shares sum to %v", shareSum)
+	}
+	// wl1 is dominated by tiny/small jobs.
+	if s.Classes[0].ShareJobs+s.Classes[1].ShareJobs < 0.7 {
+		t.Fatalf("small-job share %.2f; wl1 should be a small-job stream",
+			s.Classes[0].ShareJobs+s.Classes[1].ShareJobs)
+	}
+	// Heavy-tailed popularity: top-10 files dominate.
+	if s.Top10Share < 0.5 {
+		t.Fatalf("top-10 share %.2f; expected heavy head", s.Top10Share)
+	}
+	if s.TopFileShare <= 0 || s.TopFileShare > 1 {
+		t.Fatalf("top file share %v", s.TopFileShare)
+	}
+}
+
+func TestSummarizeWL2HasLargeClass(t *testing.T) {
+	s := WL2(1).Summarize()
+	var large SizeClass
+	for _, c := range s.Classes {
+		if strings.HasPrefix(c.Label, "large") {
+			large = c
+		}
+	}
+	if large.Jobs == 0 {
+		t.Fatal("wl2 should contain large jobs")
+	}
+	// Large jobs are few but carry a disproportionate task share.
+	if large.ShareTasks <= large.ShareJobs {
+		t.Fatalf("large class: task share %.2f should exceed job share %.2f", large.ShareTasks, large.ShareJobs)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	out := WL1(2).Summarize().String()
+	for _, want := range []string{"wl1", "map tasks", "popularity", "size class", "tiny"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeEmptyWorkload(t *testing.T) {
+	w := &Workload{Name: "empty"}
+	s := w.Summarize()
+	if s.Jobs != 0 || s.TotalMaps != 0 || s.Span != 0 {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+}
+
+func TestScaleArrivals(t *testing.T) {
+	w := WL1(3)
+	half := w.ScaleArrivals(0.5)
+	for i := range w.Jobs {
+		if math.Abs(half.Jobs[i].Arrival-w.Jobs[i].Arrival*0.5) > 1e-12 {
+			t.Fatalf("job %d arrival not scaled", i)
+		}
+		if half.Jobs[i].NumMaps != w.Jobs[i].NumMaps {
+			t.Fatal("scaling touched non-arrival fields")
+		}
+	}
+	// Original untouched.
+	if w.Jobs[10].Arrival == half.Jobs[10].Arrival && w.Jobs[10].Arrival != 0 {
+		t.Fatal("original mutated")
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftAtJobRotatesPopularity(t *testing.T) {
+	w := Generate(GenConfig{NumJobs: 2000, Seed: 4, ShiftAtJob: 1000, FileRepeatProb: -1})
+	// Count accesses per file before and after the shift; the hot sets
+	// must be (nearly) disjoint: rank-1 pre-shift maps to file 0, post-
+	// shift to file NumFiles/2.
+	pre := make(map[int]int)
+	post := make(map[int]int)
+	for i, j := range w.Jobs {
+		if i < 1000 {
+			pre[j.File]++
+		} else {
+			post[j.File]++
+		}
+	}
+	topOf := func(m map[int]int) int {
+		best, bestN := -1, -1
+		for f, n := range m {
+			if n > bestN || (n == bestN && f < best) {
+				best, bestN = f, n
+			}
+		}
+		return best
+	}
+	preTop, postTop := topOf(pre), topOf(post)
+	if preTop == postTop {
+		t.Fatalf("popularity did not shift: top file %d in both halves", preTop)
+	}
+	if postTop != (preTop+len(w.Files)/2)%len(w.Files) {
+		t.Fatalf("shift rotated to %d, want %d", postTop, (preTop+len(w.Files)/2)%len(w.Files))
+	}
+}
