@@ -7,15 +7,19 @@
 //	dare-bench                      # everything, full 500-job scale
 //	dare-bench -exp fig7            # one experiment
 //	dare-bench -exp fig9 -jobs 200  # scaled down
+//	dare-bench -parallel 8          # bound concurrent simulations
+//	dare-bench -exp fig7 -json      # also write BENCH_fig7.json (perf record)
 //	dare-bench -list                # available experiment ids
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"dare"
 )
@@ -208,12 +212,16 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		expID = flag.String("exp", "all", "experiment id, or 'all'")
-		jobs  = flag.Int("jobs", 0, "jobs per run (0 = the paper's 500)")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		expID    = flag.String("exp", "all", "experiment id, or 'all'")
+		jobs     = flag.Int("jobs", 0, "jobs per run (0 = the paper's 500)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "write BENCH_<exp>.json perf records (wall-clock, events/sec)")
+		jsonDir  = flag.String("json-dir", ".", "directory for -json output files")
 	)
 	flag.Parse()
+	dare.SetParallelism(*parallel)
 
 	exps := experiments()
 	if *list {
@@ -257,11 +265,62 @@ func main() {
 
 	for _, e := range selected {
 		fmt.Printf("=== %s — %s ===\n", e.id, e.title)
+		eventsBefore := dare.TotalEventsProcessed()
+		start := time.Now()
 		out, err := e.run(*jobs, *seed)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dare-bench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
+		if *jsonOut {
+			path, err := writeBenchJSON(*jsonDir, e, *jobs, *seed, elapsed, dare.TotalEventsProcessed()-eventsBefore)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dare-bench: %s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
+}
+
+// benchRecord is the machine-readable perf record of one experiment run,
+// used to track the wall-clock trajectory of the sweeps across changes.
+type benchRecord struct {
+	Exp         string  `json:"exp"`
+	Title       string  `json:"title"`
+	Jobs        int     `json:"jobs"` // 0 = the paper's 500
+	Seed        uint64  `json:"seed"`
+	Parallelism int     `json:"parallelism"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Events is the number of simulation events processed by every run the
+	// experiment performed; EventsPerSec is the resulting throughput.
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// writeBenchJSON records one experiment's perf numbers as BENCH_<exp>.json.
+func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed time.Duration, events uint64) (string, error) {
+	rec := benchRecord{
+		Exp:         e.id,
+		Title:       e.title,
+		Jobs:        jobs,
+		Seed:        seed,
+		Parallelism: dare.Parallelism(),
+		WallSeconds: elapsed.Seconds(),
+		Events:      events,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rec.EventsPerSec = float64(events) / s
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, e.id)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }

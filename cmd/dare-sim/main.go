@@ -41,8 +41,11 @@ func main() {
 		failAtFrac  = flag.Float64("fail-at", 0.5, "failure time as a fraction of the arrival span")
 		noRepair    = flag.Bool("no-repair", false, "disable HDFS-style re-replication after failures")
 		timeline    = flag.Int("timeline", 0, "print mean locality over N consecutive job buckets (convergence view)")
+		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		seeds       = flag.Int("seeds", 1, "replicate the run over N consecutive seeds and print a per-seed table")
 	)
 	flag.Parse()
+	dare.SetParallelism(*parallel)
 
 	profile, err := profileByName(*profileName)
 	if err != nil {
@@ -63,42 +66,60 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var wl *dare.Workload
-	switch *wlName {
-	case "wl1":
-		wl = dare.WL1(*seed)
-	case "wl2":
-		wl = dare.WL2(*seed)
-	default:
-		fatal(fmt.Errorf("unknown workload %q (want wl1|wl2)", *wlName))
-	}
-	if *jobs > 0 && *jobs < len(wl.Jobs) {
-		wl.Jobs = wl.Jobs[:*jobs]
-	}
-
 	profile.SpeculativeExecution = *speculative
 	policy := dare.PolicyConfig{Kind: kind, P: *p, Threshold: *threshold, BudgetFraction: *budget}
 	if kind == dare.Scarlett {
 		policy = dare.PolicyFor(dare.Scarlett)
 		policy.BudgetFraction = *budget
 	}
-	var failures []dare.NodeFailure
-	if *failNodes > 0 {
-		span := wl.Jobs[len(wl.Jobs)-1].Arrival
-		for i := 0; i < *failNodes && i < profile.Slaves; i++ {
-			failures = append(failures, dare.NodeFailure{Node: i, At: span**failAtFrac + 0.01*float64(i)})
+
+	// optionsFor assembles one run's options for a seed; the workload and
+	// the failure schedule (whose time scale follows the arrival span) are
+	// regenerated per seed.
+	optionsFor := func(s uint64) (*dare.Workload, dare.Options, error) {
+		var wl *dare.Workload
+		switch *wlName {
+		case "wl1":
+			wl = dare.WL1(s)
+		case "wl2":
+			wl = dare.WL2(s)
+		default:
+			return nil, dare.Options{}, fmt.Errorf("unknown workload %q (want wl1|wl2)", *wlName)
 		}
+		if *jobs > 0 && *jobs < len(wl.Jobs) {
+			wl.Jobs = wl.Jobs[:*jobs]
+		}
+		var failures []dare.NodeFailure
+		if *failNodes > 0 {
+			span := wl.Jobs[len(wl.Jobs)-1].Arrival
+			for i := 0; i < *failNodes && i < profile.Slaves; i++ {
+				failures = append(failures, dare.NodeFailure{Node: i, At: span**failAtFrac + 0.01*float64(i)})
+			}
+		}
+		return wl, dare.Options{
+			Profile:       profile,
+			Workload:      wl,
+			Scheduler:     *schedName,
+			FairSkips:     *fairSkips,
+			Policy:        policy,
+			Seed:          s,
+			Failures:      failures,
+			DisableRepair: *noRepair,
+		}, nil
 	}
-	out, err := dare.Run(dare.Options{
-		Profile:       profile,
-		Workload:      wl,
-		Scheduler:     *schedName,
-		FairSkips:     *fairSkips,
-		Policy:        policy,
-		Seed:          *seed,
-		Failures:      failures,
-		DisableRepair: *noRepair,
-	})
+
+	if *seeds > 1 {
+		if err := multiSeed(*seed, *seeds, optionsFor); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	wl, opts, err := optionsFor(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := dare.Run(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -157,6 +178,38 @@ func main() {
 		}
 		fmt.Printf("\nwrote per-job results to %s\n", *csvPath)
 	}
+}
+
+// multiSeed replicates the configured run over n consecutive seeds on the
+// worker pool and prints one summary row per seed plus the means — the
+// quick way to see how robust a configuration's metrics are to the seed.
+func multiSeed(base uint64, n int, optionsFor func(uint64) (*dare.Workload, dare.Options, error)) error {
+	opts := make([]dare.Options, n)
+	for i := 0; i < n; i++ {
+		_, o, err := optionsFor(base + uint64(i))
+		if err != nil {
+			return err
+		}
+		opts[i] = o
+	}
+	outs, err := dare.RunAll(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %9s %9s %9s %10s %9s\n", "seed", "locality", "gmtt(s)", "slowdown", "makespan", "replicas")
+	var locality, gmtt, slowdown, makespan float64
+	for i, out := range outs {
+		s := out.Summary
+		fmt.Printf("%8d %9.3f %9.2f %9.2f %10.1f %9d\n",
+			base+uint64(i), s.JobLocality, s.GMTT, s.MeanSlowdown, s.Makespan, s.ReplicasCreated)
+		locality += s.JobLocality
+		gmtt += s.GMTT
+		slowdown += s.MeanSlowdown
+		makespan += s.Makespan
+	}
+	f := float64(n)
+	fmt.Printf("%8s %9.3f %9.2f %9.2f %10.1f\n", "mean", locality/f, gmtt/f, slowdown/f, makespan/f)
+	return nil
 }
 
 // writeResultsCSV dumps one row per job for external plotting.

@@ -155,6 +155,25 @@ type (
 // (Options, Seed).
 func Run(opts Options) (*Output, error) { return runner.Run(opts) }
 
+// RunAll executes every Options on a bounded worker pool (see
+// SetParallelism) and returns the outputs in input order. Each simulated
+// world remains single-threaded and deterministic; only whole runs fan
+// out, so outs[i] is byte-identical to what a serial Run(opts[i]) returns.
+func RunAll(opts []Options) ([]*Output, error) { return runner.RunAll(opts) }
+
+// SetParallelism bounds how many simulations may run concurrently in
+// RunAll and the experiment drivers. n <= 0 restores the default
+// (GOMAXPROCS).
+func SetParallelism(n int) { runner.SetParallelism(n) }
+
+// Parallelism reports the current concurrent-simulation bound.
+func Parallelism() int { return runner.Parallelism() }
+
+// TotalEventsProcessed reports the cumulative simulation events processed
+// by all completed runs in this process — the throughput numerator for
+// benchmarking (events/sec).
+func TotalEventsProcessed() uint64 { return runner.TotalEventsProcessed() }
+
 // JobResult is one job's outcome within Output.Results.
 type JobResult = mapreduce.Result
 

@@ -160,6 +160,8 @@ func (b *Balancer) move(blk BlockID, src, dst topology.NodeID) error {
 		b.nn.dynamicBytes[src] -= size
 		b.nn.dynamicBytes[dst] += size
 	}
+	b.nn.notifyRemove(blk, src)
+	b.nn.notifyAdd(blk, dst)
 	return nil
 }
 

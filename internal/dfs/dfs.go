@@ -61,6 +61,16 @@ type File struct {
 	Created float64
 }
 
+// ReplicaListener observes every replica-set mutation the name node
+// performs: primary placement, dynamic replica announce/evict, failure
+// loss, repair, and balancer moves. The MapReduce tracker implements it to
+// keep per-job locality indices incrementally up to date instead of
+// rescanning the location map on every scheduling decision.
+type ReplicaListener interface {
+	OnReplicaAdded(b BlockID, node topology.NodeID)
+	OnReplicaRemoved(b BlockID, node topology.NodeID)
+}
+
 // NameNode is the master metadata service. It is single-threaded like the
 // simulation that drives it.
 type NameNode struct {
@@ -82,6 +92,9 @@ type NameNode struct {
 
 	// failed marks downed data nodes; placement avoids them.
 	failed map[topology.NodeID]bool
+
+	// listener, when set, observes every replica add/remove.
+	listener ReplicaListener
 
 	nextFile  FileID
 	nextBlock BlockID
@@ -111,6 +124,23 @@ func NewNameNode(topo topology.Topology, replication int, rng *stats.RNG) *NameN
 	}
 	nn.failed = make(map[topology.NodeID]bool)
 	return nn
+}
+
+// SetReplicaListener installs l as the observer of replica-set changes
+// (nil uninstalls). At most one listener is supported; the tracker fans
+// updates out to its jobs.
+func (nn *NameNode) SetReplicaListener(l ReplicaListener) { nn.listener = l }
+
+func (nn *NameNode) notifyAdd(b BlockID, node topology.NodeID) {
+	if nn.listener != nil {
+		nn.listener.OnReplicaAdded(b, node)
+	}
+}
+
+func (nn *NameNode) notifyRemove(b BlockID, node topology.NodeID) {
+	if nn.listener != nil {
+		nn.listener.OnReplicaRemoved(b, node)
+	}
 }
 
 // N reports the number of data nodes.
@@ -223,6 +253,9 @@ func (nn *NameNode) placePrimaries(b *Block) {
 		nn.primaryBytes[node] += b.Size
 	}
 	nn.locations[b.ID] = locs
+	for _, node := range chosen {
+		nn.notifyAdd(b.ID, node)
+	}
 }
 
 // File returns a file by ID, or nil.
@@ -247,6 +280,19 @@ func (nn *NameNode) Locations(b BlockID) []topology.NodeID {
 	}
 	sortNodeIDs(out)
 	return out
+}
+
+// ForEachLocation calls fn for every node currently holding a replica of
+// b, in unspecified (map) order, stopping early if fn returns false. It is
+// the allocation-free companion of Locations; callers must derive only
+// order-independent facts from the iteration (existence, counts, extrema
+// with a total tie-break) to preserve determinism.
+func (nn *NameNode) ForEachLocation(b BlockID, fn func(node topology.NodeID, kind ReplicaKind) bool) {
+	for n, k := range nn.locations[b] {
+		if !fn(n, k) {
+			return
+		}
+	}
 }
 
 // HasReplica reports whether node holds any replica of b.
@@ -285,6 +331,7 @@ func (nn *NameNode) AddDynamicReplica(b BlockID, node topology.NodeID) error {
 	nn.locations[b][node] = Dynamic
 	nn.perNode[node][b] = Dynamic
 	nn.dynamicBytes[node] += blk.Size
+	nn.notifyAdd(b, node)
 	return nil
 }
 
@@ -301,6 +348,7 @@ func (nn *NameNode) RemoveDynamicReplica(b BlockID, node topology.NodeID) error 
 	delete(nn.locations[b], node)
 	delete(nn.perNode[node], b)
 	nn.dynamicBytes[node] -= nn.blocks[b].Size
+	nn.notifyRemove(b, node)
 	return nil
 }
 

@@ -58,6 +58,7 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 		if len(nn.locations[b]) == 0 {
 			rep.UnavailableBlocks = append(rep.UnavailableBlocks, b)
 		}
+		nn.notifyRemove(b, node)
 	}
 	return rep
 }
@@ -98,6 +99,7 @@ func (nn *NameNode) AddPrimaryReplica(b BlockID, node topology.NodeID) error {
 	nn.locations[b][node] = Primary
 	nn.perNode[node][b] = Primary
 	nn.primaryBytes[node] += blk.Size
+	nn.notifyAdd(b, node)
 	return nil
 }
 

@@ -50,6 +50,9 @@ type Cluster struct {
 	rttG   *stats.RNG
 	noiseG *stats.RNG
 	noise  stats.Dist
+	// racks is the number of racks in the topology (max rack ID + 1),
+	// computed once so per-job rack indices can be sized up front.
+	racks int
 }
 
 // NewCluster builds a cluster from a profile. All randomness (virtual
@@ -92,6 +95,9 @@ func NewCluster(p *config.Profile, seed uint64) (*Cluster, error) {
 			FreeReduceSlots: p.ReduceSlotsPerNode,
 			Up:              true,
 		})
+		if r := topo.Rack(topology.NodeID(i)); r >= c.racks {
+			c.racks = r + 1
+		}
 	}
 	return c, nil
 }
@@ -121,18 +127,21 @@ func (c *Cluster) LocalReadTime(node topology.NodeID, size int64) float64 {
 // with the fewest hops from dst (ties broken by lowest node ID for
 // determinism). ok is false when the block has no replica.
 func (c *Cluster) chooseSource(b dfs.BlockID, dst topology.NodeID) (topology.NodeID, bool) {
-	locs := c.NN.Locations(b)
 	best := topology.NodeID(-1)
 	bestHops := math.MaxInt32
-	for _, src := range locs {
+	// Iterate the location map directly (no allocation); the (hops, node
+	// ID) tie-break is a total order, so the winner is independent of map
+	// iteration order.
+	c.NN.ForEachLocation(b, func(src topology.NodeID, _ dfs.ReplicaKind) bool {
 		if src == dst {
-			continue
+			return true
 		}
-		if h := c.Topo.Hops(src, dst); h < bestHops {
+		if h := c.Topo.Hops(src, dst); h < bestHops || (h == bestHops && src < best) {
 			bestHops = h
 			best = src
 		}
-	}
+		return true
+	})
 	return best, best >= 0
 }
 

@@ -139,7 +139,7 @@ func (t *Tracker) scheduleRepairs() {
 	if at := t.c.Eng.Now() + detect; at > t.lastRepairAt {
 		t.lastRepairAt = at
 	}
-	t.c.Eng.Schedule(detect, func() {
+	t.c.Eng.Defer(detect, func() {
 		queue := t.c.NN.UnderReplicated()
 		blockTime := float64(t.c.Profile.BlockSizeBytes()) / (t.c.Profile.NetBW.Mean() * float64(1<<20))
 		// Two parallel repair streams, each copying one block at a time.
@@ -150,7 +150,7 @@ func (t *Tracker) scheduleRepairs() {
 			if at := t.c.Eng.Now() + delay; at > t.lastRepairAt {
 				t.lastRepairAt = at
 			}
-			t.c.Eng.Schedule(delay, func() { t.repairBlock(b) })
+			t.c.Eng.Defer(delay, func() { t.repairBlock(b) })
 		}
 	})
 }

@@ -1,0 +1,60 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dare/internal/dfs"
+)
+
+// TestBlockHeapOrdering checks the hand-rolled min-heap pops in ascending
+// seq order regardless of push order — the property that makes the indexed
+// block selection agree with the original linear scan.
+func TestBlockHeapOrdering(t *testing.T) {
+	var h blockHeap
+	seqs := []uint64{9, 2, 14, 1, 7, 3, 11, 5}
+	for _, s := range seqs {
+		h.push(pendingRef{seq: s, b: dfs.BlockID(s)})
+	}
+	if got := h.peek().seq; got != 1 {
+		t.Fatalf("peek seq %d, want 1", got)
+	}
+	sorted := append([]uint64(nil), seqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, want := range sorted {
+		got := h.pop()
+		if got.seq != want {
+			t.Fatalf("pop %d: seq %d, want %d", i, got.seq, want)
+		}
+		if got.b != dfs.BlockID(want) {
+			t.Fatalf("pop %d: block %d does not ride with its seq %d", i, got.b, want)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("%d entries left after draining", len(h))
+	}
+}
+
+// TestBlockHeapInterleaved stress-tests push/pop interleaving (including
+// duplicate seqs, which the rack index can produce past its dedup buffer)
+// against a sorted-slice reference model.
+func TestBlockHeapInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h blockHeap
+	var model []uint64
+	for step := 0; step < 5000; step++ {
+		if len(model) == 0 || rng.Intn(3) != 0 {
+			s := uint64(rng.Intn(100))
+			h.push(pendingRef{seq: s})
+			model = append(model, s)
+			sort.Slice(model, func(i, j int) bool { return model[i] < model[j] })
+		} else {
+			got := h.pop()
+			if got.seq != model[0] {
+				t.Fatalf("step %d: pop seq %d, want %d", step, got.seq, model[0])
+			}
+			model = model[1:]
+		}
+	}
+}

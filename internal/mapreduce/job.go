@@ -31,6 +31,62 @@ func (l Locality) String() string {
 	}
 }
 
+// pendingRef identifies one pending map input: the block and the sequence
+// number it was (last) enqueued under. Sequence numbers make lazy deletion
+// possible: a ref whose seq no longer matches the block's current entry in
+// pendingSeq is stale and is discarded when encountered.
+type pendingRef struct {
+	seq uint64
+	b   dfs.BlockID
+}
+
+// blockHeap is a hand-rolled binary min-heap of pendingRefs ordered by
+// seq. Because pending blocks are enqueued in file order (and requeues get
+// fresh, higher seqs), the minimum live seq in a heap is exactly the block
+// a linear scan of the pending list would find first — which is what keeps
+// the indexed selection byte-identical to the original scan.
+type blockHeap []pendingRef
+
+func (h *blockHeap) push(e pendingRef) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].seq <= s[i].seq {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h blockHeap) peek() pendingRef { return h[0] }
+
+func (h *blockHeap) pop() pendingRef {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && s[l].seq < s[small].seq {
+			small = l
+		}
+		if r := 2*i + 2; r < n && s[r].seq < s[small].seq {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
 // Job is the runtime state of one trace job inside the cluster.
 type Job struct {
 	Spec workload.Job
@@ -39,10 +95,36 @@ type Job struct {
 
 	cluster *Cluster
 
-	// pending holds not-yet-started map input blocks in file order.
-	pending []dfs.BlockID
-	// pendingSet mirrors pending for O(1) membership.
-	pendingSet map[dfs.BlockID]bool
+	// pending holds not-yet-started map inputs in enqueue order, lazily
+	// compacted: entries whose seq is no longer current are skipped when
+	// popped.
+	pending []pendingRef
+	// pendingSeq maps each currently pending block to its live seq;
+	// presence in this map is the definition of "pending".
+	pendingSeq map[dfs.BlockID]uint64
+	// nextSeq starts at 1 so the zero value a map lookup returns for a
+	// missing block never matches a real seq.
+	nextSeq uint64
+
+	// byNode[n] and byRack[r] index pending blocks by current replica
+	// location, keyed by seq — the inverted locality index that makes
+	// TakeLocalBlock/TakeRackLocalBlock/HasLocalBlock O(1) amortized.
+	// Entries go stale when a block is taken or a replica moves; they are
+	// discarded lazily on pop, and replica additions are pushed via the
+	// name node's ReplicaListener hook.
+	byNode []blockHeap
+	byRack []blockHeap
+	// rackKeep is scratch for TakeRackLocalBlock: live entries whose only
+	// in-rack replica sits on the requesting node are parked here and
+	// restored after the search.
+	rackKeep []pendingRef
+
+	// linearScan selects the original O(pending) scan path. NewJob turns it
+	// on for jobs below indexMinMaps — a scan over a handful of pendingRefs
+	// beats heap maintenance and allocates nothing — and the tracker's
+	// equivalence-test switch forces it on for every job. Both paths are
+	// byte-identical by construction.
+	linearScan bool
 
 	runningMaps   int
 	completedMaps int
@@ -63,6 +145,15 @@ type Job struct {
 	finishTime float64
 }
 
+// indexMinMaps is the pending-set size below which the inverted locality
+// index is not worth its allocations: a linear scan over that few
+// pendingRefs is at most a couple of cache lines per offer, while the
+// index costs one heap entry per replica. Small jobs dominate the paper's
+// workloads (wl1 tops out at single-digit maps), so the hybrid keeps them
+// allocation-free and reserves the index for the large jobs whose
+// O(pending) scans actually hurt.
+const indexMinMaps = 16
+
 // NewJob binds a trace job to its DFS file in cluster c. The tracker
 // creates jobs at their arrival times; tests and library users may create
 // them directly.
@@ -71,16 +162,68 @@ func NewJob(spec workload.Job, file *dfs.File, c *Cluster) *Job {
 		Spec:           spec,
 		File:           file,
 		cluster:        c,
-		pendingSet:     make(map[dfs.BlockID]bool, spec.NumMaps),
+		pendingSeq:     make(map[dfs.BlockID]uint64, spec.NumMaps),
+		nextSeq:        1,
+		linearScan:     spec.NumMaps < indexMinMaps,
 		pendingReduces: spec.NumReduces,
 		firstTaskTime:  -1,
 	}
+	if !j.linearScan {
+		heaps := make([]blockHeap, c.Topo.N()+c.racks)
+		j.byNode, j.byRack = heaps[:c.Topo.N()], heaps[c.Topo.N():]
+	}
 	for i := spec.FirstBlock; i < spec.FirstBlock+spec.NumMaps; i++ {
-		b := file.Blocks[i]
-		j.pending = append(j.pending, b)
-		j.pendingSet[b] = true
+		j.addPending(file.Blocks[i])
 	}
 	return j
+}
+
+// addPending enqueues b with a fresh seq and indexes it under every node
+// (and rack) currently holding a replica.
+func (j *Job) addPending(b dfs.BlockID) {
+	seq := j.nextSeq
+	j.nextSeq++
+	j.pendingSeq[b] = seq
+	j.pending = append(j.pending, pendingRef{seq: seq, b: b})
+	if j.linearScan {
+		return
+	}
+	topo := j.cluster.Topo
+	// Replicas of one block rarely span more than a few racks; dedup with
+	// a small fixed buffer and tolerate duplicate heap entries past it
+	// (duplicates are merely lazily-discarded stale refs).
+	var racks [8]int
+	nr := 0
+	j.cluster.NN.ForEachLocation(b, func(node topology.NodeID, _ dfs.ReplicaKind) bool {
+		j.byNode[node].push(pendingRef{seq: seq, b: b})
+		r := topo.Rack(node)
+		for i := 0; i < nr; i++ {
+			if racks[i] == r {
+				return true
+			}
+		}
+		if nr < len(racks) {
+			racks[nr] = r
+			nr++
+		}
+		j.byRack[r].push(pendingRef{seq: seq, b: b})
+		return true
+	})
+}
+
+// onReplicaAdded indexes a newly announced replica of a still-pending
+// block. Replica removals need no counterpart: the Take/Has paths verify
+// liveness against the name node and discard stale entries lazily.
+func (j *Job) onReplicaAdded(b dfs.BlockID, node topology.NodeID) {
+	if j.linearScan {
+		return
+	}
+	seq, ok := j.pendingSeq[b]
+	if !ok {
+		return
+	}
+	j.byNode[node].push(pendingRef{seq: seq, b: b})
+	j.byRack[j.cluster.Topo.Rack(node)].push(pendingRef{seq: seq, b: b})
 }
 
 // ID reports the trace job ID.
@@ -90,7 +233,7 @@ func (j *Job) ID() int { return j.Spec.ID }
 func (j *Job) Arrival() float64 { return j.Spec.Arrival }
 
 // PendingMaps reports map tasks not yet launched.
-func (j *Job) PendingMaps() int { return len(j.pending) }
+func (j *Job) PendingMaps() int { return len(j.pendingSeq) }
 
 // RunningMaps reports in-flight map tasks.
 func (j *Job) RunningMaps() int { return j.runningMaps }
@@ -116,50 +259,136 @@ func (j *Job) RunningReduces() int { return j.runningReduces }
 // Finished reports whether the job has fully completed.
 func (j *Job) Finished() bool { return j.finished }
 
+// live reports whether a heap/pending entry still refers to the current
+// enqueue of its block.
+func (j *Job) live(e pendingRef) bool { return j.pendingSeq[e.b] == e.seq }
+
 // TakeLocalBlock removes and returns a pending block with a replica on
-// node, preferring the lowest file offset for determinism.
+// node, preferring the lowest enqueue order (file offset, then requeue
+// order) for determinism.
 func (j *Job) TakeLocalBlock(node topology.NodeID) (dfs.BlockID, bool) {
-	for i, b := range j.pending {
-		if j.cluster.NN.HasReplica(b, node) {
-			j.removePendingAt(i)
-			return b, true
+	if j.linearScan {
+		for _, e := range j.pending {
+			if j.live(e) && j.cluster.NN.HasReplica(e.b, node) {
+				delete(j.pendingSeq, e.b)
+				return e.b, true
+			}
 		}
+		return 0, false
+	}
+	h := &j.byNode[node]
+	for len(*h) > 0 {
+		e := h.peek()
+		if !j.live(e) || !j.cluster.NN.HasReplica(e.b, node) {
+			h.pop()
+			continue
+		}
+		h.pop()
+		delete(j.pendingSeq, e.b)
+		return e.b, true
 	}
 	return 0, false
+}
+
+// rackReplica reports whether b has a replica in rack at all, and whether
+// one of those replicas sits on a node other than skip.
+func (j *Job) rackReplica(b dfs.BlockID, rack int, skip topology.NodeID) (inRack, eligible bool) {
+	topo := j.cluster.Topo
+	j.cluster.NN.ForEachLocation(b, func(n topology.NodeID, _ dfs.ReplicaKind) bool {
+		if topo.Rack(n) != rack {
+			return true
+		}
+		inRack = true
+		if n != skip {
+			eligible = true
+			return false
+		}
+		return true
+	})
+	return inRack, eligible
 }
 
 // TakeRackLocalBlock removes and returns a pending block with a replica in
 // node's rack (but not on node itself).
 func (j *Job) TakeRackLocalBlock(node topology.NodeID) (dfs.BlockID, bool) {
 	rack := j.cluster.Topo.Rack(node)
-	for i, b := range j.pending {
-		for _, loc := range j.cluster.NN.Locations(b) {
-			if loc != node && j.cluster.Topo.Rack(loc) == rack {
-				j.removePendingAt(i)
-				return b, true
+	if j.linearScan {
+		for _, e := range j.pending {
+			if !j.live(e) {
+				continue
+			}
+			if _, ok := j.rackReplica(e.b, rack, node); ok {
+				delete(j.pendingSeq, e.b)
+				return e.b, true
 			}
 		}
+		return 0, false
+	}
+	h := &j.byRack[rack]
+	j.rackKeep = j.rackKeep[:0]
+	var taken dfs.BlockID
+	found := false
+	for len(*h) > 0 {
+		e := h.peek()
+		if !j.live(e) {
+			h.pop()
+			continue
+		}
+		inRack, eligible := j.rackReplica(e.b, rack, node)
+		if !inRack {
+			h.pop() // the rack lost its replica; the entry is stale
+			continue
+		}
+		if !eligible {
+			// Live but unusable for this node; park it and keep looking.
+			j.rackKeep = append(j.rackKeep, h.pop())
+			continue
+		}
+		h.pop()
+		delete(j.pendingSeq, e.b)
+		taken, found = e.b, true
+		break
+	}
+	for _, e := range j.rackKeep {
+		h.push(e)
+	}
+	return taken, found
+}
+
+// TakeAnyBlock removes and returns the oldest pending block.
+func (j *Job) TakeAnyBlock() (dfs.BlockID, bool) {
+	for len(j.pending) > 0 {
+		e := j.pending[0]
+		j.pending = j.pending[1:]
+		if !j.live(e) {
+			continue
+		}
+		delete(j.pendingSeq, e.b)
+		return e.b, true
 	}
 	return 0, false
 }
 
-// TakeAnyBlock removes and returns the first pending block.
-func (j *Job) TakeAnyBlock() (dfs.BlockID, bool) {
-	if len(j.pending) == 0 {
-		return 0, false
-	}
-	b := j.pending[0]
-	j.removePendingAt(0)
-	return b, true
-}
-
 // HasLocalBlock reports whether any pending block is node-local without
-// removing it (used by delay scheduling to decide whether to wait).
+// removing it (used by delay scheduling to decide whether to wait). On the
+// indexed path it compacts stale heap entries as a side effect.
 func (j *Job) HasLocalBlock(node topology.NodeID) bool {
-	for _, b := range j.pending {
-		if j.cluster.NN.HasReplica(b, node) {
-			return true
+	if j.linearScan {
+		for _, e := range j.pending {
+			if j.live(e) && j.cluster.NN.HasReplica(e.b, node) {
+				return true
+			}
 		}
+		return false
+	}
+	h := &j.byNode[node]
+	for len(*h) > 0 {
+		e := h.peek()
+		if !j.live(e) || !j.cluster.NN.HasReplica(e.b, node) {
+			h.pop()
+			continue
+		}
+		return true
 	}
 	return false
 }
@@ -184,18 +413,13 @@ func (j *Job) outputNetworkBytesPerReduce(p *config.Profile) int64 {
 }
 
 // Requeue returns a block to the pending set after its task was killed by
-// a node failure; the scheduler will relaunch it elsewhere.
+// a node failure; the scheduler will relaunch it elsewhere. The block gets
+// a fresh seq, placing it behind every currently pending block.
 func (j *Job) Requeue(b dfs.BlockID) {
-	if j.pendingSet[b] {
+	if _, ok := j.pendingSeq[b]; ok {
 		return
 	}
-	j.pending = append(j.pending, b)
-	j.pendingSet[b] = true
-}
-
-func (j *Job) removePendingAt(i int) {
-	delete(j.pendingSet, j.pending[i])
-	j.pending = append(j.pending[:i], j.pending[i+1:]...)
+	j.addPending(b)
 }
 
 // Locality reports the fraction of completed map tasks that ran

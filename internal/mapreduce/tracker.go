@@ -64,6 +64,10 @@ type Tracker struct {
 	// order for determinism) and its activity counter.
 	specGroups   []*taskGroup
 	specLaunched int
+
+	// linearScan makes every job use the original O(pending) scan instead
+	// of the inverted locality index (equivalence testing).
+	linearScan bool
 }
 
 // NewTracker wires a tracker to a cluster, a scheduler, and an optional
@@ -83,6 +87,10 @@ func NewTracker(c *Cluster, wl *workload.Workload, sel TaskSelector, hook Replic
 		totalJobs: len(wl.Jobs),
 		inflight:  make(map[*Node]map[*taskRec]bool),
 	}
+	// Observe every replica-set change so active jobs can keep their
+	// locality indices current (DARE announces, evictions, failures,
+	// repairs, balancer moves).
+	c.NN.SetReplicaListener(t)
 	blockSize := c.Profile.BlockSizeBytes()
 	for _, fs := range wl.Files {
 		f, err := c.NN.CreateFile(fs.Name, fs.Blocks, blockSize, 0)
@@ -93,6 +101,26 @@ func NewTracker(c *Cluster, wl *workload.Workload, sel TaskSelector, hook Replic
 	}
 	return t, nil
 }
+
+// SetLinearScan switches every job this tracker creates to the original
+// linear-scan block selection (true) or the inverted locality index
+// (false, the default). Both paths are byte-identical by construction;
+// the switch exists so tests can prove it. Call before Run.
+func (t *Tracker) SetLinearScan(v bool) { t.linearScan = v }
+
+// OnReplicaAdded implements dfs.ReplicaListener: newly announced replicas
+// are indexed by every active job that still has the block pending. Jobs
+// are updated independently, so the map iteration order is immaterial.
+func (t *Tracker) OnReplicaAdded(b dfs.BlockID, node topology.NodeID) {
+	for j := range t.active {
+		j.onReplicaAdded(b, node)
+	}
+}
+
+// OnReplicaRemoved implements dfs.ReplicaListener. Removals need no index
+// update: stale entries are verified against the name node and discarded
+// lazily at selection time.
+func (t *Tracker) OnReplicaRemoved(b dfs.BlockID, node topology.NodeID) {}
 
 // SetHook installs (or replaces) the replication hook. Call before Run.
 // It exists because the DARE manager derives its budget from the bytes the
@@ -116,14 +144,14 @@ func (t *Tracker) Run() ([]Result, error) {
 	eng := t.c.Eng
 	for _, spec := range t.wl.Jobs {
 		spec := spec
-		eng.At(spec.Arrival, func() { t.arrive(spec) })
+		eng.DeferAt(spec.Arrival, func() { t.arrive(spec) })
 	}
 	for _, pf := range t.failures {
 		pf := pf
 		if int(pf.node) < 0 || int(pf.node) >= len(t.c.Nodes) {
 			return nil, fmt.Errorf("mapreduce: failure scheduled for invalid node %d", pf.node)
 		}
-		eng.At(pf.at, func() { t.failNode(t.c.Nodes[pf.node]) })
+		eng.DeferAt(pf.at, func() { t.failNode(t.c.Nodes[pf.node]) })
 	}
 	// De-synchronized heartbeats, like real clusters.
 	interval := t.c.Profile.HeartbeatInterval
@@ -163,6 +191,9 @@ func (t *Tracker) lastArrival() float64 {
 
 func (t *Tracker) arrive(spec workload.Job) {
 	j := NewJob(spec, t.files[spec.File], t.c)
+	if t.linearScan {
+		j.linearScan = true
+	}
 	t.active[j] = true
 	t.sel.AddJob(j)
 }
@@ -204,10 +235,16 @@ func (t *Tracker) classify(b dfs.BlockID, node topology.NodeID) Locality {
 		return NodeLocal
 	}
 	rack := t.c.Topo.Rack(node)
-	for _, loc := range t.c.NN.Locations(b) {
+	inRack := false
+	t.c.NN.ForEachLocation(b, func(loc topology.NodeID, _ dfs.ReplicaKind) bool {
 		if t.c.Topo.Rack(loc) == rack {
-			return RackLocal
+			inRack = true
+			return false
 		}
+		return true
+	})
+	if inRack {
+		return RackLocal
 	}
 	return Remote
 }
@@ -249,7 +286,7 @@ func (t *Tracker) launchAttempt(node *Node, g *taskGroup) {
 			read = t.c.LocalReadTime(node.ID, blk.Size) * 2
 		} else {
 			node.ActiveRemoteReads++
-			t.c.Eng.Schedule(read, func() { node.ActiveRemoteReads-- })
+			t.c.Eng.Defer(read, func() { node.ActiveRemoteReads-- })
 		}
 	}
 	dur := (math.Max(read, j.Spec.CPUPerTask) + t.c.Profile.TaskOverhead) * t.c.taskNoise()

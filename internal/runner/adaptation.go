@@ -44,18 +44,26 @@ func Adaptation(jobs int, seed uint64) ([]AdaptationRow, error) {
 		Seed:       seed,
 		ShiftAtJob: jobs / 2,
 	})
-	var rows []AdaptationRow
-	for _, kind := range []core.PolicyKind{core.NonePolicy, core.ElephantTrapPolicy, core.ScarlettPolicy} {
-		out, err := Run(Options{
+	kinds := []core.PolicyKind{core.NonePolicy, core.ElephantTrapPolicy, core.ScarlettPolicy}
+	opts := make([]Options, len(kinds))
+	for i, kind := range kinds {
+		opts[i] = Options{
 			Profile:   config.CCT(),
 			Workload:  wl,
 			Scheduler: "fifo",
 			Policy:    PolicyFor(kind),
 			Seed:      seed,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("runner: adaptation/%s: %w", kind, err)
 		}
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: adaptation/%s", kinds[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AdaptationRow
+	for i, kind := range kinds {
+		out := outs[i]
 		row := AdaptationRow{Policy: kind.String(), ReplicationNetworkBytes: out.ExtraNetworkBytes}
 		var counts [4]int
 		for i, r := range out.Results {

@@ -38,25 +38,31 @@ func AuditReplay(jobs int, seed uint64) ([]AuditReplayRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []AuditReplayRow
-	for _, kind := range EvaluatedPolicies {
-		out, err := Run(Options{
+	opts := make([]Options, len(EvaluatedPolicies))
+	for i, kind := range EvaluatedPolicies {
+		opts[i] = Options{
 			Profile:   config.CCT(),
 			Workload:  wl,
 			Scheduler: "fifo",
 			Policy:    PolicyFor(kind),
 			Seed:      seed,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("runner: audit-replay/%s: %w", kind, err)
 		}
-		rows = append(rows, AuditReplayRow{
-			Policy:       kind.String(),
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: audit-replay/%s", EvaluatedPolicies[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AuditReplayRow, len(outs))
+	for i, out := range outs {
+		rows[i] = AuditReplayRow{
+			Policy:       EvaluatedPolicies[i].String(),
 			Locality:     out.Summary.JobLocality,
 			GMTT:         out.Summary.GMTT,
 			BlocksPerJob: out.Summary.BlocksPerJob,
 			NetworkGB:    float64(out.Summary.NetworkBytes) / (1 << 30),
-		})
+		}
 	}
 	return rows, nil
 }

@@ -48,13 +48,18 @@ func Availability(jobs, failNodes int, seed uint64) ([]AvailabilityRow, error) {
 		failNodes = 4
 	}
 	wl := truncate(workload.WL1(seed), jobs)
-	var rows []AvailabilityRow
-	for _, kind := range []core.PolicyKind{core.NonePolicy, core.GreedyLRUPolicy, core.ElephantTrapPolicy} {
-		row, err := availabilityRun(wl, kind, failNodes, seed)
+	kinds := []core.PolicyKind{core.NonePolicy, core.GreedyLRUPolicy, core.ElephantTrapPolicy}
+	rows := make([]AvailabilityRow, len(kinds))
+	err := forEachIndex(len(kinds), func(i int) error {
+		row, err := availabilityRun(wl, kinds[i], failNodes, seed)
 		if err != nil {
-			return nil, fmt.Errorf("runner: availability/%s: %w", kind, err)
+			return fmt.Errorf("runner: availability/%s: %w", kinds[i], err)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

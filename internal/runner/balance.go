@@ -35,7 +35,6 @@ type BalanceRow struct {
 func BalanceStudy(jobs int, seed uint64) ([]BalanceRow, error) {
 	wl := truncate(workload.WL1(seed), jobs)
 	blockPop := wl.BlockAccessCounts()
-	var rows []BalanceRow
 
 	build := func(kind core.PolicyKind) (*mapreduce.Cluster, *mapreduce.Tracker, *core.Manager, error) {
 		cluster, err := mapreduce.NewCluster(config.CCT(), seed)
@@ -57,58 +56,78 @@ func BalanceStudy(jobs int, seed uint64) ([]BalanceRow, error) {
 		return cluster, tracker, mgr, nil
 	}
 
-	// Scenario 1: vanilla run, no treatment.
-	cluster, tracker, _, err := build(core.NonePolicy)
-	if err != nil {
-		return nil, err
+	// Each scenario builds and runs its own private world, so the three can
+	// execute on the worker pool; rows keeps the original presentation order.
+	scenarios := []func() (BalanceRow, error){
+		// Scenario 1: vanilla run, no treatment.
+		func() (BalanceRow, error) {
+			cluster, tracker, _, err := build(core.NonePolicy)
+			if err != nil {
+				return BalanceRow{}, err
+			}
+			if _, err := tracker.Run(); err != nil {
+				return BalanceRow{}, err
+			}
+			return BalanceRow{
+				Scenario:     "vanilla",
+				StorageCV:    dfs.NewBalancer(cluster.NN).StorageCV(),
+				PopularityCV: metrics.PlacementCV(cluster.NN, tracker.Files(), blockPop),
+			}, nil
+		},
+		// Scenario 2: vanilla run, then the HDFS balancer with a tight
+		// threshold.
+		func() (BalanceRow, error) {
+			cluster, tracker, _, err := build(core.NonePolicy)
+			if err != nil {
+				return BalanceRow{}, err
+			}
+			if _, err := tracker.Run(); err != nil {
+				return BalanceRow{}, err
+			}
+			bal := dfs.NewBalancer(cluster.NN)
+			bal.Threshold = 0.02
+			_, movedBytes, err := bal.Run()
+			if err != nil {
+				return BalanceRow{}, err
+			}
+			return BalanceRow{
+				Scenario:     "hdfs-balancer",
+				StorageCV:    bal.StorageCV(),
+				PopularityCV: metrics.PlacementCV(cluster.NN, tracker.Files(), blockPop),
+				MovedGB:      float64(movedBytes) / (1 << 30),
+			}, nil
+		},
+		// Scenario 3: DARE (ElephantTrap) during the run.
+		func() (BalanceRow, error) {
+			cluster, tracker, mgr, err := build(core.ElephantTrapPolicy)
+			if err != nil {
+				return BalanceRow{}, err
+			}
+			if _, err := tracker.Run(); err != nil {
+				return BalanceRow{}, err
+			}
+			if errs := mgr.Errors(); len(errs) > 0 {
+				return BalanceRow{}, fmt.Errorf("runner: balance-study DARE errors: %w", errs[0])
+			}
+			return BalanceRow{
+				Scenario:     "dare",
+				StorageCV:    dfs.NewBalancer(cluster.NN).StorageCV(),
+				PopularityCV: metrics.PlacementCV(cluster.NN, tracker.Files(), blockPop),
+			}, nil
+		},
 	}
-	if _, err := tracker.Run(); err != nil {
-		return nil, err
-	}
-	rows = append(rows, BalanceRow{
-		Scenario:     "vanilla",
-		StorageCV:    dfs.NewBalancer(cluster.NN).StorageCV(),
-		PopularityCV: metrics.PlacementCV(cluster.NN, tracker.Files(), blockPop),
+	rows := make([]BalanceRow, len(scenarios))
+	err := forEachIndex(len(scenarios), func(i int) error {
+		row, err := scenarios[i]()
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
 	})
-
-	// Scenario 2: vanilla run, then the HDFS balancer with a tight
-	// threshold.
-	cluster2, tracker2, _, err := build(core.NonePolicy)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := tracker2.Run(); err != nil {
-		return nil, err
-	}
-	bal := dfs.NewBalancer(cluster2.NN)
-	bal.Threshold = 0.02
-	_, movedBytes, err := bal.Run()
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, BalanceRow{
-		Scenario:     "hdfs-balancer",
-		StorageCV:    bal.StorageCV(),
-		PopularityCV: metrics.PlacementCV(cluster2.NN, tracker2.Files(), blockPop),
-		MovedGB:      float64(movedBytes) / (1 << 30),
-	})
-
-	// Scenario 3: DARE (ElephantTrap) during the run.
-	cluster3, tracker3, mgr, err := build(core.ElephantTrapPolicy)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := tracker3.Run(); err != nil {
-		return nil, err
-	}
-	if errs := mgr.Errors(); len(errs) > 0 {
-		return nil, fmt.Errorf("runner: balance-study DARE errors: %w", errs[0])
-	}
-	rows = append(rows, BalanceRow{
-		Scenario:     "dare",
-		StorageCV:    dfs.NewBalancer(cluster3.NN).StorageCV(),
-		PopularityCV: metrics.PlacementCV(cluster3.NN, tracker3.Files(), blockPop),
-	})
 	return rows, nil
 }
 

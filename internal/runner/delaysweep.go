@@ -28,10 +28,16 @@ type DelayRow struct {
 // offer a better chance of being local.
 func DelaySweep(jobs int, seed uint64) ([]DelayRow, error) {
 	wl := truncate(workload.WL1(seed), jobs)
-	var rows []DelayRow
+	type cell struct {
+		kind  core.PolicyKind
+		skips int
+	}
+	var cells []cell
+	var opts []Options
 	for _, kind := range []core.PolicyKind{core.NonePolicy, core.ElephantTrapPolicy} {
 		for _, skips := range []int{1, 2, 4, 8, 16, 32} {
-			out, err := Run(Options{
+			cells = append(cells, cell{kind: kind, skips: skips})
+			opts = append(opts, Options{
 				Profile:   config.CCT(),
 				Workload:  wl,
 				Scheduler: "fair",
@@ -39,15 +45,21 @@ func DelaySweep(jobs int, seed uint64) ([]DelayRow, error) {
 				Policy:    PolicyFor(kind),
 				Seed:      seed,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("runner: delay-sweep %d/%s: %w", skips, kind, err)
-			}
-			rows = append(rows, DelayRow{
-				MaxSkips: skips,
-				Policy:   kind.String(),
-				Locality: out.Summary.JobLocality,
-				GMTT:     out.Summary.GMTT,
-			})
+		}
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: delay-sweep %d/%s", cells[i].skips, cells[i].kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]DelayRow, len(outs))
+	for i, out := range outs {
+		rows[i] = DelayRow{
+			MaxSkips: cells[i].skips,
+			Policy:   cells[i].kind.String(),
+			Locality: out.Summary.JobLocality,
+			GMTT:     out.Summary.GMTT,
 		}
 	}
 	return rows, nil

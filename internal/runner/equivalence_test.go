@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+// TestIndexedMatchesLinearScan is the determinism contract of the inverted
+// locality index: for every profile, scheduler, and seed, the indexed
+// block-selection path must produce exactly the same simulation as the
+// original O(pending) linear scan — same per-job results, same summary,
+// byte for byte.
+func TestIndexedMatchesLinearScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run equivalence matrix")
+	}
+	profiles := map[string]func() *config.Profile{
+		"cct": config.CCT,
+		"ec2": config.EC2,
+	}
+	// wl2's large jobs (60+ maps) are the ones that actually build the
+	// inverted index — jobs under indexMinMaps use the scan either way —
+	// so it is the workload that makes this test bite; wl1 covers the
+	// hybrid's small-job path.
+	workloads := map[string]func(uint64) *workload.Workload{
+		"wl1": workload.WL1,
+		"wl2": workload.WL2,
+	}
+	for name, profile := range profiles {
+		for wlName, wl := range workloads {
+			for _, sched := range []string{"fifo", "fair"} {
+				for _, seed := range []uint64{7, 42, 99} {
+					opts := Options{
+						Profile:   profile(),
+						Workload:  truncate(wl(seed), 60),
+						Scheduler: sched,
+						Policy:    PolicyFor(core.ElephantTrapPolicy),
+						Seed:      seed,
+					}
+					indexed := mustRun(t, opts)
+					opts.linearScan = true
+					linear := mustRun(t, opts)
+					if !reflect.DeepEqual(indexed.Summary, linear.Summary) {
+						t.Errorf("%s/%s/%s seed %d: summaries diverge\nindexed: %+v\nlinear:  %+v",
+							name, wlName, sched, seed, indexed.Summary, linear.Summary)
+					}
+					if !reflect.DeepEqual(indexed.Results, linear.Results) {
+						t.Errorf("%s/%s/%s seed %d: per-job results diverge", name, wlName, sched, seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedMatchesLinearScanUnderFailures drives the replica-removal
+// paths (node failure, repair re-replication) through both selection
+// paths: the index handles removals lazily, so this is where a staleness
+// bug would surface.
+func TestIndexedMatchesLinearScanUnderFailures(t *testing.T) {
+	for _, seed := range []uint64{3, 11, 42} {
+		wl := truncate(workload.WL2(seed), 60)
+		span := wl.Jobs[len(wl.Jobs)-1].Arrival
+		opts := Options{
+			Profile:   config.CCT(),
+			Workload:  wl,
+			Scheduler: "fifo",
+			Policy:    PolicyFor(core.GreedyLRUPolicy),
+			Seed:      seed,
+			Failures: []NodeFailure{
+				{Node: 2, At: span * 0.3},
+				{Node: 7, At: span * 0.6},
+			},
+		}
+		indexed := mustRun(t, opts)
+		opts.linearScan = true
+		linear := mustRun(t, opts)
+		if !reflect.DeepEqual(indexed.Summary, linear.Summary) {
+			t.Errorf("seed %d: summaries diverge under failures\nindexed: %+v\nlinear:  %+v",
+				seed, indexed.Summary, linear.Summary)
+		}
+		if !reflect.DeepEqual(indexed.Results, linear.Results) {
+			t.Errorf("seed %d: per-job results diverge under failures", seed)
+		}
+	}
+}

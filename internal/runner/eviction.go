@@ -25,7 +25,12 @@ type EvictionRow struct {
 // workloads under FIFO at a binding budget (0.03 — below the knee of
 // Fig. 9, so evictions churn continuously).
 func EvictionStudy(jobs int, seed uint64) ([]EvictionRow, error) {
-	var rows []EvictionRow
+	type cell struct {
+		wl   string
+		kind core.PolicyKind
+	}
+	var cells []cell
+	var opts []Options
 	for _, wlName := range []string{"wl1", "wl2"} {
 		wl, err := WorkloadByName(wlName, seed)
 		if err != nil {
@@ -35,24 +40,31 @@ func EvictionStudy(jobs int, seed uint64) ([]EvictionRow, error) {
 		for _, kind := range []core.PolicyKind{core.GreedyLRUPolicy, core.GreedyLFUPolicy, core.ElephantTrapPolicy} {
 			pcfg := PolicyFor(kind)
 			pcfg.BudgetFraction = 0.03
-			out, err := Run(Options{
+			cells = append(cells, cell{wl: wlName, kind: kind})
+			opts = append(opts, Options{
 				Profile:   config.CCT(),
 				Workload:  wl,
 				Scheduler: "fifo",
 				Policy:    pcfg,
 				Seed:      seed,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("runner: eviction/%s/%s: %w", wlName, kind, err)
-			}
-			rows = append(rows, EvictionRow{
-				Workload:  wlName,
-				Policy:    kind.String(),
-				Locality:  out.Summary.JobLocality,
-				GMTT:      out.Summary.GMTT,
-				Writes:    out.Summary.DiskWrites,
-				Evictions: out.Summary.Evictions,
-			})
+		}
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: eviction/%s/%s", cells[i].wl, cells[i].kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]EvictionRow, len(outs))
+	for i, out := range outs {
+		rows[i] = EvictionRow{
+			Workload:  cells[i].wl,
+			Policy:    cells[i].kind.String(),
+			Locality:  out.Summary.JobLocality,
+			GMTT:      out.Summary.GMTT,
+			Writes:    out.Summary.DiskWrites,
+			Evictions: out.Summary.Evictions,
 		}
 	}
 	return rows, nil

@@ -48,7 +48,13 @@ func truncate(wl *workload.Workload, n int) *workload.Workload {
 // PerfGrid runs the {workload × scheduler × policy} grid on a profile and
 // computes the normalized metrics of Figs. 7 and 10.
 func PerfGrid(profile *config.Profile, workloads, schedulers []string, jobs int, seed uint64) ([]PerfRow, error) {
-	var rows []PerfRow
+	type cell struct {
+		wl    string
+		sched string
+		kind  core.PolicyKind
+	}
+	var cells []cell
+	var opts []Options
 	for _, wlName := range workloads {
 		wl, err := WorkloadByName(wlName, seed)
 		if err != nil {
@@ -56,39 +62,48 @@ func PerfGrid(profile *config.Profile, workloads, schedulers []string, jobs int,
 		}
 		wl = truncate(wl, jobs)
 		for _, sched := range schedulers {
-			var vanillaGMTT float64
 			for _, kind := range EvaluatedPolicies {
-				out, err := Run(Options{
+				cells = append(cells, cell{wl: wlName, sched: sched, kind: kind})
+				opts = append(opts, Options{
 					Profile:   profile,
 					Workload:  wl,
 					Scheduler: sched,
 					Policy:    PolicyFor(kind),
 					Seed:      seed,
 				})
-				if err != nil {
-					return nil, fmt.Errorf("runner: %s/%s/%s: %w", wlName, sched, kind, err)
-				}
-				if kind == core.NonePolicy {
-					vanillaGMTT = out.Summary.GMTT
-				}
-				norm := 0.0
-				if vanillaGMTT > 0 {
-					norm = out.Summary.GMTT / vanillaGMTT
-				}
-				rows = append(rows, PerfRow{
-					Workload:     wlName,
-					Scheduler:    sched,
-					Policy:       kind.String(),
-					Locality:     out.Summary.JobLocality,
-					GMTT:         out.Summary.GMTT,
-					GMTTNorm:     norm,
-					Slowdown:     out.Summary.MeanSlowdown,
-					MeanMapTime:  out.Summary.MeanMapTime,
-					BlocksPerJob: out.Summary.BlocksPerJob,
-					DiskWrites:   out.Summary.DiskWrites,
-				})
 			}
 		}
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: %s/%s/%s", cells[i].wl, cells[i].sched, cells[i].kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Outputs arrive in grid order, so the vanilla run of each (workload,
+	// scheduler) group is still seen before the runs it normalizes.
+	var rows []PerfRow
+	var vanillaGMTT float64
+	for i, out := range outs {
+		if cells[i].kind == core.NonePolicy {
+			vanillaGMTT = out.Summary.GMTT
+		}
+		norm := 0.0
+		if vanillaGMTT > 0 {
+			norm = out.Summary.GMTT / vanillaGMTT
+		}
+		rows = append(rows, PerfRow{
+			Workload:     cells[i].wl,
+			Scheduler:    cells[i].sched,
+			Policy:       cells[i].kind.String(),
+			Locality:     out.Summary.JobLocality,
+			GMTT:         out.Summary.GMTT,
+			GMTTNorm:     norm,
+			Slowdown:     out.Summary.MeanSlowdown,
+			MeanMapTime:  out.Summary.MeanMapTime,
+			BlocksPerJob: out.Summary.BlocksPerJob,
+			DiskWrites:   out.Summary.DiskWrites,
+		})
 	}
 	return rows, nil
 }
@@ -107,28 +122,41 @@ func Fig10(jobs int, seed uint64) ([]PerfRow, error) {
 	cct, ec2 := config.CCT(), config.EC2()
 	factor := float64(cct.Slaves*cct.MapSlotsPerNode) / float64(ec2.Slaves*ec2.MapSlotsPerNode)
 	wl := truncate(workload.WL1(seed), jobs).ScaleArrivals(factor)
-	var rows []PerfRow
-	for _, sched := range []string{"fifo", "fair"} {
-		var vanillaGMTT float64
+	scheds := []string{"fifo", "fair"}
+	type cell struct {
+		sched string
+		kind  core.PolicyKind
+	}
+	var cells []cell
+	var opts []Options
+	for _, sched := range scheds {
 		for _, kind := range EvaluatedPolicies {
-			out, err := Run(Options{Profile: ec2, Workload: wl, Scheduler: sched, Policy: PolicyFor(kind), Seed: seed})
-			if err != nil {
-				return nil, fmt.Errorf("runner: fig10 %s/%s: %w", sched, kind, err)
-			}
-			if kind == core.NonePolicy {
-				vanillaGMTT = out.Summary.GMTT
-			}
-			norm := 0.0
-			if vanillaGMTT > 0 {
-				norm = out.Summary.GMTT / vanillaGMTT
-			}
-			rows = append(rows, PerfRow{
-				Workload: "wl1", Scheduler: sched, Policy: kind.String(),
-				Locality: out.Summary.JobLocality, GMTT: out.Summary.GMTT, GMTTNorm: norm,
-				Slowdown: out.Summary.MeanSlowdown, MeanMapTime: out.Summary.MeanMapTime,
-				BlocksPerJob: out.Summary.BlocksPerJob, DiskWrites: out.Summary.DiskWrites,
-			})
+			cells = append(cells, cell{sched: sched, kind: kind})
+			opts = append(opts, Options{Profile: ec2, Workload: wl, Scheduler: sched, Policy: PolicyFor(kind), Seed: seed})
 		}
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: fig10 %s/%s", cells[i].sched, cells[i].kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []PerfRow
+	var vanillaGMTT float64
+	for i, out := range outs {
+		if cells[i].kind == core.NonePolicy {
+			vanillaGMTT = out.Summary.GMTT
+		}
+		norm := 0.0
+		if vanillaGMTT > 0 {
+			norm = out.Summary.GMTT / vanillaGMTT
+		}
+		rows = append(rows, PerfRow{
+			Workload: "wl1", Scheduler: cells[i].sched, Policy: cells[i].kind.String(),
+			Locality: out.Summary.JobLocality, GMTT: out.Summary.GMTT, GMTTNorm: norm,
+			Slowdown: out.Summary.MeanSlowdown, MeanMapTime: out.Summary.MeanMapTime,
+			BlocksPerJob: out.Summary.BlocksPerJob, DiskWrites: out.Summary.DiskWrites,
+		})
 	}
 	return rows, nil
 }
@@ -171,28 +199,41 @@ func RenderSens(rows []SensRow) string {
 // each value, building the policy via mkPolicy.
 func sensitivitySweep(param string, values []float64, schedulers []string, mkPolicy func(v float64) core.Config, jobs int, seed uint64) ([]SensRow, error) {
 	wl := truncate(workload.WL2(seed), jobs)
-	var rows []SensRow
+	type cell struct {
+		sched string
+		v     float64
+		pcfg  core.Config
+	}
+	var cells []cell
+	var opts []Options
 	for _, sched := range schedulers {
 		for _, v := range values {
 			pcfg := mkPolicy(v)
-			out, err := Run(Options{
+			cells = append(cells, cell{sched: sched, v: v, pcfg: pcfg})
+			opts = append(opts, Options{
 				Profile:   config.CCT(),
 				Workload:  wl,
 				Scheduler: sched,
 				Policy:    pcfg,
 				Seed:      seed,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("runner: sweep %s=%v/%s: %w", param, v, sched, err)
-			}
-			rows = append(rows, SensRow{
-				Param:        param,
-				Value:        v,
-				Scheduler:    sched,
-				Policy:       pcfg.Kind.String(),
-				Locality:     out.Summary.JobLocality,
-				BlocksPerJob: out.Summary.BlocksPerJob,
-			})
+		}
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: sweep %s=%v/%s", param, cells[i].v, cells[i].sched)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SensRow, len(outs))
+	for i, out := range outs {
+		rows[i] = SensRow{
+			Param:        param,
+			Value:        cells[i].v,
+			Scheduler:    cells[i].sched,
+			Policy:       cells[i].pcfg.Kind.String(),
+			Locality:     out.Summary.JobLocality,
+			BlocksPerJob: out.Summary.BlocksPerJob,
 		}
 	}
 	return rows, nil
@@ -266,19 +307,24 @@ type Fig11Row struct {
 // before and after the run.
 func Fig11(jobs int, seed uint64) ([]Fig11Row, error) {
 	wl := truncate(workload.WL1(seed), jobs)
-	var rows []Fig11Row
-	for _, p := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
-		out, err := Run(Options{
+	ps := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	opts := make([]Options, len(ps))
+	for i, p := range ps {
+		opts[i] = Options{
 			Profile:   config.CCT(),
 			Workload:  wl,
 			Scheduler: "fifo",
 			Policy:    core.Config{Kind: core.ElephantTrapPolicy, P: p, Threshold: 1, BudgetFraction: 0.20},
 			Seed:      seed,
-		})
-		if err != nil {
-			return nil, err
 		}
-		rows = append(rows, Fig11Row{P: p, CVBefore: out.CVBefore, CVAfter: out.CVAfter})
+	}
+	outs, err := RunAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig11Row, len(outs))
+	for i, out := range outs {
+		rows[i] = Fig11Row{P: ps[i], CVBefore: out.CVBefore, CVAfter: out.CVAfter}
 	}
 	return rows, nil
 }
@@ -316,21 +362,30 @@ func (r WritesRow) WriteRatio() float64 {
 // policies' locality and disk writes.
 func AblationWrites(jobs int, seed uint64) ([]WritesRow, error) {
 	wl := truncate(workload.WL2(seed), jobs)
-	var rows []WritesRow
-	for _, sched := range []string{"fifo", "fair"} {
-		var row WritesRow
-		row.Scheduler = sched
-		for _, kind := range []core.PolicyKind{core.GreedyLRUPolicy, core.ElephantTrapPolicy} {
-			out, err := Run(Options{
+	scheds := []string{"fifo", "fair"}
+	kinds := []core.PolicyKind{core.GreedyLRUPolicy, core.ElephantTrapPolicy}
+	var opts []Options
+	for _, sched := range scheds {
+		for _, kind := range kinds {
+			opts = append(opts, Options{
 				Profile:   config.CCT(),
 				Workload:  wl,
 				Scheduler: sched,
 				Policy:    PolicyFor(kind),
 				Seed:      seed,
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	outs, err := RunAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []WritesRow
+	for si, sched := range scheds {
+		var row WritesRow
+		row.Scheduler = sched
+		for ki, kind := range kinds {
+			out := outs[si*len(kinds)+ki]
 			if kind == core.GreedyLRUPolicy {
 				row.LRULocality = out.Summary.JobLocality
 				row.LRUWrites = out.Summary.DiskWrites
@@ -367,26 +422,28 @@ type MapTimeRow struct {
 // using the greedy policy (the strongest replicator) as the DARE arm.
 func AblationMapTime(jobs int, seed uint64) ([]MapTimeRow, error) {
 	wl := truncate(workload.WL2(seed), jobs)
-	var rows []MapTimeRow
-	for _, sched := range []string{"fifo", "fair"} {
-		var vanilla, dare float64
-		for _, kind := range []core.PolicyKind{core.NonePolicy, core.GreedyLRUPolicy} {
-			out, err := Run(Options{
+	scheds := []string{"fifo", "fair"}
+	kinds := []core.PolicyKind{core.NonePolicy, core.GreedyLRUPolicy}
+	var opts []Options
+	for _, sched := range scheds {
+		for _, kind := range kinds {
+			opts = append(opts, Options{
 				Profile:   config.CCT(),
 				Workload:  wl,
 				Scheduler: sched,
 				Policy:    PolicyFor(kind),
 				Seed:      seed,
 			})
-			if err != nil {
-				return nil, err
-			}
-			if kind == core.NonePolicy {
-				vanilla = out.Summary.MeanMapTime
-			} else {
-				dare = out.Summary.MeanMapTime
-			}
 		}
+	}
+	outs, err := RunAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []MapTimeRow
+	for si, sched := range scheds {
+		vanilla := outs[si*len(kinds)].Summary.MeanMapTime
+		dare := outs[si*len(kinds)+1].Summary.MeanMapTime
 		rows = append(rows, MapTimeRow{
 			Scheduler:        sched,
 			VanillaMapTime:   vanilla,

@@ -31,19 +31,26 @@ type OutputBoundRow struct {
 // generator's bimodal output-ratio mixture).
 func OutputBound(jobs int, seed uint64) ([]OutputBoundRow, error) {
 	wl := truncate(workload.WL2(seed), jobs)
-	results := map[core.PolicyKind][]mapreduce.Result{}
-	for _, kind := range []core.PolicyKind{core.NonePolicy, core.GreedyLRUPolicy} {
-		out, err := Run(Options{
+	kinds := []core.PolicyKind{core.NonePolicy, core.GreedyLRUPolicy}
+	opts := make([]Options, len(kinds))
+	for i, kind := range kinds {
+		opts[i] = Options{
 			Profile:   config.CCT(),
 			Workload:  wl,
 			Scheduler: "fifo",
 			Policy:    PolicyFor(kind),
 			Seed:      seed,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("runner: output-bound/%s: %w", kind, err)
 		}
-		results[kind] = out.Results
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: output-bound/%s", kinds[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := map[core.PolicyKind][]mapreduce.Result{}
+	for i, kind := range kinds {
+		results[kind] = outs[i].Results
 	}
 
 	classify := func(r mapreduce.Result) string {

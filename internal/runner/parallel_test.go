@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+func equivalenceOpts(n int) []Options {
+	opts := make([]Options, n)
+	for i := range opts {
+		seed := uint64(100 + i)
+		opts[i] = Options{
+			Profile:   config.CCT(),
+			Workload:  truncate(workload.WL1(seed), 40),
+			Scheduler: "fifo",
+			Policy:    PolicyFor(core.ElephantTrapPolicy),
+			Seed:      seed,
+		}
+	}
+	return opts
+}
+
+// TestRunAllParallelMatchesSerial is the worker pool's determinism
+// contract: RunAll with parallelism N returns exactly the outputs a serial
+// loop produces, in input order.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	opts := equivalenceOpts(6)
+
+	SetParallelism(1)
+	serial, err := RunAll(opts)
+	if err != nil {
+		t.Fatalf("serial RunAll: %v", err)
+	}
+	SetParallelism(4)
+	defer SetParallelism(0)
+	parallel, err := RunAll(opts)
+	if err != nil {
+		t.Fatalf("parallel RunAll: %v", err)
+	}
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d outputs, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Summary, parallel[i].Summary) {
+			t.Errorf("run %d: summaries diverge\nserial:   %+v\nparallel: %+v",
+				i, serial[i].Summary, parallel[i].Summary)
+		}
+		if !reflect.DeepEqual(serial[i].Results, parallel[i].Results) {
+			t.Errorf("run %d: per-job results diverge", i)
+		}
+	}
+}
+
+// TestRunAllFirstError checks that error selection is deterministic under
+// concurrency: the reported failure is the lowest-index one — what a
+// serial loop would have hit first — no matter which goroutine finds its
+// error first.
+func TestRunAllFirstError(t *testing.T) {
+	opts := equivalenceOpts(6)
+	opts[2].Scheduler = "bogus-a"
+	opts[4].Scheduler = "bogus-b"
+
+	SetParallelism(4)
+	defer SetParallelism(0)
+	for trial := 0; trial < 5; trial++ {
+		_, err := RunAll(opts)
+		if err == nil {
+			t.Fatal("RunAll succeeded with invalid schedulers")
+		}
+		if !strings.Contains(err.Error(), "run 2") || !strings.Contains(err.Error(), "bogus-a") {
+			t.Fatalf("trial %d: got error %q, want the lowest-index failure (run 2, bogus-a)", trial, err)
+		}
+	}
+}
+
+// TestParallelismKnob checks the override/default semantics.
+func TestParallelismKnob(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("default Parallelism() = %d, want >= 1", got)
+	}
+}

@@ -5,6 +5,7 @@ package runner
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dare/internal/config"
 	"dare/internal/core"
@@ -35,6 +36,11 @@ type Options struct {
 	Failures []NodeFailure
 	// DisableRepair turns off the post-failure HDFS-style re-replication.
 	DisableRepair bool
+
+	// linearScan forces the original O(pending) block-selection scan
+	// instead of the inverted locality index. Unexported: only the
+	// equivalence tests use it to prove both paths agree byte-for-byte.
+	linearScan bool
 }
 
 // NodeFailure kills one node at a simulated time.
@@ -65,7 +71,19 @@ type Output struct {
 	RepairsDone   int
 	// SchedulerName and PolicyName echo what ran.
 	SchedulerName, PolicyName string
+	// EventsProcessed is the number of simulation events this run executed
+	// (throughput accounting for perf tracking).
+	EventsProcessed uint64
 }
+
+// totalEvents accumulates simulation events executed across every Run in
+// the process; atomic because runs may execute concurrently.
+var totalEvents atomic.Uint64
+
+// TotalEventsProcessed reports the cumulative simulation events executed
+// by all completed runs since process start — the numerator for the
+// events/sec throughput metric dare-bench emits in -json mode.
+func TotalEventsProcessed() uint64 { return totalEvents.Load() }
 
 // Run executes one full simulation and returns its metrics. The run is a
 // pure function of Options (including Seed).
@@ -93,6 +111,9 @@ func Run(opts Options) (*Output, error) {
 	}
 	if opts.DisableRepair {
 		tracker.DisableRepair()
+	}
+	if opts.linearScan {
+		tracker.SetLinearScan(true)
 	}
 
 	var mgr *core.Manager
@@ -122,6 +143,7 @@ func Run(opts Options) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	totalEvents.Add(cluster.Eng.Processed())
 	cvAfter := metrics.PlacementCV(cluster.NN, tracker.Files(), blockPop)
 	if err := cluster.NN.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("runner: post-run DFS state corrupt: %w", err)
@@ -158,6 +180,7 @@ func Run(opts Options) (*Output, error) {
 		RepairsDone:         tracker.RepairsDone(),
 		SchedulerName:       sel.Name(),
 		PolicyName:          polName,
+		EventsProcessed:     cluster.Eng.Processed(),
 	}, nil
 }
 

@@ -31,30 +31,42 @@ func SpeculationStudy(jobs int, seed uint64) ([]SpeculationRow, error) {
 	cct, ec2 := config.CCT(), config.EC2()
 	factor := float64(cct.Slaves*cct.MapSlotsPerNode) / float64(ec2.Slaves*ec2.MapSlotsPerNode)
 	wl := truncate(workload.WL1(seed), jobs).ScaleArrivals(factor)
-	var rows []SpeculationRow
+	type cell struct {
+		speculative bool
+		kind        core.PolicyKind
+	}
+	var cells []cell
+	var opts []Options
 	for _, speculative := range []bool{false, true} {
 		for _, kind := range []core.PolicyKind{core.NonePolicy, core.ElephantTrapPolicy} {
 			profile := config.EC2()
 			profile.SpeculativeExecution = speculative
-			out, err := Run(Options{
+			cells = append(cells, cell{speculative: speculative, kind: kind})
+			opts = append(opts, Options{
 				Profile:   profile,
 				Workload:  wl,
 				Scheduler: "fifo",
 				Policy:    PolicyFor(kind),
 				Seed:      seed,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("runner: speculation/%v/%s: %w", speculative, kind, err)
-			}
-			rows = append(rows, SpeculationRow{
-				Speculative: speculative,
-				Policy:      kind.String(),
-				Locality:    out.Summary.JobLocality,
-				GMTT:        out.Summary.GMTT,
-				MeanMapTime: out.Summary.MeanMapTime,
-				Makespan:    out.Summary.Makespan,
-				Backups:     out.SpeculativeLaunches,
-			})
+		}
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: speculation/%v/%s", cells[i].speculative, cells[i].kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SpeculationRow, len(outs))
+	for i, out := range outs {
+		rows[i] = SpeculationRow{
+			Speculative: cells[i].speculative,
+			Policy:      cells[i].kind.String(),
+			Locality:    out.Summary.JobLocality,
+			GMTT:        out.Summary.GMTT,
+			MeanMapTime: out.Summary.MeanMapTime,
+			Makespan:    out.Summary.Makespan,
+			Backups:     out.SpeculativeLaunches,
 		}
 	}
 	return rows, nil

@@ -32,38 +32,46 @@ type UniformRow struct {
 // copies are mostly spent on data nobody reads.
 func UniformVsAdaptive(jobs int, seed uint64) ([]UniformRow, error) {
 	wl := truncate(workload.WL1(seed), jobs)
-	var rows []UniformRow
-	for _, factor := range []int{2, 3, 4, 5, 6, 8} {
+	factors := []int{2, 3, 4, 5, 6, 8}
+	opts := make([]Options, 0, len(factors)+1)
+	for _, factor := range factors {
 		profile := config.CCT()
 		profile.ReplicationFactor = factor
-		out, err := Run(Options{
+		opts = append(opts, Options{
 			Profile:   profile,
 			Workload:  wl,
 			Scheduler: "fifo",
 			Policy:    core.Config{Kind: core.NonePolicy},
 			Seed:      seed,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("runner: uniform factor %d: %w", factor, err)
-		}
-		rows = append(rows, UniformRow{
-			Scenario:        fmt.Sprintf("uniform x%d", factor),
-			Factor:          factor,
-			Locality:        out.Summary.JobLocality,
-			GMTT:            out.Summary.GMTT,
-			ExtraStoragePct: float64(factor-3) / 3 * 100,
-		})
 	}
-	out, err := Run(Options{
+	opts = append(opts, Options{
 		Profile:   config.CCT(),
 		Workload:  wl,
 		Scheduler: "fifo",
 		Policy:    PolicyFor(core.ElephantTrapPolicy),
 		Seed:      seed,
 	})
+	outs, err := runAllLabeled(opts, func(i int) string {
+		if i < len(factors) {
+			return fmt.Sprintf("runner: uniform factor %d", factors[i])
+		}
+		return "runner: uniform DARE arm"
+	})
 	if err != nil {
 		return nil, err
 	}
+	var rows []UniformRow
+	for i, factor := range factors {
+		rows = append(rows, UniformRow{
+			Scenario:        fmt.Sprintf("uniform x%d", factor),
+			Factor:          factor,
+			Locality:        outs[i].Summary.JobLocality,
+			GMTT:            outs[i].Summary.GMTT,
+			ExtraStoragePct: float64(factor-3) / 3 * 100,
+		})
+	}
+	out := outs[len(factors)]
 	rows = append(rows, UniformRow{
 		Scenario:        "DARE x3 + 20% budget",
 		Factor:          3,

@@ -36,8 +36,10 @@ type Fair struct {
 
 	jobs  []*mapreduce.Job
 	skips map[*mapreduce.Job]int
-	// scratch avoids re-allocating the sort slice on every offer.
-	scratch []*mapreduce.Job
+	// scratch avoids re-allocating the sort slice on every offer, and
+	// poolLoad is the reusable per-offer pool-load accumulator.
+	scratch  []*mapreduce.Job
+	poolLoad map[string]int
 }
 
 // NewFair returns a Fair scheduler with the given node-level patience;
@@ -47,7 +49,7 @@ func NewFair(maxSkips int) *Fair {
 	if maxSkips <= 0 {
 		maxSkips = DefaultMaxSkips
 	}
-	return &Fair{MaxSkips: maxSkips, RackSkips: maxSkips, skips: make(map[*mapreduce.Job]int)}
+	return &Fair{MaxSkips: maxSkips, RackSkips: maxSkips, skips: make(map[*mapreduce.Job]int), poolLoad: make(map[string]int, 4)}
 }
 
 // NewFairTwoLevel returns a Fair scheduler with explicit node-level (d1)
@@ -60,7 +62,7 @@ func NewFairTwoLevel(d1, d2 int) *Fair {
 	if d2 < 0 {
 		d2 = d1
 	}
-	return &Fair{MaxSkips: d1, RackSkips: d2, skips: make(map[*mapreduce.Job]int)}
+	return &Fair{MaxSkips: d1, RackSkips: d2, skips: make(map[*mapreduce.Job]int), poolLoad: make(map[string]int, 4)}
 }
 
 // Name implements mapreduce.TaskSelector.
@@ -98,7 +100,11 @@ func (s *Fair) Skips(j *mapreduce.Job) int { return s.skips[j] }
 func (s *Fair) fairOrder() []*mapreduce.Job {
 	s.scratch = s.scratch[:0]
 	s.scratch = append(s.scratch, s.jobs...)
-	poolLoad := make(map[string]int, 4)
+	if s.poolLoad == nil {
+		s.poolLoad = make(map[string]int, 4)
+	}
+	clear(s.poolLoad)
+	poolLoad := s.poolLoad
 	multiPool := false
 	for _, j := range s.jobs {
 		poolLoad[j.Spec.Pool] += j.RunningMaps()

@@ -25,7 +25,13 @@ type Event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
+	// pooled events were created through Defer/DeferAt: no handle ever
+	// escaped, so the engine may recycle the struct after the callback
+	// runs. Handle-returning Schedule/At events are never pooled — a
+	// retained handle could Cancel a recycled event and corrupt an
+	// unrelated callback.
+	pooled bool
+	index  int // heap index, -1 once popped
 }
 
 // When reports the time the event is scheduled to fire.
@@ -45,6 +51,8 @@ type Engine struct {
 	// Processed counts events executed; useful for progress reporting and
 	// runaway detection in tests.
 	processed uint64
+	// free holds recycled pooled events (see Event.pooled).
+	free []*Event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -85,8 +93,46 @@ func (e *Engine) At(when Time, fn func()) *Event {
 
 // Defer is Schedule without the returned handle, for callers that only
 // need fire-and-forget scheduling (e.g. the DARE manager's DeferFunc).
+// Because no handle escapes, the event struct comes from (and returns to)
+// a free list, so the hottest schedulers allocate nothing per event.
 func (e *Engine) Defer(delay Time, fn func()) {
-	e.Schedule(delay, fn)
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
+	}
+	e.DeferAt(e.now+delay, fn)
+}
+
+// DeferAt is At without the returned handle; like Defer it draws the event
+// from the free list.
+func (e *Engine) DeferAt(when Time, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.when, ev.fn, ev.canceled = when, fn, false
+	} else {
+		ev = &Event{when: when, fn: fn, pooled: true}
+	}
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// release returns a popped pooled event to the free list. The callback has
+// already been captured by the caller, so the struct may be reused by the
+// very next DeferAt — including one scheduled from inside the callback.
+func (e *Engine) release(ev *Event) {
+	if ev.pooled {
+		ev.fn = nil
+		e.free = append(e.free, ev)
+	}
 }
 
 // Cancel marks ev so it will not fire. Canceling an already-fired or
@@ -120,11 +166,14 @@ func (e *Engine) RunUntil(until Time) Time {
 		}
 		heap.Pop(&e.queue)
 		if next.canceled {
+			e.release(next)
 			continue
 		}
 		e.now = next.when
 		e.processed++
-		next.fn()
+		fn := next.fn
+		e.release(next)
+		fn()
 	}
 	if !math.IsInf(until, 1) && until > e.now && !e.stopped {
 		e.now = until
@@ -139,11 +188,14 @@ func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		next := heap.Pop(&e.queue).(*Event)
 		if next.canceled {
+			e.release(next)
 			continue
 		}
 		e.now = next.when
 		e.processed++
-		next.fn()
+		fn := next.fn
+		e.release(next)
+		fn()
 		return true
 	}
 	return false
