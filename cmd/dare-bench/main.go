@@ -30,6 +30,15 @@ type experiment struct {
 	run   func(jobs int, seed uint64) (string, error)
 }
 
+// Churn-experiment tuning knobs, read by the "churn" closure after
+// flag.Parse has run. Zero falls back to DefaultChurnSpec's scaling.
+var (
+	churnMTTF     = flag.Float64("mttf", 0, "churn: per-node mean time to failure in sim seconds (0 = auto-scale)")
+	churnMTTR     = flag.Float64("mttr", 0, "churn: mean time to repair in sim seconds (0 = auto-scale)")
+	churnRackProb = flag.Float64("rack-fail-prob", 0, "churn: probability a failure takes a whole rack (0 = default)")
+	churnCheck    = flag.Bool("check", false, "churn: run the metadata invariant checker after every churn event")
+)
+
 func experiments() []experiment {
 	return []experiment{
 		{"table1", "Table I: all-to-all ping RTTs (ms)", func(jobs int, seed uint64) (string, error) {
@@ -157,6 +166,14 @@ func experiments() []experiment {
 				return "", err
 			}
 			return dare.RenderAvailability(rows), nil
+		}},
+		{"churn", "Churn: weighted availability, repair backlog, and slowdown under stochastic failures/recoveries (§IV-B claim)", func(jobs int, seed uint64) (string, error) {
+			spec := dare.ChurnSpec{MTTF: *churnMTTF, MTTR: *churnMTTR, RackFailProb: *churnRackProb}
+			rows, err := dare.ChurnStudy(jobs, seed, spec, *churnCheck)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderChurn(rows), nil
 		}},
 		{"speculation", "Speculation: DARE composed with backup tasks on the noisy EC2 profile", func(jobs int, seed uint64) (string, error) {
 			rows, err := dare.SpeculationStudy(jobs, seed)

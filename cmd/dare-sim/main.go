@@ -40,6 +40,11 @@ func main() {
 		failNodes   = flag.Int("fail", 0, "kill this many nodes mid-run (failure injection)")
 		failAtFrac  = flag.Float64("fail-at", 0.5, "failure time as a fraction of the arrival span")
 		noRepair    = flag.Bool("no-repair", false, "disable HDFS-style re-replication after failures")
+		churnOn     = flag.Bool("churn", false, "generate a seeded stochastic failure/recovery schedule")
+		mttf        = flag.Float64("mttf", 0, "churn: per-node mean time to failure in sim seconds (0 = auto-scale)")
+		mttr        = flag.Float64("mttr", 0, "churn: mean time to repair in sim seconds (0 = auto-scale)")
+		rackProb    = flag.Float64("rack-fail-prob", 0, "churn: probability a failure takes a whole rack (0 = default)")
+		check       = flag.Bool("check", false, "run the metadata invariant checker after every failure/recovery event")
 		timeline    = flag.Int("timeline", 0, "print mean locality over N consecutive job buckets (convergence view)")
 		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		seeds       = flag.Int("seeds", 1, "replicate the run over N consecutive seeds and print a per-seed table")
@@ -96,15 +101,32 @@ func main() {
 				failures = append(failures, dare.NodeFailure{Node: i, At: span**failAtFrac + 0.01*float64(i)})
 			}
 		}
+		var churnSpec *dare.ChurnSpec
+		if *churnOn {
+			span := wl.Jobs[len(wl.Jobs)-1].Arrival
+			spec := dare.DefaultChurnSpec(span, profile.Slaves)
+			if *mttf > 0 {
+				spec.MTTF = *mttf
+			}
+			if *mttr > 0 {
+				spec.MTTR = *mttr
+			}
+			if *rackProb > 0 {
+				spec.RackFailProb = *rackProb
+			}
+			churnSpec = &spec
+		}
 		return wl, dare.Options{
-			Profile:       profile,
-			Workload:      wl,
-			Scheduler:     *schedName,
-			FairSkips:     *fairSkips,
-			Policy:        policy,
-			Seed:          s,
-			Failures:      failures,
-			DisableRepair: *noRepair,
+			Profile:         profile,
+			Workload:        wl,
+			Scheduler:       *schedName,
+			FairSkips:       *fairSkips,
+			Policy:          policy,
+			Seed:            s,
+			Failures:        failures,
+			Churn:           churnSpec,
+			DisableRepair:   *noRepair,
+			CheckInvariants: *check,
 		}, nil
 	}
 
@@ -157,12 +179,24 @@ func main() {
 		fmt.Println()
 	}
 	for _, ev := range out.FailureEvents {
-		fmt.Printf("failure t=%.1fs node %d: %d maps + %d reduces killed, %d replicas lost, availability %d/%d blocks\n",
-			ev.Time, ev.Node, ev.KilledMaps, ev.KilledReduces,
-			len(ev.Report.LostPrimaries)+len(ev.Report.LostDynamic), ev.AvailableBlocks, ev.TotalBlocks)
+		tag := ""
+		if ev.Rack >= 0 {
+			tag = fmt.Sprintf(" (rack %d switch)", ev.Rack)
+		}
+		fmt.Printf("failure t=%.1fs node %d%s: %d maps + %d reduces killed, %d replicas lost, availability %d/%d blocks (weighted %.4f), backlog %d\n",
+			ev.Time, ev.Node, tag, ev.KilledMaps, ev.KilledReduces,
+			len(ev.Report.LostPrimaries)+len(ev.Report.LostDynamic),
+			ev.AvailableBlocks, ev.TotalBlocks, ev.WeightedAvailability, ev.Backlog)
+	}
+	for _, ev := range out.RecoveryEvents {
+		fmt.Printf("rejoin  t=%.1fs node %d: empty re-registration, backlog %d, weighted availability %.4f\n",
+			ev.Time, ev.Node, ev.Backlog, ev.WeightedAvailability)
 	}
 	if len(out.FailureEvents) > 0 {
 		fmt.Printf("repairs completed   %d block re-replications\n", out.RepairsDone)
+	}
+	if s.FailedJobs > 0 {
+		fmt.Printf("failed jobs         %d (task attempts exhausted)\n", s.FailedJobs)
 	}
 
 	if *verbose {

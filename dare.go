@@ -333,6 +333,39 @@ func Availability(jobs, failNodes int, seed uint64) ([]AvailabilityRow, error) {
 	return runner.Availability(jobs, failNodes, seed)
 }
 
+// ---------------------------------------------------------------------------
+// Churn (§IV-B robustness: failures, recoveries, repair)
+
+// Failure-injection scheduling for individual runs: NodeRecovery rejoins a
+// failed node (HDFS-style empty re-registration), RackFailure kills every
+// live node behind one rack switch, ChurnSpec drives the seeded stochastic
+// failure/recovery generator, and RecoveryEvent records a rejoin.
+type (
+	NodeRecovery  = runner.NodeRecovery
+	RackFailure   = runner.RackFailure
+	ChurnSpec     = runner.ChurnSpec
+	RecoveryEvent = mapreduce.RecoveryEvent
+)
+
+// ChurnRow carries one scheduler×policy arm of the churn study.
+type ChurnRow = runner.ChurnRow
+
+// DefaultChurnSpec scales a stochastic churn schedule to an arrival span
+// and cluster size (see runner.DefaultChurnSpec).
+func DefaultChurnSpec(span float64, nodes int) ChurnSpec {
+	return runner.DefaultChurnSpec(span, nodes)
+}
+
+// ChurnStudy replays wl1 under a seeded stochastic failure/recovery
+// schedule for both schedulers × {vanilla, DARE-LRU, ElephantTrap} and
+// reports weighted availability, repair backlog, and job slowdown — the
+// §IV-B availability claim under sustained churn rather than a one-shot
+// kill. Non-positive spec fields fall back to DefaultChurnSpec; check
+// enables the metadata invariant checker after every churn event.
+func ChurnStudy(jobs int, seed uint64, spec ChurnSpec, check bool) ([]ChurnRow, error) {
+	return runner.ChurnStudy(jobs, seed, spec, check)
+}
+
 // Renderers format experiment rows the way the paper's figures group them.
 var (
 	RenderPerf         = runner.RenderPerf
@@ -349,6 +382,7 @@ var (
 	RenderDelaySweep   = runner.RenderDelaySweep
 	RenderBalance      = runner.RenderBalance
 	RenderUniform      = runner.RenderUniform
+	RenderChurn        = runner.RenderChurn
 )
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,179 @@
+// Package churn generates seeded stochastic failure/recovery schedules
+// for cluster simulations: nodes alternate between up and down states with
+// exponential sojourn times (the classic alternating-renewal availability
+// model), and a configurable fraction of failures are rack-correlated —
+// one switch failure takes every live node in the rack down at once.
+//
+// Generation is a pure function of (cluster shape, Spec, RNG): the same
+// seed always yields the same schedule, which is what makes churn
+// experiments reproducible and lets CI diff two runs byte for byte.
+package churn
+
+import (
+	"fmt"
+	"sort"
+
+	"dare/internal/stats"
+)
+
+// Kind tags one scheduled churn event.
+type Kind int
+
+const (
+	// NodeFail takes a single node down.
+	NodeFail Kind = iota
+	// NodeRecover rejoins a previously failed node (empty, HDFS-style
+	// re-registration).
+	NodeRecover
+	// RackFail takes every live node of one rack down at once (switch
+	// failure). The per-node recoveries are scheduled independently.
+	RackFail
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case NodeFail:
+		return "fail"
+	case NodeRecover:
+		return "recover"
+	case RackFail:
+		return "rack-fail"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled churn action. Node is the victim for NodeFail and
+// NodeRecover; Rack is the victim for RackFail (Node is -1 there).
+type Event struct {
+	At   float64
+	Kind Kind
+	Node int
+	Rack int
+}
+
+// Spec parameterizes the churn process.
+type Spec struct {
+	// MTTF is the per-node mean time to failure in simulated seconds; the
+	// cluster-wide failure rate is N/MTTF. MTTF <= 0 disables churn.
+	MTTF float64
+	// MTTR is the mean time to repair (down-time) in simulated seconds.
+	// MTTR <= 0 makes failures permanent (no recovery events).
+	MTTR float64
+	// RackFailProb is the probability that an injected failure is a whole
+	// rack (switch) failure rather than a single node.
+	RackFailProb float64
+	// Horizon bounds failure injection: no failure is scheduled at or past
+	// it (recoveries may land beyond it).
+	Horizon float64
+}
+
+// Validate reports a specification error, if any.
+func (s Spec) Validate() error {
+	switch {
+	case s.MTTF < 0:
+		return fmt.Errorf("churn: MTTF must be >= 0, got %v", s.MTTF)
+	case s.MTTR < 0:
+		return fmt.Errorf("churn: MTTR must be >= 0, got %v", s.MTTR)
+	case s.RackFailProb < 0 || s.RackFailProb > 1:
+		return fmt.Errorf("churn: RackFailProb must be in [0,1], got %v", s.RackFailProb)
+	case s.Horizon < 0:
+		return fmt.Errorf("churn: Horizon must be >= 0, got %v", s.Horizon)
+	}
+	return nil
+}
+
+// Generate builds the churn schedule for a cluster of n nodes whose rack
+// layout is given by rackOf. The generator walks its own up/down state
+// machine so victims are always up at their failure time and at least one
+// node stays up at every instant (a fully dead cluster would wedge the
+// workload forever). Events are returned sorted by time.
+func Generate(n int, rackOf func(node int) int, spec Spec, rng *stats.RNG) ([]Event, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || spec.MTTF == 0 || spec.Horizon == 0 {
+		return nil, nil
+	}
+	// recoverAt[i] > t means node i is down until recoverAt[i]; +Inf marks
+	// a permanent failure (MTTR == 0).
+	recoverAt := make([]float64, n)
+	var events []Event
+	gap := spec.MTTF / float64(n) // mean inter-failure gap, cluster-wide
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * gap
+		if t >= spec.Horizon {
+			break
+		}
+		up := up(recoverAt, t)
+		if len(up) <= 1 {
+			continue // never take the last live node down
+		}
+		victim := up[rng.Intn(len(up))]
+		if rng.Float64() < spec.RackFailProb {
+			rack := rackOf(victim)
+			survivors := 0
+			for _, v := range up {
+				if rackOf(v) != rack {
+					survivors++
+				}
+			}
+			if survivors > 0 {
+				events = append(events, Event{At: t, Kind: RackFail, Node: -1, Rack: rack})
+				for _, v := range up {
+					if rackOf(v) == rack {
+						events = appendRecovery(events, recoverAt, v, t, spec.MTTR, rng)
+					}
+				}
+				continue
+			}
+			// The rack holds every live node: degrade to a single failure.
+		}
+		events = append(events, Event{At: t, Kind: NodeFail, Node: victim, Rack: rackOf(victim)})
+		events = appendRecovery(events, recoverAt, victim, t, spec.MTTR, rng)
+	}
+	// Recoveries are generated out of order relative to later failures;
+	// sort by time with a total (Kind, Node, Rack) tie-break so the
+	// schedule is deterministic even under (measure-zero) time ties.
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Rack < b.Rack
+	})
+	return events, nil
+}
+
+// appendRecovery marks node down from t and, when repair is modelled,
+// appends its recovery event.
+func appendRecovery(events []Event, recoverAt []float64, node int, t, mttr float64, rng *stats.RNG) []Event {
+	if mttr <= 0 {
+		recoverAt[node] = inf
+		return events
+	}
+	r := t + rng.ExpFloat64()*mttr
+	recoverAt[node] = r
+	return append(events, Event{At: r, Kind: NodeRecover, Node: node, Rack: -1})
+}
+
+const inf = 1e308 // effectively +Inf without importing math
+
+// up lists the nodes that are up at time t, in ascending ID order.
+func up(recoverAt []float64, t float64) []int {
+	out := make([]int, 0, len(recoverAt))
+	for i, r := range recoverAt {
+		if r <= t {
+			out = append(out, i)
+		}
+	}
+	return out
+}

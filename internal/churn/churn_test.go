@@ -1,0 +1,138 @@
+package churn
+
+import (
+	"reflect"
+	"testing"
+
+	"dare/internal/stats"
+)
+
+func rackOf5(n int) int { return n / 5 }
+
+func gen(t *testing.T, n int, spec Spec, seed uint64) []Event {
+	t.Helper()
+	evs, err := Generate(n, rackOf5, spec, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{MTTF: 500, MTTR: 40, RackFailProb: 0.2, Horizon: 1000}
+	a := gen(t, 20, spec, 42)
+	b := gen(t, 20, spec, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := gen(t, 20, spec, 43)
+	if reflect.DeepEqual(a, c) && len(a) > 0 {
+		t.Fatal("different seeds produced identical non-empty schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("expected events at MTTF=500 over a 1000s horizon on 20 nodes")
+	}
+}
+
+// TestScheduleIsConsistent replays each schedule against an up/down state
+// machine: failures only hit up nodes, recoveries only down nodes, rack
+// failures leave survivors, and at least one node stays up throughout.
+func TestScheduleIsConsistent(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		spec := Spec{MTTF: 300, MTTR: 60, RackFailProb: 0.3, Horizon: 2000}
+		evs := gen(t, 20, spec, seed)
+		down := make(map[int]bool)
+		last := 0.0
+		for i, ev := range evs {
+			if ev.At < last {
+				t.Fatalf("seed %d: events out of order at %d", seed, i)
+			}
+			last = ev.At
+			switch ev.Kind {
+			case NodeFail:
+				if down[ev.Node] {
+					t.Fatalf("seed %d: failing down node %d at %g", seed, ev.Node, ev.At)
+				}
+				if ev.Rack != rackOf5(ev.Node) {
+					t.Fatalf("seed %d: wrong rack tag on %+v", seed, ev)
+				}
+				down[ev.Node] = true
+			case NodeRecover:
+				if !down[ev.Node] {
+					t.Fatalf("seed %d: recovering up node %d at %g", seed, ev.Node, ev.At)
+				}
+				delete(down, ev.Node)
+			case RackFail:
+				for n := 0; n < 20; n++ {
+					if rackOf5(n) == ev.Rack {
+						down[n] = true
+					}
+				}
+			}
+			if len(down) >= 20 {
+				t.Fatalf("seed %d: whole cluster down at %g", seed, ev.At)
+			}
+		}
+	}
+}
+
+func TestNoFailuresPastHorizon(t *testing.T) {
+	spec := Spec{MTTF: 100, MTTR: 30, Horizon: 500}
+	for _, ev := range gen(t, 10, spec, 9) {
+		if ev.Kind != NodeRecover && ev.At >= spec.Horizon {
+			t.Fatalf("failure at %g past horizon %g", ev.At, spec.Horizon)
+		}
+	}
+}
+
+func TestPermanentFailuresWithoutMTTR(t *testing.T) {
+	spec := Spec{MTTF: 100, MTTR: 0, Horizon: 1000}
+	evs := gen(t, 10, spec, 11)
+	fails := 0
+	for _, ev := range evs {
+		if ev.Kind == NodeRecover {
+			t.Fatal("MTTR=0 must not schedule recoveries")
+		}
+		fails++
+	}
+	// Permanent failures cap out at n-1 victims (one survivor guaranteed).
+	if fails > 9 {
+		t.Fatalf("%d failures on a 10-node cluster with no recovery", fails)
+	}
+}
+
+func TestDisabledChurn(t *testing.T) {
+	if evs := gen(t, 10, Spec{MTTF: 0, MTTR: 10, Horizon: 100}, 1); evs != nil {
+		t.Fatal("MTTF=0 should disable churn")
+	}
+	if evs := gen(t, 10, Spec{MTTF: 100, MTTR: 10, Horizon: 0}, 1); evs != nil {
+		t.Fatal("Horizon=0 should disable churn")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Spec{
+		{MTTF: -1},
+		{MTTF: 1, MTTR: -1},
+		{MTTF: 1, RackFailProb: 1.5},
+		{MTTF: 1, Horizon: -2},
+	}
+	for _, spec := range bad {
+		if _, err := Generate(10, rackOf5, spec, stats.NewRNG(1)); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestRackFailuresOccur(t *testing.T) {
+	spec := Spec{MTTF: 100, MTTR: 20, RackFailProb: 0.5, Horizon: 2000}
+	racks := 0
+	for _, ev := range gen(t, 20, spec, 17) {
+		if ev.Kind == RackFail {
+			racks++
+		}
+	}
+	if racks == 0 {
+		t.Fatal("50% rack-failure probability produced no rack failures")
+	}
+}

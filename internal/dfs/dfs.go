@@ -92,6 +92,11 @@ type NameNode struct {
 
 	// failed marks downed data nodes; placement avoids them.
 	failed map[topology.NodeID]bool
+	// churned latches once any node has ever failed. Unlike len(failed) it
+	// survives recovery: a recovered node rejoins empty, so blocks may stay
+	// under-replicated (or lost for good) even with every node back up, and
+	// the replication-floor invariant must stay relaxed.
+	churned bool
 
 	// listener, when set, observes every replica add/remove.
 	listener ReplicaListener
@@ -389,17 +394,20 @@ func (nn *NameNode) TotalDynamicBytes() int64 {
 }
 
 // CheckInvariants validates internal consistency; tests call it after
-// simulations. It verifies that every block keeps at least
-// min(replication, N) replicas, that byte accounting matches the location
-// maps, and that the per-node and per-block views agree.
+// simulations and the churn harness calls it after every failure/recovery
+// event. It verifies that every block keeps at least min(replication, N)
+// replicas, that byte accounting matches the location maps, that the
+// per-node and per-block views agree, and that no replica lives on a down
+// node.
 func (nn *NameNode) CheckInvariants() error {
 	minRepl := nn.replication
 	if n := nn.topo.N(); minRepl > n {
 		minRepl = n
 	}
-	// After failures, blocks may legitimately be under-replicated (or
-	// unavailable) until repair completes; accounting is still verified.
-	if len(nn.failed) > 0 {
+	// Once any node has ever failed, blocks may legitimately be
+	// under-replicated (or lost) — even after every node recovers, since
+	// rejoin is empty; accounting is still verified.
+	if nn.churned {
 		minRepl = 0
 	}
 	primBytes := make([]int64, nn.topo.N())
@@ -411,6 +419,9 @@ func (nn *NameNode) CheckInvariants() error {
 		}
 		primaries := 0
 		for node, kind := range locs {
+			if nn.failed[node] {
+				return fmt.Errorf("dfs: block %d has a replica on down node %d", id, node)
+			}
 			if got, ok := nn.perNode[node][id]; !ok || got != kind {
 				return fmt.Errorf("dfs: per-node view disagrees for block %d node %d", id, node)
 			}
@@ -426,11 +437,23 @@ func (nn *NameNode) CheckInvariants() error {
 		}
 	}
 	for n := range primBytes {
+		if down := nn.failed[topology.NodeID(n)]; down && len(nn.perNode[n]) != 0 {
+			return fmt.Errorf("dfs: down node %d still lists %d blocks", n, len(nn.perNode[n]))
+		}
 		if primBytes[n] != nn.primaryBytes[n] {
 			return fmt.Errorf("dfs: primary byte accounting off on node %d: %d vs %d", n, primBytes[n], nn.primaryBytes[n])
 		}
 		if dynBytes[n] != nn.dynamicBytes[n] {
 			return fmt.Errorf("dfs: dynamic byte accounting off on node %d: %d vs %d", n, dynBytes[n], nn.dynamicBytes[n])
+		}
+	}
+	// Orphan check: a per-node entry must be mirrored in locations. The
+	// loop above only walks locations, so scan the other direction too.
+	for n, m := range nn.perNode {
+		for b, kind := range m {
+			if got, ok := nn.locations[b][topology.NodeID(n)]; !ok || got != kind {
+				return fmt.Errorf("dfs: orphan per-node entry for block %d node %d", b, n)
+			}
 		}
 	}
 	return nil

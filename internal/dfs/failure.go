@@ -37,6 +37,7 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 		nn.failed = make(map[topology.NodeID]bool)
 	}
 	nn.failed[node] = true
+	nn.churned = true
 
 	blocks := make([]BlockID, 0, len(nn.perNode[node]))
 	for b := range nn.perNode[node] {
@@ -61,6 +62,23 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 		nn.notifyRemove(b, node)
 	}
 	return rep
+}
+
+// RecoverNode rejoins a previously failed node. Recovery is HDFS-style
+// re-registration: the node comes back *empty* — whatever replicas it held
+// before the failure are treated as stale and discarded via the block
+// report (FailNode already scrubbed the metadata), so blocks that lost
+// their last replica stay lost. The node immediately becomes eligible for
+// placement, repair, and dynamic replication again.
+func (nn *NameNode) RecoverNode(node topology.NodeID) error {
+	if int(node) < 0 || int(node) >= nn.topo.N() {
+		return fmt.Errorf("dfs: invalid node %d", node)
+	}
+	if !nn.failed[node] {
+		return fmt.Errorf("dfs: node %d is not failed", node)
+	}
+	delete(nn.failed, node)
+	return nil
 }
 
 // NodeFailed reports whether node has been failed.
@@ -130,19 +148,51 @@ func (nn *NameNode) UnderReplicated() []BlockID {
 	return out
 }
 
-// RepairTarget picks a live node that does not hold b, preferring the one
-// with the fewest primary bytes (space balancing, as HDFS's replicator
-// does). ok is false when every live node already holds b.
+// IsUnderReplicated reports whether b individually needs repair: its live
+// primary count is below min(replication factor, live nodes) and it still
+// has at least one live replica to copy from. It is the O(replicas)
+// per-block companion of UnderReplicated, for repair loops that would
+// otherwise rescan the whole block map per repaired block.
+func (nn *NameNode) IsUnderReplicated(b BlockID) bool {
+	locs := nn.locations[b]
+	if len(locs) == 0 {
+		return false // unavailable: nothing to copy from
+	}
+	want := nn.replication
+	if up := nn.topo.N() - len(nn.failed); want > up {
+		want = up
+	}
+	primaries := 0
+	for _, k := range locs {
+		if k == Primary {
+			primaries++
+		}
+	}
+	return primaries < want
+}
+
+// RepairTarget picks a live node that does not hold b. Rack-aware like
+// HDFS's replicator: nodes in racks holding no replica of b are preferred
+// (a rack failure then can't take out every copy), with fewest primary
+// bytes (space balancing) and then lowest ID as tie-breaks. ok is false
+// when every live node already holds b.
 func (nn *NameNode) RepairTarget(b BlockID) (topology.NodeID, bool) {
+	coveredRacks := make(map[int]bool, len(nn.locations[b]))
+	for node := range nn.locations[b] {
+		coveredRacks[nn.topo.Rack(node)] = true
+	}
 	best := topology.NodeID(-1)
+	bestFresh := false
 	var bestLoad int64
 	for _, node := range nn.UpNodes() {
 		if nn.HasReplica(b, node) {
 			continue
 		}
+		fresh := !coveredRacks[nn.topo.Rack(node)]
 		load := nn.primaryBytes[node]
-		if best < 0 || load < bestLoad {
-			best, bestLoad = node, load
+		if best < 0 || (fresh && !bestFresh) ||
+			(fresh == bestFresh && load < bestLoad) {
+			best, bestFresh, bestLoad = node, fresh, load
 		}
 	}
 	return best, best >= 0

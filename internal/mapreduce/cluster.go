@@ -36,6 +36,11 @@ type Node struct {
 	// Up is false once the node has been failed; a downed node stops
 	// heartbeating and receives no tasks or replicas.
 	Up bool
+	// Blacklisted marks a node the job tracker refuses to schedule on after
+	// too many task failures there (Hadoop's task-tracker blacklist). The
+	// node keeps heartbeating and its replicas stay valid; recovery
+	// (re-registration) clears the flag.
+	Blacklisted bool
 }
 
 // Cluster bundles the simulation substrate: engine, topology, name node,

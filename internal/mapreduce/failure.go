@@ -8,17 +8,28 @@ import (
 	"dare/internal/topology"
 )
 
-// Failure injection: the tracker can kill data nodes mid-run. A failed
+// Failure injection: the tracker can kill data nodes mid-run — singly or a
+// whole rack at once (switch failure) — and rejoin them later. A failed
 // node stops heartbeating, its running tasks die and are re-queued (as the
 // Hadoop job tracker does on task-tracker timeout), its replicas vanish
 // from the name node, and — unless repair is disabled — the name node
 // re-replicates under-replicated blocks onto survivors after a detection
-// delay, HDFS-style.
+// delay, HDFS-style. A recovered node re-registers empty: its heartbeat
+// ticker restarts, its slots return to the scheduler, and it becomes a
+// placement/repair target again.
+//
+// Task attempts are bounded: a map input whose attempts keep dying is
+// re-queued with exponential backoff and, past the attempt limit, fails its
+// whole job (mapred.map.max.attempts semantics). Nodes that keep failing
+// attempts are blacklisted until they recover.
 
 // FailureEvent records the cluster state right after one injected failure.
 type FailureEvent struct {
 	Time float64
 	Node topology.NodeID
+	// Rack is the rack index when this failure was part of a whole-rack
+	// (switch) failure, -1 for an independent single-node failure.
+	Rack int
 	// KilledMaps and KilledReduces count the running tasks that died and
 	// were re-queued.
 	KilledMaps, KilledReduces int
@@ -27,11 +38,41 @@ type FailureEvent struct {
 	// AvailableBlocks/TotalBlocks snapshot block availability immediately
 	// after the failure, before any repair.
 	AvailableBlocks, TotalBlocks int
+	// WeightedAvailability snapshots the access-weighted availability at
+	// the same instant (§IV-B's availability claim is about hot data).
+	WeightedAvailability float64
+	// Backlog is the repair queue depth (under-replicated blocks) right
+	// after the failure.
+	Backlog int
+}
+
+// RecoveryEvent records the cluster state right after one node rejoin.
+type RecoveryEvent struct {
+	Time float64
+	Node topology.NodeID
+	// Backlog is the repair queue depth right after the rejoin. A rejoin
+	// can *grow* the queue: with more nodes up, min(replication, up) rises.
+	Backlog int
+	// WeightedAvailability at the rejoin (monotone non-increasing across a
+	// run: rejoin is empty, so lost blocks stay lost).
+	WeightedAvailability float64
 }
 
 // plannedFailure is a failure registered before Run.
 type plannedFailure struct {
 	node topology.NodeID
+	at   float64
+}
+
+// plannedRecovery is a node rejoin registered before Run.
+type plannedRecovery struct {
+	node topology.NodeID
+	at   float64
+}
+
+// plannedRackFailure is a whole-rack failure registered before Run.
+type plannedRackFailure struct {
+	rack int
 	at   float64
 }
 
@@ -65,6 +106,18 @@ func (t *Tracker) ScheduleNodeFailure(node topology.NodeID, at float64) {
 	t.failures = append(t.failures, plannedFailure{node: node, at: at})
 }
 
+// ScheduleNodeRecovery registers node to rejoin at simulated time `at`.
+// Call before Run. Recovering an up node at fire time is a no-op.
+func (t *Tracker) ScheduleNodeRecovery(node topology.NodeID, at float64) {
+	t.recoveries = append(t.recoveries, plannedRecovery{node: node, at: at})
+}
+
+// ScheduleRackFailure registers every node of rack that is still up at
+// simulated time `at` to fail together (switch failure). Call before Run.
+func (t *Tracker) ScheduleRackFailure(rack int, at float64) {
+	t.rackFailures = append(t.rackFailures, plannedRackFailure{rack: rack, at: at})
+}
+
 // DisableRepair turns off automatic re-replication after failures (used
 // by availability experiments that measure the pre-repair state).
 func (t *Tracker) DisableRepair() { t.repairDisabled = true }
@@ -72,23 +125,50 @@ func (t *Tracker) DisableRepair() { t.repairDisabled = true }
 // FailureEvents returns the recorded failure snapshots, in time order.
 func (t *Tracker) FailureEvents() []FailureEvent { return t.failureEvents }
 
+// RecoveryEvents returns the recorded rejoin snapshots, in time order.
+func (t *Tracker) RecoveryEvents() []RecoveryEvent { return t.recoveryEvents }
+
 // RepairsDone reports how many block re-replications completed.
 func (t *Tracker) RepairsDone() int { return t.repairsDone }
 
-// failNode executes one injected failure.
+// failNode executes one independent injected failure.
 func (t *Tracker) failNode(node *Node) {
 	if !node.Up {
 		return
 	}
-	node.Up = false
-	// Stop the node's heartbeat: no new tasks land there.
-	for i, n := range t.c.Nodes {
-		if n == node && i < len(t.tickers) {
-			t.tickers[i].Stop()
+	t.killNode(node, -1)
+	if !t.repairDisabled {
+		t.scheduleRepairs()
+	}
+	t.checkAfterEvent()
+}
+
+// failRack executes one switch failure: every live node of the rack dies
+// in the same instant, then a single repair round covers all of them.
+func (t *Tracker) failRack(rack int) {
+	for _, node := range t.c.Nodes { // Nodes is ID-ordered: deterministic
+		if node.Up && t.c.Topo.Rack(node.ID) == rack {
+			t.killNode(node, rack)
 		}
 	}
+	if !t.repairDisabled {
+		t.scheduleRepairs()
+	}
+	t.checkAfterEvent()
+}
 
-	ev := FailureEvent{Time: t.c.Eng.Now(), Node: node.ID}
+// killNode takes one node down: heartbeat stops, in-flight tasks die and
+// re-queue (with attempt accounting), metadata is scrubbed, and the event
+// is recorded. rack tags rack-correlated failures (-1 for independent).
+func (t *Tracker) killNode(node *Node, rack int) {
+	node.Up = false
+	// Stop the node's heartbeat: no new tasks land there. tickers is
+	// index-aligned with Nodes (empty before Run).
+	if int(node.ID) < len(t.tickers) {
+		t.tickers[node.ID].Stop()
+	}
+
+	ev := FailureEvent{Time: t.c.Eng.Now(), Node: node.ID, Rack: rack}
 
 	// Kill in-flight tasks and requeue their work.
 	recs := t.inflight[node]
@@ -109,7 +189,7 @@ func (t *Tracker) failNode(node *Node) {
 			delete(r.group.recs, r)
 			// Requeue only when no sibling attempt survives elsewhere.
 			if !r.group.done && len(r.group.recs) == 0 {
-				r.job.Requeue(r.block)
+				t.requeueOrFail(r.job, r.block)
 			}
 			ev.KilledMaps++
 		} else {
@@ -123,17 +203,121 @@ func (t *Tracker) failNode(node *Node) {
 	// Metadata impact + availability snapshot.
 	ev.Report = t.c.NN.FailNode(node.ID)
 	ev.AvailableBlocks, ev.TotalBlocks = t.c.NN.Availability()
+	ev.WeightedAvailability = t.c.NN.WeightedAvailability(t.blockWeights())
+	ev.Backlog = len(t.c.NN.UnderReplicated())
 	t.failureEvents = append(t.failureEvents, ev)
+}
 
+// recoverNode executes one scheduled rejoin: HDFS-style re-registration.
+// The node comes back empty (the name node already scrubbed its replicas),
+// its slots return to the scheduler, its heartbeat ticker restarts, and any
+// blacklist verdict is forgiven. A repair round follows because a rejoin
+// can both enable repairs that had no target and raise the replication
+// floor min(replication, up nodes).
+func (t *Tracker) recoverNode(node *Node) {
+	if node.Up {
+		return
+	}
+	if err := t.c.NN.RecoverNode(node.ID); err != nil {
+		return // tracker and name node views diverged; invariant check will flag it
+	}
+	node.Up = true
+	node.Blacklisted = false
+	t.nodeTaskFailures[node.ID] = 0
+	node.FreeMapSlots = t.c.Profile.MapSlotsPerNode
+	node.FreeReduceSlots = t.c.Profile.ReduceSlotsPerNode
+	// ActiveRemoteReads is intentionally left alone: pending fetch-end
+	// events still fire and decrement it.
+	if int(node.ID) < len(t.tickers) {
+		t.tickers[node.ID].Start(0)
+	}
+	t.recoveryEvents = append(t.recoveryEvents, RecoveryEvent{
+		Time:                 t.c.Eng.Now(),
+		Node:                 node.ID,
+		Backlog:              len(t.c.NN.UnderReplicated()),
+		WeightedAvailability: t.c.NN.WeightedAvailability(t.blockWeights()),
+	})
 	if !t.repairDisabled {
 		t.scheduleRepairs()
 	}
+	t.checkAfterEvent()
+}
+
+// requeueOrFail puts a killed/failed map input back in the pending set
+// with exponential backoff, or fails its job once the block has burned
+// maxTaskAttempts attempts.
+func (t *Tracker) requeueOrFail(j *Job, b dfs.BlockID) {
+	if j.finished {
+		return
+	}
+	if j.attempts == nil {
+		j.attempts = make(map[dfs.BlockID]int)
+	}
+	j.attempts[b]++
+	n := j.attempts[b]
+	if t.maxTaskAttempts > 0 && n >= t.maxTaskAttempts {
+		t.failJob(j)
+		return
+	}
+	// Exponential backoff in heartbeat units: 1, 2, 4, ... intervals. The
+	// first retry waits one interval — the killed attempt's slot report
+	// would not reach the job tracker sooner anyway.
+	backoff := t.c.Profile.HeartbeatInterval * float64(int64(1)<<uint(n-1))
+	t.c.Eng.Defer(backoff, func() {
+		if !j.finished {
+			j.Requeue(b)
+		}
+	})
+}
+
+// failJob terminates a job whose task exhausted its attempts: Hadoop fails
+// the job rather than retrying forever. The job leaves the scheduler and
+// reports a failed Result stamped at the failure time.
+func (t *Tracker) failJob(j *Job) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.failed = true
+	j.finishTime = t.c.Eng.Now()
+	delete(t.active, j)
+	t.sel.RemoveJob(j)
+	t.results = append(t.results, j.result())
+	t.completed++
+	if t.completed == t.totalJobs {
+		t.c.Eng.Stop()
+	}
+}
+
+// noteNodeTaskFailure counts one failed attempt against node and
+// blacklists it at the threshold — unless that would leave the scheduler
+// no usable node at all.
+func (t *Tracker) noteNodeTaskFailure(node *Node) {
+	if t.blacklistAfter <= 0 || node.Blacklisted || !node.Up {
+		return
+	}
+	t.nodeTaskFailures[node.ID]++
+	if t.nodeTaskFailures[node.ID] < t.blacklistAfter {
+		return
+	}
+	usable := 0
+	for _, n := range t.c.Nodes {
+		if n.Up && !n.Blacklisted {
+			usable++
+		}
+	}
+	if usable <= 1 {
+		return // never blacklist the last schedulable node
+	}
+	node.Blacklisted = true
 }
 
 // scheduleRepairs runs one HDFS-style re-replication round: after the
 // detection delay (missed heartbeats), under-replicated blocks are copied
 // to surviving nodes, staggered to model limited re-replication
-// parallelism.
+// parallelism. Blocks already queued by an overlapping earlier round are
+// skipped — a second failure during the detection window must not
+// double-copy them.
 func (t *Tracker) scheduleRepairs() {
 	detect := 3 * t.c.Profile.HeartbeatInterval
 	if at := t.c.Eng.Now() + detect; at > t.lastRepairAt {
@@ -141,37 +325,54 @@ func (t *Tracker) scheduleRepairs() {
 	}
 	t.c.Eng.Defer(detect, func() {
 		queue := t.c.NN.UnderReplicated()
-		blockTime := float64(t.c.Profile.BlockSizeBytes()) / (t.c.Profile.NetBW.Mean() * float64(1<<20))
 		// Two parallel repair streams, each copying one block at a time.
 		const streams = 2
-		for i, b := range queue {
-			b := b
-			delay := blockTime * float64(i/streams+1)
-			if at := t.c.Eng.Now() + delay; at > t.lastRepairAt {
-				t.lastRepairAt = at
+		slot := 0
+		for _, b := range queue {
+			if t.repairInFlight[b] {
+				continue
 			}
-			t.c.Eng.Defer(delay, func() { t.repairBlock(b) })
+			t.repairInFlight[b] = true
+			delay := t.repairBlockTime() * float64(slot/streams+1)
+			slot++
+			t.deferRepair(b, delay)
 		}
 	})
 }
 
+// repairBlockTime is the modelled copy time of one block at mean network
+// bandwidth.
+func (t *Tracker) repairBlockTime() float64 {
+	return float64(t.c.Profile.BlockSizeBytes()) / (t.c.Profile.NetBW.Mean() * float64(1<<20))
+}
+
+// deferRepair schedules repairBlock(b) after delay, extending the drain
+// bound.
+func (t *Tracker) deferRepair(b dfs.BlockID, delay float64) {
+	if at := t.c.Eng.Now() + delay; at > t.lastRepairAt {
+		t.lastRepairAt = at
+	}
+	t.c.Eng.Defer(delay, func() { t.repairBlock(b) })
+}
+
+// repairBlock copies one replica of b onto a fresh node, if b still needs
+// it. A block short by more than one replica (rack failure) chains another
+// copy rather than waiting for a future failure's repair round.
 func (t *Tracker) repairBlock(b dfs.BlockID) {
-	// Re-check: the block may have been repaired or lost meanwhile.
+	delete(t.repairInFlight, b)
+	if !t.c.NN.IsUnderReplicated(b) {
+		return // repaired by a concurrent stream, or lost entirely
+	}
 	target, ok := t.c.NN.RepairTarget(b)
 	if !ok {
 		return
 	}
-	still := false
-	for _, ub := range t.c.NN.UnderReplicated() {
-		if ub == b {
-			still = true
-			break
-		}
-	}
-	if !still {
+	if err := t.c.NN.AddPrimaryReplica(b, target); err != nil {
 		return
 	}
-	if err := t.c.NN.AddPrimaryReplica(b, target); err == nil {
-		t.repairsDone++
+	t.repairsDone++
+	if t.c.NN.IsUnderReplicated(b) {
+		t.repairInFlight[b] = true
+		t.deferRepair(b, t.repairBlockTime())
 	}
 }

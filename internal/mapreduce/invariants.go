@@ -1,0 +1,96 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"dare/internal/dfs"
+	"dare/internal/topology"
+)
+
+// CheckInvariants validates cross-layer consistency between the name node,
+// the tracker's node view, and the per-job inverted locality indices. The
+// churn harness runs it after every injected failure/recovery event; tests
+// run it after whole simulations. It is O(cluster + pending·replicas·heap)
+// and exists for correctness checking, not the hot path.
+func (t *Tracker) CheckInvariants() error {
+	// 1. Name-node metadata: mirror maps, byte accounting, replication
+	// floor, no replicas on down nodes.
+	if err := t.c.NN.CheckInvariants(); err != nil {
+		return err
+	}
+	// 2. Tracker node state mirrors the name node's failure set, and slot
+	// accounting stays within bounds.
+	for _, node := range t.c.Nodes {
+		if node.Up == t.c.NN.NodeFailed(node.ID) {
+			return fmt.Errorf("mapreduce: node %d up=%v disagrees with name node failed=%v",
+				node.ID, node.Up, t.c.NN.NodeFailed(node.ID))
+		}
+		if node.FreeMapSlots < 0 || node.FreeMapSlots > t.c.Profile.MapSlotsPerNode {
+			return fmt.Errorf("mapreduce: node %d has %d free map slots (max %d)",
+				node.ID, node.FreeMapSlots, t.c.Profile.MapSlotsPerNode)
+		}
+		if node.FreeReduceSlots < 0 || node.FreeReduceSlots > t.c.Profile.ReduceSlotsPerNode {
+			return fmt.Errorf("mapreduce: node %d has %d free reduce slots (max %d)",
+				node.ID, node.FreeReduceSlots, t.c.Profile.ReduceSlotsPerNode)
+		}
+		if node.Blacklisted && !node.Up {
+			return fmt.Errorf("mapreduce: down node %d is blacklisted", node.ID)
+		}
+	}
+	// 3. Every indexed job's locality heaps are consistent with the name
+	// node: each (pending block, live replica) pair must have a live heap
+	// entry under that node and its rack, or the indexed path could miss a
+	// local launch the linear scan would find. (Stale entries are legal —
+	// they are discarded lazily; missing entries are not.)
+	for j := range t.active {
+		if err := j.checkIndex(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkIndex verifies the job's inverted locality index covers every
+// (pending block, current replica) pair.
+func (j *Job) checkIndex() error {
+	if j.linearScan {
+		return nil
+	}
+	topo := j.cluster.Topo
+	for b, seq := range j.pendingSeq {
+		missing := topology.NodeID(-1)
+		rackMiss := false
+		j.cluster.NN.ForEachLocation(b, func(node topology.NodeID, _ dfs.ReplicaKind) bool {
+			if !heapHas(j.byNode[node], b, seq) {
+				missing = node
+				return false
+			}
+			if !heapHas(j.byRack[topo.Rack(node)], b, seq) {
+				missing, rackMiss = node, true
+				return false
+			}
+			return true
+		})
+		if missing >= 0 {
+			where := "node heap"
+			if rackMiss {
+				where = "rack heap"
+			}
+			return fmt.Errorf("mapreduce: job %d: pending block %d replica on node %d missing from %s",
+				j.ID(), b, missing, where)
+		}
+	}
+	return nil
+}
+
+// heapHas reports whether h contains a live entry for (b, seq). Linear
+// scan: the checker trades speed for independence from the heap's own
+// ordering logic.
+func heapHas(h blockHeap, b dfs.BlockID, seq uint64) bool {
+	for _, e := range h {
+		if e.b == b && e.seq == seq {
+			return true
+		}
+	}
+	return false
+}

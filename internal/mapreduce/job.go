@@ -141,7 +141,13 @@ type Job struct {
 	runningReduces  int
 	finishedReduces int
 
+	// attempts counts failed attempts per map input; when a block exhausts
+	// the tracker's attempt limit, the whole job fails (Hadoop's
+	// mapred.map.max.attempts semantics). Allocated on first failure.
+	attempts map[dfs.BlockID]int
+
 	finished   bool
+	failed     bool
 	finishTime float64
 }
 
@@ -258,6 +264,10 @@ func (j *Job) RunningReduces() int { return j.runningReduces }
 
 // Finished reports whether the job has fully completed.
 func (j *Job) Finished() bool { return j.finished }
+
+// Failed reports whether the job ended in failure (a task exhausted its
+// attempt limit).
+func (j *Job) Failed() bool { return j.failed }
 
 // live reports whether a heap/pending entry still refers to the current
 // enqueue of its block.
@@ -466,6 +476,9 @@ type Result struct {
 	// Dedicated is the analytic 100%-local empty-cluster running time —
 	// the slowdown denominator (§V-A).
 	Dedicated float64
+	// Failed marks a job that ended in failure after a task exhausted its
+	// attempt limit; Finish then records the failure time.
+	Failed bool
 }
 
 // Slowdown reports Turnaround / Dedicated.
@@ -511,6 +524,7 @@ func (j *Job) result() Result {
 		OutputBytes:  j.outputBytes,
 		OutputBlocks: j.Spec.OutputBlocks,
 		FirstLaunch:  j.firstTaskTime,
+		Failed:       j.failed,
 		Turnaround:   j.finishTime - j.Spec.Arrival,
 		Dedicated: j.cluster.DedicatedRunTime(
 			j.Spec.NumMaps, j.Spec.CPUPerTask, j.Spec.NumReduces, j.Spec.ReduceTime, j.Spec.OutputBlocks),

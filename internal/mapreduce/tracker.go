@@ -7,9 +7,18 @@ import (
 
 	"dare/internal/dfs"
 	"dare/internal/sim"
+	"dare/internal/stats"
 	"dare/internal/topology"
 	"dare/internal/workload"
 )
+
+// DefaultMaxTaskAttempts mirrors Hadoop's mapred.map.max.attempts: a map
+// input whose attempts fail this many times fails its whole job.
+const DefaultMaxTaskAttempts = 4
+
+// DefaultBlacklistAfter is the per-node failed-attempt count at which the
+// job tracker stops scheduling on a node until it re-registers.
+const DefaultBlacklistAfter = 3
 
 // TaskSelector is the pluggable scheduling policy (FIFO or Fair with delay
 // scheduling; see internal/scheduler). The tracker offers it a node with a
@@ -54,11 +63,33 @@ type Tracker struct {
 
 	// Failure-injection state (see failure.go).
 	failures       []plannedFailure
+	recoveries     []plannedRecovery
+	rackFailures   []plannedRackFailure
 	inflight       map[*Node]map[*taskRec]bool
 	failureEvents  []FailureEvent
+	recoveryEvents []RecoveryEvent
 	repairDisabled bool
 	repairsDone    int
 	lastRepairAt   float64
+	// repairInFlight dedups repair scheduling: blocks already queued by an
+	// overlapping round are not re-queued (no double copies).
+	repairInFlight map[dfs.BlockID]bool
+
+	// Task-attempt robustness state (see failure.go).
+	maxTaskAttempts  int
+	blacklistAfter   int
+	nodeTaskFailures []int
+	taskFailProb     float64
+	taskFailG        *stats.RNG
+
+	// weights caches the access-weight map backing per-event weighted
+	// availability snapshots; built lazily from the workload.
+	weights map[dfs.BlockID]float64
+
+	// checkEnabled runs the full invariant checker after every injected
+	// failure/recovery event; the first violation aborts the run.
+	checkEnabled bool
+	invariantErr error
 
 	// Speculative-execution state (active attempt groups, in creation
 	// order for determinism) and its activity counter.
@@ -86,6 +117,11 @@ func NewTracker(c *Cluster, wl *workload.Workload, sel TaskSelector, hook Replic
 		active:    make(map[*Job]bool),
 		totalJobs: len(wl.Jobs),
 		inflight:  make(map[*Node]map[*taskRec]bool),
+
+		repairInFlight:   make(map[dfs.BlockID]bool),
+		maxTaskAttempts:  DefaultMaxTaskAttempts,
+		blacklistAfter:   DefaultBlacklistAfter,
+		nodeTaskFailures: make([]int, len(c.Nodes)),
 	}
 	// Observe every replica-set change so active jobs can keep their
 	// locality indices current (DARE announces, evictions, failures,
@@ -107,6 +143,70 @@ func NewTracker(c *Cluster, wl *workload.Workload, sel TaskSelector, hook Replic
 // (false, the default). Both paths are byte-identical by construction;
 // the switch exists so tests can prove it. Call before Run.
 func (t *Tracker) SetLinearScan(v bool) { t.linearScan = v }
+
+// SetMaxTaskAttempts overrides the per-task attempt limit (<= 0 retries
+// forever). Call before Run.
+func (t *Tracker) SetMaxTaskAttempts(n int) { t.maxTaskAttempts = n }
+
+// SetBlacklistAfter overrides the per-node failed-attempt threshold for
+// blacklisting (<= 0 disables blacklisting). Call before Run.
+func (t *Tracker) SetBlacklistAfter(k int) { t.blacklistAfter = k }
+
+// SetTaskFailureInjection makes each map attempt fail on completion with
+// probability p, drawn from rng — the deterministic stand-in for flaky
+// disks/JVMs that exercises retry, backoff, and blacklisting on *up*
+// nodes. p = 0 (the default) draws nothing, leaving existing runs
+// bit-identical. Call before Run.
+func (t *Tracker) SetTaskFailureInjection(p float64, rng *stats.RNG) {
+	t.taskFailProb = p
+	t.taskFailG = rng
+}
+
+// SetInvariantChecks makes the tracker run the full metadata invariant
+// checker after every injected failure/recovery event; the first violation
+// aborts the run with its error. Call before Run.
+func (t *Tracker) SetInvariantChecks(v bool) { t.checkEnabled = v }
+
+// Blacklisted reports how many nodes are currently blacklisted.
+func (t *Tracker) Blacklisted() int {
+	n := 0
+	for _, node := range t.c.Nodes {
+		if node.Blacklisted {
+			n++
+		}
+	}
+	return n
+}
+
+// blockWeights lazily builds the access-weight map used for weighted
+// availability snapshots: each block weighs the number of map tasks that
+// read it across the whole workload.
+func (t *Tracker) blockWeights() map[dfs.BlockID]float64 {
+	if t.weights != nil {
+		return t.weights
+	}
+	w := make(map[dfs.BlockID]float64)
+	for _, spec := range t.wl.Jobs {
+		f := t.files[spec.File]
+		for i := spec.FirstBlock; i < spec.FirstBlock+spec.NumMaps; i++ {
+			w[f.Blocks[i]]++
+		}
+	}
+	t.weights = w
+	return w
+}
+
+// checkAfterEvent runs the invariant checker when enabled, latching the
+// first violation and halting the simulation immediately.
+func (t *Tracker) checkAfterEvent() {
+	if !t.checkEnabled || t.invariantErr != nil {
+		return
+	}
+	if err := t.CheckInvariants(); err != nil {
+		t.invariantErr = fmt.Errorf("mapreduce: invariant violated at t=%g: %w", t.c.Eng.Now(), err)
+		t.c.Eng.Stop()
+	}
+}
 
 // OnReplicaAdded implements dfs.ReplicaListener: newly announced replicas
 // are indexed by every active job that still has the block pending. Jobs
@@ -153,6 +253,20 @@ func (t *Tracker) Run() ([]Result, error) {
 		}
 		eng.DeferAt(pf.at, func() { t.failNode(t.c.Nodes[pf.node]) })
 	}
+	for _, pr := range t.recoveries {
+		pr := pr
+		if int(pr.node) < 0 || int(pr.node) >= len(t.c.Nodes) {
+			return nil, fmt.Errorf("mapreduce: recovery scheduled for invalid node %d", pr.node)
+		}
+		eng.DeferAt(pr.at, func() { t.recoverNode(t.c.Nodes[pr.node]) })
+	}
+	for _, prf := range t.rackFailures {
+		prf := prf
+		if prf.rack < 0 || prf.rack >= t.c.racks {
+			return nil, fmt.Errorf("mapreduce: failure scheduled for invalid rack %d", prf.rack)
+		}
+		eng.DeferAt(prf.at, func() { t.failRack(prf.rack) })
+	}
 	// De-synchronized heartbeats, like real clusters.
 	interval := t.c.Profile.HeartbeatInterval
 	for i, node := range t.c.Nodes {
@@ -172,8 +286,11 @@ func (t *Tracker) Run() ([]Result, error) {
 	// Background re-replication outlives the workload: drain the repair
 	// queue so post-run state reflects a healed DFS. The loop re-reads the
 	// bound because the detection event itself extends it.
-	for t.lastRepairAt > eng.Now() {
+	for t.invariantErr == nil && t.lastRepairAt > eng.Now() {
 		eng.RunUntil(t.lastRepairAt + 1e-9)
+	}
+	if t.invariantErr != nil {
+		return nil, t.invariantErr
 	}
 	if t.completed != t.totalJobs {
 		return nil, fmt.Errorf("mapreduce: only %d/%d jobs completed by horizon %g", t.completed, t.totalJobs, horizon)
@@ -202,6 +319,9 @@ func (t *Tracker) arrive(spec workload.Job) {
 // task tracker reports in, the job tracker hands back tasks. Slots left
 // idle by the scheduler may speculate on stragglers.
 func (t *Tracker) heartbeat(node *Node) {
+	if node.Blacklisted {
+		return // reports in, gets no work (Hadoop blacklist semantics)
+	}
 	now := t.c.Eng.Now()
 	for node.FreeMapSlots > 0 {
 		j, b, ok := t.sel.SelectMapTask(node.ID, now)
@@ -314,6 +434,16 @@ func (t *Tracker) completeAttempt(rec *taskRec) {
 	rec.node.FreeMapSlots++
 	g.job.runningMaps--
 	if g.done {
+		return
+	}
+	// Injected task failure (flaky disk/JVM): the attempt's work is
+	// discarded. The node takes the blame; the input retries with backoff
+	// unless a sibling attempt is still running elsewhere.
+	if t.taskFailProb > 0 && t.taskFailG.Float64() < t.taskFailProb {
+		t.noteNodeTaskFailure(rec.node)
+		if len(g.recs) == 0 {
+			t.requeueOrFail(g.job, g.block)
+		}
 		return
 	}
 	g.done = true

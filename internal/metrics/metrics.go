@@ -43,6 +43,9 @@ type RunSummary struct {
 	// NetworkBytes is the total input bytes moved over the fabric by
 	// non-local map tasks (the traffic DARE's locality gains remove).
 	NetworkBytes int64
+	// FailedJobs counts jobs that ended in failure (a task exhausted its
+	// attempt limit under churn); zero in failure-free runs.
+	FailedJobs int
 
 	// Policy activity (zero for vanilla runs).
 	ReplicasCreated int64
@@ -78,6 +81,9 @@ func Summarize(results []mapreduce.Result, pol core.PolicyStats) RunSummary {
 		jobLocSum += r.Locality()
 		if r.Finish > s.Makespan {
 			s.Makespan = r.Finish
+		}
+		if r.Failed {
+			s.FailedJobs++
 		}
 	}
 	if totalMaps > 0 {

@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/topology"
+	"dare/internal/workload"
+)
+
+// TestChurnStudyInvariantsAcrossSeeds is the acceptance gate for the churn
+// subsystem: the full study (both schedulers × three policies) must run to
+// completion with the metadata invariant checker firing after every
+// failure/recovery event, across several seeds.
+func TestChurnStudyInvariantsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-arm churn matrix")
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		rows, err := ChurnStudy(120, seed, ChurnSpec{}, true)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rows) != 6 {
+			t.Fatalf("seed %d: %d rows, want 6", seed, len(rows))
+		}
+		for _, r := range rows {
+			if r.MeanAvailability <= 0 || r.MeanAvailability > 1 {
+				t.Errorf("seed %d %s/%s: mean availability %v out of range",
+					seed, r.Scheduler, r.Policy, r.MeanAvailability)
+			}
+			if r.Failures == 0 {
+				t.Errorf("seed %d %s/%s: churn generated no failures", seed, r.Scheduler, r.Policy)
+			}
+			if r.Recoveries == 0 {
+				t.Errorf("seed %d %s/%s: churn generated no recoveries", seed, r.Scheduler, r.Policy)
+			}
+		}
+	}
+}
+
+// TestChurnStudyDAREBeatsVanilla pins the §IV-B claim the experiment
+// exists to demonstrate: under identical churn, the DARE arms keep more
+// access-weighted data readable than vanilla, because hot blocks carry
+// extra dynamic replicas when failures land.
+func TestChurnStudyDAREBeatsVanilla(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-arm churn matrix")
+	}
+	rows, err := ChurnStudy(120, 7, ChurnSpec{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byArm := make(map[string]ChurnRow, len(rows))
+	for _, r := range rows {
+		byArm[r.Scheduler+"/"+r.Policy] = r
+	}
+	for _, sched := range []string{"fifo", "fair"} {
+		vanilla := byArm[sched+"/"+core.NonePolicy.String()]
+		for _, pol := range []core.PolicyKind{core.GreedyLRUPolicy, core.ElephantTrapPolicy} {
+			dare := byArm[sched+"/"+pol.String()]
+			if dare.MeanAvailability <= vanilla.MeanAvailability {
+				t.Errorf("%s/%s mean availability %.4f did not beat vanilla %.4f",
+					sched, pol, dare.MeanAvailability, vanilla.MeanAvailability)
+			}
+			if dare.BlocksLost > vanilla.BlocksLost {
+				t.Errorf("%s/%s lost %d blocks, more than vanilla's %d",
+					sched, pol, dare.BlocksLost, vanilla.BlocksLost)
+			}
+		}
+	}
+}
+
+// TestChurnStudyDeterministic: the experiment is a pure function of
+// (jobs, seed, spec) — rerunning must reproduce every row bit for bit.
+// This is the property the CI determinism gate checks end to end through
+// the CLI.
+func TestChurnStudyDeterministic(t *testing.T) {
+	a, err := ChurnStudy(80, 11, ChurnSpec{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnStudy(80, 11, ChurnSpec{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("churn study not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestRunWithChurnSpec drives the Options.Churn path directly (the
+// dare-sim -churn wiring) and checks the generated schedule respects the
+// cluster: at least one node stays up, and every recovery event pairs with
+// an earlier failure of the same node.
+func TestRunWithChurnSpec(t *testing.T) {
+	profile := config.CCT()
+	profile.RackSize = 5
+	profile.ReplicationFactor = 2
+	wl := truncate(workload.WL1(3), 80)
+	span := wl.Jobs[len(wl.Jobs)-1].Arrival
+	spec := DefaultChurnSpec(span, profile.Slaves)
+	out, err := Run(Options{
+		Profile:         profile,
+		Workload:        wl,
+		Scheduler:       "fifo",
+		Policy:          PolicyFor(core.ElephantTrapPolicy),
+		Seed:            3,
+		Churn:           &spec,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.FailureEvents) == 0 {
+		t.Fatal("default churn spec produced no failures")
+	}
+	// A node may fail and rejoin several times; every recovery must be
+	// preceded by at least one failure of the same node.
+	firstDown := make(map[topology.NodeID]float64)
+	for _, ev := range out.FailureEvents {
+		if at, ok := firstDown[ev.Node]; !ok || ev.Time < at {
+			firstDown[ev.Node] = ev.Time
+		}
+	}
+	for _, rec := range out.RecoveryEvents {
+		fallAt, ok := firstDown[rec.Node]
+		if !ok || rec.Time < fallAt {
+			t.Errorf("recovery of node %d at %g without an earlier failure", rec.Node, rec.Time)
+		}
+	}
+	if len(out.Results) != 80 {
+		t.Fatalf("results %d", len(out.Results))
+	}
+}

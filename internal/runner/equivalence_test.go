@@ -88,3 +88,54 @@ func TestIndexedMatchesLinearScanUnderFailures(t *testing.T) {
 		}
 	}
 }
+
+// TestIndexedMatchesLinearScanUnderChurn extends the equivalence contract
+// to the full churn machinery: recoveries re-open nodes for placement (the
+// index must pick up replicas repaired onto a rejoined node) and rack
+// failures bulk-invalidate whole byRack heaps at once. The invariant
+// checker rides along so any index/metadata divergence fails loudly at the
+// event that caused it, not at the end-of-run diff.
+func TestIndexedMatchesLinearScanUnderChurn(t *testing.T) {
+	profile := config.CCT()
+	profile.RackSize = 5
+	profile.ReplicationFactor = 2
+	for _, seed := range []uint64{5, 11, 42} {
+		for _, sched := range []string{"fifo", "fair"} {
+			wl := truncate(workload.WL2(seed), 60)
+			span := wl.Jobs[len(wl.Jobs)-1].Arrival
+			opts := Options{
+				Profile:   profile,
+				Workload:  wl,
+				Scheduler: sched,
+				Policy:    PolicyFor(core.GreedyLRUPolicy),
+				Seed:      seed,
+				Failures: []NodeFailure{
+					{Node: 2, At: span * 0.2},
+					{Node: 7, At: span * 0.5},
+				},
+				Recoveries: []NodeRecovery{
+					{Node: 2, At: span * 0.6},
+					{Node: 7, At: span * 0.9},
+				},
+				RackFailures: []RackFailure{
+					{Rack: 1, At: span * 0.75},
+				},
+				CheckInvariants: true,
+			}
+			indexed := mustRun(t, opts)
+			opts.linearScan = true
+			linear := mustRun(t, opts)
+			if !reflect.DeepEqual(indexed.Summary, linear.Summary) {
+				t.Errorf("%s seed %d: summaries diverge under churn\nindexed: %+v\nlinear:  %+v",
+					sched, seed, indexed.Summary, linear.Summary)
+			}
+			if !reflect.DeepEqual(indexed.Results, linear.Results) {
+				t.Errorf("%s seed %d: per-job results diverge under churn", sched, seed)
+			}
+			if !reflect.DeepEqual(indexed.FailureEvents, linear.FailureEvents) ||
+				!reflect.DeepEqual(indexed.RecoveryEvents, linear.RecoveryEvents) {
+				t.Errorf("%s seed %d: churn event records diverge", sched, seed)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"dare/internal/churn"
 	"dare/internal/config"
 	"dare/internal/core"
 	"dare/internal/mapreduce"
@@ -34,8 +35,29 @@ type Options struct {
 	Seed uint64
 	// Failures schedules node kills during the run (failure injection).
 	Failures []NodeFailure
+	// Recoveries schedules node rejoins (HDFS-style empty re-registration).
+	Recoveries []NodeRecovery
+	// RackFailures schedules whole-rack (switch) failures.
+	RackFailures []RackFailure
+	// Churn, when non-nil, generates a seeded stochastic failure/recovery
+	// schedule (exponential up/down times) on top of any explicit events
+	// above. Its horizon defaults to the workload's arrival span.
+	Churn *ChurnSpec
 	// DisableRepair turns off the post-failure HDFS-style re-replication.
 	DisableRepair bool
+	// MaxTaskAttempts caps failed attempts per map input before the job
+	// fails; 0 keeps the tracker default (4), negative retries forever.
+	MaxTaskAttempts int
+	// BlacklistAfter is the per-node failed-attempt threshold for
+	// blacklisting; 0 keeps the tracker default (3), negative disables.
+	BlacklistAfter int
+	// TaskFailureProb makes each map attempt fail with this probability
+	// (flaky disks/JVMs), drawn from a dedicated seed stream.
+	TaskFailureProb float64
+	// CheckInvariants runs the full metadata invariant checker after every
+	// injected failure/recovery event (debugging; the first violation
+	// aborts the run).
+	CheckInvariants bool
 
 	// linearScan forces the original O(pending) block-selection scan
 	// instead of the inverted locality index. Unexported: only the
@@ -47,6 +69,29 @@ type Options struct {
 type NodeFailure struct {
 	Node int
 	At   float64
+}
+
+// NodeRecovery rejoins one failed node at a simulated time.
+type NodeRecovery struct {
+	Node int
+	At   float64
+}
+
+// RackFailure kills every live node of one rack at a simulated time.
+type RackFailure struct {
+	Rack int
+	At   float64
+}
+
+// ChurnSpec configures the stochastic churn generator (internal/churn):
+// per-node exponential up-times with mean MTTF, exponential down-times
+// with mean MTTR, and a RackFailProb chance that a failure takes a whole
+// rack. Horizon <= 0 uses the workload's arrival span.
+type ChurnSpec struct {
+	MTTF         float64
+	MTTR         float64
+	RackFailProb float64
+	Horizon      float64
 }
 
 // Output is the result of one run.
@@ -65,10 +110,12 @@ type Output struct {
 	// SpeculativeLaunches counts backup task attempts (zero unless the
 	// profile enables speculative execution).
 	SpeculativeLaunches int
-	// FailureEvents records injected node failures; RepairsDone counts the
-	// block re-replications that healed them.
-	FailureEvents []mapreduce.FailureEvent
-	RepairsDone   int
+	// FailureEvents records injected node failures; RecoveryEvents records
+	// node rejoins; RepairsDone counts the block re-replications that
+	// healed them.
+	FailureEvents  []mapreduce.FailureEvent
+	RecoveryEvents []mapreduce.RecoveryEvent
+	RepairsDone    int
 	// SchedulerName and PolicyName echo what ran.
 	SchedulerName, PolicyName string
 	// EventsProcessed is the number of simulation events this run executed
@@ -109,8 +156,54 @@ func Run(opts Options) (*Output, error) {
 	for _, f := range opts.Failures {
 		tracker.ScheduleNodeFailure(topology.NodeID(f.Node), f.At)
 	}
+	for _, r := range opts.Recoveries {
+		tracker.ScheduleNodeRecovery(topology.NodeID(r.Node), r.At)
+	}
+	for _, rf := range opts.RackFailures {
+		tracker.ScheduleRackFailure(rf.Rack, rf.At)
+	}
+	if opts.Churn != nil {
+		spec := churn.Spec{
+			MTTF:         opts.Churn.MTTF,
+			MTTR:         opts.Churn.MTTR,
+			RackFailProb: opts.Churn.RackFailProb,
+			Horizon:      opts.Churn.Horizon,
+		}
+		if spec.Horizon <= 0 && len(opts.Workload.Jobs) > 0 {
+			spec.Horizon = opts.Workload.Jobs[len(opts.Workload.Jobs)-1].Arrival
+		}
+		topo := cluster.Topo
+		events, err := churn.Generate(opts.Profile.Slaves,
+			func(n int) int { return topo.Rack(topology.NodeID(n)) },
+			spec, stats.NewRNG(opts.Seed).Split(0xC4021))
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range events {
+			switch ev.Kind {
+			case churn.NodeFail:
+				tracker.ScheduleNodeFailure(topology.NodeID(ev.Node), ev.At)
+			case churn.NodeRecover:
+				tracker.ScheduleNodeRecovery(topology.NodeID(ev.Node), ev.At)
+			case churn.RackFail:
+				tracker.ScheduleRackFailure(ev.Rack, ev.At)
+			}
+		}
+	}
 	if opts.DisableRepair {
 		tracker.DisableRepair()
+	}
+	if opts.MaxTaskAttempts != 0 {
+		tracker.SetMaxTaskAttempts(opts.MaxTaskAttempts)
+	}
+	if opts.BlacklistAfter != 0 {
+		tracker.SetBlacklistAfter(opts.BlacklistAfter)
+	}
+	if opts.TaskFailureProb > 0 {
+		tracker.SetTaskFailureInjection(opts.TaskFailureProb, stats.NewRNG(opts.Seed).Split(0xF1A2))
+	}
+	if opts.CheckInvariants {
+		tracker.SetInvariantChecks(true)
 	}
 	if opts.linearScan {
 		tracker.SetLinearScan(true)
@@ -177,6 +270,7 @@ func Run(opts Options) (*Output, error) {
 		ExtraNetworkBytes:   extraNet,
 		SpeculativeLaunches: tracker.SpeculativeLaunches(),
 		FailureEvents:       tracker.FailureEvents(),
+		RecoveryEvents:      tracker.RecoveryEvents(),
 		RepairsDone:         tracker.RepairsDone(),
 		SchedulerName:       sel.Name(),
 		PolicyName:          polName,
