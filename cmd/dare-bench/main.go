@@ -224,6 +224,13 @@ func experiments() []experiment {
 			}
 			return dare.RenderUniform(rows), nil
 		}},
+		{"events", "Event spine: per-kind cluster bus event volume across the policy arms", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.EventStudy(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderEvents(rows), nil
+		}},
 	}
 }
 
@@ -236,6 +243,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<exp>.json perf records (wall-clock, events/sec)")
 		jsonDir  = flag.String("json-dir", ".", "directory for -json output files")
+		busStats = flag.Bool("events", false, "print per-kind cluster bus event counts after each experiment")
 	)
 	flag.Parse()
 	dare.SetParallelism(*parallel)
@@ -283,6 +291,7 @@ func main() {
 	for _, e := range selected {
 		fmt.Printf("=== %s — %s ===\n", e.id, e.title)
 		eventsBefore := dare.TotalEventsProcessed()
+		busBefore := dare.TotalBusEvents()
 		start := time.Now()
 		out, err := e.run(*jobs, *seed)
 		elapsed := time.Since(start)
@@ -291,8 +300,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+		busDelta := dare.TotalBusEvents()
+		for k, v := range busBefore {
+			busDelta[k] -= v
+		}
+		if *busStats {
+			fmt.Printf("bus events: %d (%s)\n\n", busDelta.Total(), busDelta)
+		}
 		if *jsonOut {
-			path, err := writeBenchJSON(*jsonDir, e, *jobs, *seed, elapsed, dare.TotalEventsProcessed()-eventsBefore)
+			path, err := writeBenchJSON(*jsonDir, e, *jobs, *seed, elapsed,
+				dare.TotalEventsProcessed()-eventsBefore, busDelta)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dare-bench: %s: %v\n", e.id, err)
 				os.Exit(1)
@@ -315,10 +332,13 @@ type benchRecord struct {
 	// experiment performed; EventsPerSec is the resulting throughput.
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// BusEvents breaks down the cluster bus traffic the experiment published,
+	// keyed by event kind (zero-count kinds are omitted).
+	BusEvents map[string]uint64 `json:"bus_events,omitempty"`
 }
 
 // writeBenchJSON records one experiment's perf numbers as BENCH_<exp>.json.
-func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed time.Duration, events uint64) (string, error) {
+func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed time.Duration, events uint64, bus dare.EventCounts) (string, error) {
 	rec := benchRecord{
 		Exp:         e.id,
 		Title:       e.title,
@@ -327,6 +347,7 @@ func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed tim
 		Parallelism: dare.Parallelism(),
 		WallSeconds: elapsed.Seconds(),
 		Events:      events,
+		BusEvents:   bus.Map(),
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		rec.EventsPerSec = float64(events) / s

@@ -48,6 +48,7 @@ func main() {
 		timeline    = flag.Int("timeline", 0, "print mean locality over N consecutive job buckets (convergence view)")
 		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		seeds       = flag.Int("seeds", 1, "replicate the run over N consecutive seeds and print a per-seed table")
+		eventsPath  = flag.String("events", "", "write the run's full cluster event trace to this JSONL file")
 	)
 	flag.Parse()
 	dare.SetParallelism(*parallel)
@@ -131,6 +132,9 @@ func main() {
 	}
 
 	if *seeds > 1 {
+		if *eventsPath != "" {
+			fatal(fmt.Errorf("-events records one run's trace; it cannot be combined with -seeds %d", *seeds))
+		}
 		if err := multiSeed(*seed, *seeds, optionsFor); err != nil {
 			fatal(err)
 		}
@@ -140,6 +144,14 @@ func main() {
 	wl, opts, err := optionsFor(*seed)
 	if err != nil {
 		fatal(err)
+	}
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		eventsFile, err = os.Create(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.EventLog = eventsFile
 	}
 	out, err := dare.Run(opts)
 	if err != nil {
@@ -211,6 +223,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote per-job results to %s\n", *csvPath)
+	}
+	if eventsFile != nil {
+		if err := eventsFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote event trace to %s (%d events: %s)\n",
+			*eventsPath, out.EventCounts.Total(), out.EventCounts)
 	}
 }
 

@@ -7,6 +7,10 @@
 // -in <file.csv> (format: see internal/trace WriteCSV) to analyze real
 // audit data converted to the same shape, and -gen-out to save the
 // synthetic log for inspection.
+//
+// A second mode, -events <file.jsonl>, summarizes a cluster event trace
+// captured with dare-sim -events: per-kind volume, the map-launch locality
+// split, and replica churn over the run.
 package main
 
 import (
@@ -26,8 +30,14 @@ func main() {
 		zipfS    = flag.Float64("zipf", 1.1, "synthetic: popularity exponent")
 		sysFiles = flag.Bool("system-files", false, "synthetic: include job.jar/job.xml-style system files (M45-like age CDF, §III)")
 		seed     = flag.Uint64("seed", 42, "synthetic: random seed")
+		events   = flag.String("events", "", "summarize a cluster event trace (JSONL from dare-sim -events) instead of an access log")
 	)
 	flag.Parse()
+
+	if *events != "" {
+		analyzeEvents(*events)
+		return
+	}
 
 	var log *dare.AuditLog
 	if *in != "" {
@@ -88,6 +98,20 @@ func main() {
 
 	fmt.Println("--- Diurnal access profile (hour of day) ---")
 	fmt.Println(dare.RenderHourlyProfile(dare.HourlyProfile(log)))
+}
+
+func analyzeEvents(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	evs, err := dare.ReadEventLog(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("--- cluster event trace: %s ---\n", path)
+	fmt.Println(dare.RenderTraceStats(dare.SummarizeEvents(evs)))
 }
 
 func fatal(err error) {

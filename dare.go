@@ -46,6 +46,7 @@ import (
 
 	"dare/internal/config"
 	"dare/internal/core"
+	"dare/internal/event"
 	"dare/internal/mapreduce"
 	"dare/internal/metrics"
 	"dare/internal/netprobe"
@@ -173,6 +174,28 @@ func Parallelism() int { return runner.Parallelism() }
 // by all completed runs in this process — the throughput numerator for
 // benchmarking (events/sec).
 func TotalEventsProcessed() uint64 { return runner.TotalEventsProcessed() }
+
+// EventCounts tallies cluster bus events per kind; Output.EventCounts
+// reports one run's tallies and TotalBusEvents the process-wide ones. Set
+// Options.EventLog to also capture the full JSONL trace (see ReadEventLog).
+type EventCounts = event.Counts
+
+// ClusterEvent is one typed cluster event as decoded from a JSONL trace.
+type ClusterEvent = event.Event
+
+// TotalBusEvents reports the cumulative per-kind cluster bus event counts
+// across all completed runs in this process.
+func TotalBusEvents() EventCounts { return runner.TotalBusEvents() }
+
+// ReadEventLog decodes a JSONL trace written via Options.EventLog.
+func ReadEventLog(r io.Reader) ([]ClusterEvent, error) { return event.ReadLog(r) }
+
+// TraceStats summarizes a decoded event log (per-kind volume, sim-time
+// span, map-launch locality split, replica churn).
+type TraceStats = event.TraceStats
+
+// SummarizeEvents tallies a decoded event log into TraceStats.
+func SummarizeEvents(events []ClusterEvent) TraceStats { return event.Summarize(events) }
 
 // JobResult is one job's outcome within Output.Results.
 type JobResult = mapreduce.Result
@@ -366,6 +389,15 @@ func ChurnStudy(jobs int, seed uint64, spec ChurnSpec, check bool) ([]ChurnRow, 
 	return runner.ChurnStudy(jobs, seed, spec, check)
 }
 
+// EventRow carries one arm of the event-volume study.
+type EventRow = runner.EventRow
+
+// EventStudy measures per-kind cluster bus event volume for the evaluated
+// policies with and without churn — the traffic a -events trace captures.
+func EventStudy(jobs int, seed uint64) ([]EventRow, error) {
+	return runner.EventStudy(jobs, seed)
+}
+
 // Renderers format experiment rows the way the paper's figures group them.
 var (
 	RenderPerf         = runner.RenderPerf
@@ -382,6 +414,8 @@ var (
 	RenderDelaySweep   = runner.RenderDelaySweep
 	RenderBalance      = runner.RenderBalance
 	RenderUniform      = runner.RenderUniform
+	RenderEvents       = runner.RenderEvents
+	RenderTraceStats   = event.RenderTraceStats
 	RenderChurn        = runner.RenderChurn
 )
 

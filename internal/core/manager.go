@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dare/internal/dfs"
+	"dare/internal/event"
 	"dare/internal/stats"
 	"dare/internal/topology"
 )
@@ -118,6 +119,16 @@ func (m *Manager) Policy(node topology.NodeID) NodePolicy { return m.policies[no
 
 // Errors returns metadata failures observed while applying decisions.
 func (m *Manager) Errors() []error { return m.errs }
+
+// HandleEvent implements event.Subscriber: the manager reacts to map-task
+// launches on the cluster bus (reduce launches carry Block = -1 and have
+// no input block to replicate, so they are ignored).
+func (m *Manager) HandleEvent(ev event.Event) {
+	if ev.Kind != event.TaskLaunch || ev.Block < 0 {
+		return
+	}
+	m.OnMapTask(topology.NodeID(ev.Node), dfs.BlockID(ev.Block), dfs.FileID(ev.File), ev.Aux, ev.Flag)
+}
 
 // OnMapTask reports to node's policy that a map task reading block b
 // (size bytes, of file f) was scheduled there, with the given locality,

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dare/internal/dfs"
+	"dare/internal/event"
 	"dare/internal/topology"
 )
 
@@ -103,8 +104,17 @@ func (s *Scarlett) scheduleEpoch() {
 // Stop halts future epochs (call after the workload drains).
 func (s *Scarlett) Stop() { s.stopped = true }
 
-// OnMapTask implements the tracker's ReplicationHook: Scarlett only
-// *observes* accesses inline; all replication happens at epoch boundaries.
+// HandleEvent implements event.Subscriber: Scarlett watches map-task
+// launches on the cluster bus (reduce launches carry Block = -1).
+func (s *Scarlett) HandleEvent(ev event.Event) {
+	if ev.Kind != event.TaskLaunch || ev.Block < 0 {
+		return
+	}
+	s.OnMapTask(topology.NodeID(ev.Node), dfs.BlockID(ev.Block), dfs.FileID(ev.File), ev.Aux, ev.Flag)
+}
+
+// OnMapTask records a map-task launch: Scarlett only *observes* accesses
+// inline; all replication happens at epoch boundaries.
 func (s *Scarlett) OnMapTask(node topology.NodeID, b dfs.BlockID, f dfs.FileID, size int64, local bool) {
 	s.accesses[f]++
 	if !local {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"dare/internal/event"
 	"dare/internal/topology"
 )
 
@@ -160,8 +161,8 @@ func (b *Balancer) move(blk BlockID, src, dst topology.NodeID) error {
 		b.nn.dynamicBytes[src] -= size
 		b.nn.dynamicBytes[dst] += size
 	}
-	b.nn.notifyRemove(blk, src)
-	b.nn.notifyAdd(blk, dst)
+	b.nn.publishReplica(event.ReplicaRemove, blk, src, kind == Dynamic)
+	b.nn.publishReplica(event.ReplicaAdd, blk, dst, kind == Dynamic)
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dare/internal/event"
 	"dare/internal/stats"
 	"dare/internal/topology"
 )
@@ -61,16 +62,6 @@ type File struct {
 	Created float64
 }
 
-// ReplicaListener observes every replica-set mutation the name node
-// performs: primary placement, dynamic replica announce/evict, failure
-// loss, repair, and balancer moves. The MapReduce tracker implements it to
-// keep per-job locality indices incrementally up to date instead of
-// rescanning the location map on every scheduling decision.
-type ReplicaListener interface {
-	OnReplicaAdded(b BlockID, node topology.NodeID)
-	OnReplicaRemoved(b BlockID, node topology.NodeID)
-}
-
 // NameNode is the master metadata service. It is single-threaded like the
 // simulation that drives it.
 type NameNode struct {
@@ -98,8 +89,11 @@ type NameNode struct {
 	// the replication-floor invariant must stay relaxed.
 	churned bool
 
-	// listener, when set, observes every replica add/remove.
-	listener ReplicaListener
+	// bus, when set, receives an event for every replica-set mutation the
+	// name node performs: primary placement, dynamic replica
+	// announce/evict, failure loss, repair, balancer moves, and node
+	// fail/recover transitions. A nil bus publishes nothing.
+	bus *event.Bus
 
 	nextFile  FileID
 	nextBlock BlockID
@@ -131,21 +125,34 @@ func NewNameNode(topo topology.Topology, replication int, rng *stats.RNG) *NameN
 	return nn
 }
 
-// SetReplicaListener installs l as the observer of replica-set changes
-// (nil uninstalls). At most one listener is supported; the tracker fans
-// updates out to its jobs.
-func (nn *NameNode) SetReplicaListener(l ReplicaListener) { nn.listener = l }
-
-func (nn *NameNode) notifyAdd(b BlockID, node topology.NodeID) {
-	if nn.listener != nil {
-		nn.listener.OnReplicaAdded(b, node)
+// SetBus installs the event bus the name node publishes to. Wiring
+// happens exactly once, at cluster construction; installing a second bus
+// panics — a silent overwrite would detach every subscriber registered so
+// far (the failure mode the old single-slot listener setter had).
+func (nn *NameNode) SetBus(bus *event.Bus) {
+	if nn.bus != nil {
+		panic("dfs: event bus already installed on this name node")
 	}
+	nn.bus = bus
 }
 
-func (nn *NameNode) notifyRemove(b BlockID, node topology.NodeID) {
-	if nn.listener != nil {
-		nn.listener.OnReplicaRemoved(b, node)
+// publishReplica emits one replica-set mutation on the bus, annotated with
+// the block's file, size, and the holding node's rack. Flag marks dynamic
+// (budget-governed) copies.
+func (nn *NameNode) publishReplica(kind event.Kind, b BlockID, node topology.NodeID, dynamic bool) {
+	if nn.bus == nil {
+		return
 	}
+	ev := event.New(kind)
+	ev.Block = int64(b)
+	ev.Node = int32(node)
+	ev.Rack = int32(nn.topo.Rack(node))
+	ev.Flag = dynamic
+	if blk := nn.blocks[b]; blk != nil {
+		ev.File = int32(blk.File)
+		ev.Aux = blk.Size
+	}
+	nn.bus.Publish(ev)
 }
 
 // N reports the number of data nodes.
@@ -259,7 +266,7 @@ func (nn *NameNode) placePrimaries(b *Block) {
 	}
 	nn.locations[b.ID] = locs
 	for _, node := range chosen {
-		nn.notifyAdd(b.ID, node)
+		nn.publishReplica(event.ReplicaAdd, b.ID, node, false)
 	}
 }
 
@@ -336,7 +343,7 @@ func (nn *NameNode) AddDynamicReplica(b BlockID, node topology.NodeID) error {
 	nn.locations[b][node] = Dynamic
 	nn.perNode[node][b] = Dynamic
 	nn.dynamicBytes[node] += blk.Size
-	nn.notifyAdd(b, node)
+	nn.publishReplica(event.ReplicaAdd, b, node, true)
 	return nil
 }
 
@@ -353,7 +360,7 @@ func (nn *NameNode) RemoveDynamicReplica(b BlockID, node topology.NodeID) error 
 	delete(nn.locations[b], node)
 	delete(nn.perNode[node], b)
 	nn.dynamicBytes[node] -= nn.blocks[b].Size
-	nn.notifyRemove(b, node)
+	nn.publishReplica(event.ReplicaRemove, b, node, true)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dare/internal/event"
 	"dare/internal/topology"
 )
 
@@ -59,7 +60,14 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 		if len(nn.locations[b]) == 0 {
 			rep.UnavailableBlocks = append(rep.UnavailableBlocks, b)
 		}
-		nn.notifyRemove(b, node)
+		nn.publishReplica(event.ReplicaRemove, b, node, kind == Dynamic)
+	}
+	if nn.bus != nil {
+		ev := event.New(event.NodeFail)
+		ev.Node = int32(node)
+		ev.Rack = int32(nn.topo.Rack(node))
+		ev.Aux = int64(len(rep.LostPrimaries) + len(rep.LostDynamic))
+		nn.bus.Publish(ev)
 	}
 	return rep
 }
@@ -78,6 +86,12 @@ func (nn *NameNode) RecoverNode(node topology.NodeID) error {
 		return fmt.Errorf("dfs: node %d is not failed", node)
 	}
 	delete(nn.failed, node)
+	if nn.bus != nil {
+		ev := event.New(event.NodeRecover)
+		ev.Node = int32(node)
+		ev.Rack = int32(nn.topo.Rack(node))
+		nn.bus.Publish(ev)
+	}
 	return nil
 }
 
@@ -117,7 +131,7 @@ func (nn *NameNode) AddPrimaryReplica(b BlockID, node topology.NodeID) error {
 	nn.locations[b][node] = Primary
 	nn.perNode[node][b] = Primary
 	nn.primaryBytes[node] += blk.Size
-	nn.notifyAdd(b, node)
+	nn.publishReplica(event.ReplicaRepair, b, node, false)
 	return nil
 }
 

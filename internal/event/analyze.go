@@ -1,0 +1,64 @@
+package event
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceStats summarizes a decoded event log: per-kind volume, the sim-time
+// span covered, and the locality split of the map-task launches (reduce
+// launches carry Block < 0 and have no locality to speak of).
+type TraceStats struct {
+	Counts     Counts
+	Start, End float64 // sim time of the first and last event
+
+	MapLaunches      uint64 // TaskLaunch events with Block >= 0
+	LocalMapLaunches uint64 // of those, Flag set (data-local)
+
+	ReplicasAdded   uint64 // ReplicaAdd
+	ReplicasRemoved uint64 // ReplicaRemove + the removals implied by repair sources
+}
+
+// Summarize tallies a decoded event log (as returned by ReadLog).
+func Summarize(events []Event) TraceStats {
+	var s TraceStats
+	for i, ev := range events {
+		s.Counts[ev.Kind]++
+		if i == 0 {
+			s.Start = ev.Time
+		}
+		s.End = ev.Time
+		if ev.Kind == TaskLaunch && ev.Block >= 0 {
+			s.MapLaunches++
+			if ev.Flag {
+				s.LocalMapLaunches++
+			}
+		}
+	}
+	s.ReplicasAdded = s.Counts[ReplicaAdd]
+	s.ReplicasRemoved = s.Counts[ReplicaRemove]
+	return s
+}
+
+// RenderTraceStats formats a TraceStats block for terminal output.
+func RenderTraceStats(s TraceStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events      %d over sim time [%.1f, %.1f] s\n", s.Counts.Total(), s.Start, s.End)
+	if span := s.End - s.Start; span > 0 {
+		fmt.Fprintf(&b, "rate        %.1f events per sim second\n", float64(s.Counts.Total())/span)
+	}
+	if s.MapLaunches > 0 {
+		fmt.Fprintf(&b, "locality    %d/%d map launches data-local (%.1f%%)\n",
+			s.LocalMapLaunches, s.MapLaunches, 100*float64(s.LocalMapLaunches)/float64(s.MapLaunches))
+	}
+	fmt.Fprintf(&b, "replicas    +%d added, -%d removed (net %+d)\n",
+		s.ReplicasAdded, s.ReplicasRemoved, int64(s.ReplicasAdded)-int64(s.ReplicasRemoved))
+	fmt.Fprintf(&b, "\n%-16s %10s\n", "kind", "count")
+	for k, v := range s.Counts {
+		if v == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %10d\n", Kind(k), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+// Package event is the cluster's event spine: a typed, synchronous,
+// multi-subscriber bus that every layer of the simulator publishes to and
+// observes. It replaces the ad-hoc single-slot hooks that grew around the
+// tracker (the dfs replica listener, the mapreduce replication hook,
+// checkAfterEvent) with one surface: the name node publishes replica and
+// node lifecycle
+// events, the tracker publishes task and job lifecycle events, and any
+// number of subscribers — locality-index maintenance, failure handling,
+// speculation, invariant checking, replication policies, trace recorders —
+// react in deterministic registration order.
+//
+// Determinism rules:
+//
+//  1. Publish dispatches synchronously, in the caller's goroutine, before
+//     Publish returns. A publisher's next statement runs only after every
+//     subscriber has seen the event, so an event is a point in the
+//     engine's single timeline, not a message in flight.
+//  2. Subscribers run in registration order, which is fixed at wiring
+//     time. Two runs that wire the same subscribers in the same order see
+//     identical dispatch sequences.
+//  3. Event.Time is stamped by the bus from the simulation clock (the
+//     engine's Now), never by wall clock, so a recorded trace is a pure
+//     function of (profile, workload, seed).
+//
+// The hot path allocates nothing: Event is a fixed struct of scalars
+// passed by value, the bus fans out over a plain subscriber slice with
+// static interface calls, and there are no maps, no reflection, and no
+// per-event boxing.
+package event
+
+// Kind identifies what happened. The enum is the event taxonomy; see
+// DESIGN.md ("Event spine") for the publisher and field conventions of
+// each kind.
+type Kind uint8
+
+const (
+	// KindNone is the zero Kind; it is never published.
+	KindNone Kind = iota
+
+	// DFS layer (published by dfs.NameNode).
+	ReplicaAdd    // a block gained a replica on Node (Flag: dynamic copy)
+	ReplicaRemove // a block lost a replica on Node (eviction, balancer move, node loss)
+	ReplicaRepair // re-replication restored a primary copy of Block on Node
+	NodeFail      // Node left the cluster; all its replicas are already removed
+	NodeRecover   // Node rejoined the cluster (its disk was wiped)
+
+	// MapReduce layer (published by mapreduce.Tracker and friends).
+	JobArrive     // Job entered the system (Aux: number of map tasks)
+	JobFinish     // Job left the system (Flag: failed rather than completed)
+	TaskLaunch    // an attempt of a task started on Node (Block >= 0: map; Flag: node-local)
+	TaskComplete  // a map task finished (Aux: locality class of the winning attempt; Flag: won a speculative race)
+	TaskFail      // a task attempt died (Flag: blamed on the node; Aux=1: the input must be requeued)
+	TaskSpeculate // a backup attempt is about to launch for a straggling task
+	Heartbeat     // a live tasktracker reported in (Aux: free map slots before speculation)
+
+	numKinds
+)
+
+// NumKinds is the number of distinct event kinds, for sizing per-kind
+// counter arrays.
+const NumKinds = int(numKinds)
+
+var kindNames = [NumKinds]string{
+	KindNone:      "none",
+	ReplicaAdd:    "replica-add",
+	ReplicaRemove: "replica-remove",
+	ReplicaRepair: "replica-repair",
+	NodeFail:      "node-fail",
+	NodeRecover:   "node-recover",
+	JobArrive:     "job-arrive",
+	JobFinish:     "job-finish",
+	TaskLaunch:    "task-launch",
+	TaskComplete:  "task-complete",
+	TaskFail:      "task-fail",
+	TaskSpeculate: "task-speculate",
+	Heartbeat:     "heartbeat",
+}
+
+// String returns the stable wire name of the kind (used in JSONL traces).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString inverts String; it returns KindNone for unknown names.
+func KindFromString(s string) Kind {
+	for k, name := range kindNames {
+		if name == s && k != 0 {
+			return Kind(k)
+		}
+	}
+	return KindNone
+}
+
+// Event is a fixed-size record of one cluster occurrence. Identity fields
+// hold -1 when they do not apply to the kind; Aux and Flag carry one
+// kind-specific scalar each (documented on the Kind constants). Events are
+// passed by value — subscribers may keep the copy but must not assume any
+// pointer identity.
+type Event struct {
+	Kind  Kind
+	Time  float64 // simulation time, stamped by the bus at Publish
+	Node  int32   // node id, -1 if not node-scoped
+	Rack  int32   // rack of Node, -1 if not node-scoped
+	Job   int32   // job id, -1 if not job-scoped
+	File  int32   // file id, -1 if unknown
+	Block int64   // block id, -1 if not block-scoped
+	Aux   int64   // kind-specific scalar (bytes, slots, counts, ...)
+	Flag  bool    // kind-specific boolean (local, dynamic, blamed, ...)
+}
+
+// New returns an Event of the given kind with every identity field set to
+// the -1 "absent" sentinel, so publishers only fill in what applies.
+func New(k Kind) Event {
+	return Event{Kind: k, Node: -1, Rack: -1, Job: -1, File: -1, Block: -1}
+}
+
+// Subscriber receives every published event. HandleEvent runs on the
+// simulation goroutine inside Publish; it may mutate simulation state and
+// schedule engine work, but must not retain goroutines or block.
+type Subscriber interface {
+	HandleEvent(ev Event)
+}
+
+// Bus fans events out to its subscribers in registration order. One bus
+// serves one simulated world; it is not safe for concurrent use, by
+// design — the simulation is single-threaded (see DESIGN.md §"Concurrency
+// model").
+//
+// A nil *Bus is a valid no-op publisher, so components that can run
+// without a bus (e.g. a bare NameNode in a unit test) need no guards.
+type Bus struct {
+	clock func() float64
+	subs  []Subscriber
+}
+
+// NewBus returns a bus that stamps Event.Time from clock (typically
+// sim.Engine.Now). A nil clock stamps zero.
+func NewBus(clock func() float64) *Bus {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	return &Bus{clock: clock}
+}
+
+// Subscribe appends s to the dispatch list. Registration order is dispatch
+// order, forever; there is no unsubscribe — wiring happens once per run.
+func (b *Bus) Subscribe(s Subscriber) {
+	b.subs = append(b.subs, s)
+}
+
+// Subscribers reports how many subscribers are registered.
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.subs)
+}
+
+// Publish stamps ev with the current simulation time and delivers it to
+// every subscriber, synchronously, in registration order. Publishing on a
+// nil bus is a no-op.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	ev.Time = b.clock()
+	for _, s := range b.subs {
+		s.HandleEvent(ev)
+	}
+}

@@ -21,7 +21,7 @@ func BenchmarkSmallSimulation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO(), nil)
+		tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO())
 		if err != nil {
 			b.Fatal(err)
 		}

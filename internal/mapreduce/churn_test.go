@@ -23,7 +23,7 @@ func churnFixture(t *testing.T, seed uint64, jobs int) (*mapreduce.Cluster, *map
 		t.Fatal(err)
 	}
 	wl := workload.Generate(workload.GenConfig{NumJobs: jobs, NumFiles: 15, Seed: seed})
-	tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO(), nil)
+	tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,9 @@
 // remote (non-data-local) reads pay the network price measured in §II-B.
 //
 // The scheduler is pluggable (FIFO or Fair with delay scheduling live in
-// internal/scheduler); DARE observes task placements through a hook and is
-// otherwise invisible to the scheduler, preserving the paper's
-// scheduler-agnostic design.
+// internal/scheduler); DARE observes task placements through the cluster
+// event bus and is otherwise invisible to the scheduler, preserving the
+// paper's scheduler-agnostic design.
 package mapreduce
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"dare/internal/config"
 	"dare/internal/dfs"
+	"dare/internal/event"
 	"dare/internal/sim"
 	"dare/internal/stats"
 	"dare/internal/topology"
@@ -51,6 +52,10 @@ type Cluster struct {
 	Topo    topology.Topology
 	NN      *dfs.NameNode
 	Nodes   []*Node
+	// Bus is the cluster's event spine: the name node and the tracker
+	// publish on it, and any component may subscribe (see internal/event).
+	// Events are stamped with Eng's clock.
+	Bus *event.Bus
 
 	rttG   *stats.RNG
 	noiseG *stats.RNG
@@ -69,11 +74,15 @@ func NewCluster(p *config.Profile, seed uint64) (*Cluster, error) {
 	g := stats.NewRNG(seed)
 	topo := topology.FromProfile(p, g.Split(1))
 	nn := dfs.NewNameNode(topo, p.ReplicationFactor, g.Split(2))
+	eng := sim.NewEngine()
+	bus := event.NewBus(eng.Now)
+	nn.SetBus(bus)
 	c := &Cluster{
-		Eng:     sim.NewEngine(),
+		Eng:     eng,
 		Profile: p,
 		Topo:    topo,
 		NN:      nn,
+		Bus:     bus,
 		rttG:    g.Split(3),
 		noiseG:  g.Split(4),
 	}

@@ -37,16 +37,16 @@ func TestConservationProperty(t *testing.T) {
 		} else {
 			sel = scheduler.NewFair(0)
 		}
-		tr, err := mapreduce.NewTracker(c, wl, sel, nil)
+		tr, err := mapreduce.NewTracker(c, wl, sel)
 		if err != nil {
 			return false
 		}
 		switch polPick % 3 {
 		case 1:
-			tr.SetHook(core.NewManager(core.DefaultConfig(), c.NN, stats.NewRNG(seed), c.Eng.Defer))
+			c.Bus.Subscribe(core.NewManager(core.DefaultConfig(), c.NN, stats.NewRNG(seed), c.Eng.Defer))
 		case 2:
 			cfg := core.Config{Kind: core.GreedyLRUPolicy, BudgetFraction: 0.05, AnnounceDelay: 0.25, LazyDeleteDelay: 0.25}
-			tr.SetHook(core.NewManager(cfg, c.NN, stats.NewRNG(seed), c.Eng.Defer))
+			c.Bus.Subscribe(core.NewManager(cfg, c.NN, stats.NewRNG(seed), c.Eng.Defer))
 		}
 
 		results, err := tr.Run()
@@ -96,7 +96,7 @@ func TestConservationWithFailuresProperty(t *testing.T) {
 			return false
 		}
 		wl := workload.Generate(workload.GenConfig{NumJobs: 30, NumFiles: 10, Seed: seed})
-		tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO(), nil)
+		tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO())
 		if err != nil {
 			return false
 		}

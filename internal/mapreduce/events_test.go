@@ -1,0 +1,203 @@
+package mapreduce
+
+// In-package tests for the event-driven locality-index maintenance: the
+// regression of interest is that a replica removal (eviction, balancer
+// move) eagerly drops the job's index entries, so an evicted replica's
+// node is never offered as node-local again. The old single-slot replica
+// hook wiring silently ignored removals.
+
+import (
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/dfs"
+	"dare/internal/topology"
+	"dare/internal/workload"
+)
+
+// fifoSelector is a minimal in-package TaskSelector (the real schedulers
+// live in internal/scheduler, which imports this package).
+type fifoSelector struct{ jobs []*Job }
+
+func (s *fifoSelector) Name() string     { return "test-fifo" }
+func (s *fifoSelector) AddJob(j *Job)    { s.jobs = append(s.jobs, j) }
+func (s *fifoSelector) RemoveJob(j *Job) {}
+func (s *fifoSelector) SelectMapTask(node topology.NodeID, now float64) (*Job, dfs.BlockID, bool) {
+	for _, j := range s.jobs {
+		if b, ok := j.TakeLocalBlock(node); ok {
+			return j, b, true
+		}
+	}
+	return nil, 0, false
+}
+func (s *fifoSelector) SelectReduceTask(node topology.NodeID, now float64) (*Job, bool) {
+	return nil, false
+}
+
+// newIndexedJob builds a cluster plus one arrived job large enough
+// (NumMaps >= indexMinMaps) to use the inverted locality index.
+func newIndexedJob(t *testing.T, seed uint64) (*Tracker, *Job) {
+	t.Helper()
+	p := config.CCT()
+	p.Slaves = 8
+	c, err := NewCluster(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := &workload.Workload{
+		Name:  "events-test",
+		Files: []workload.FileSpec{{Name: "f0", Blocks: 2 * indexMinMaps}},
+		Jobs: []workload.Job{{
+			ID: 0, Arrival: 0, File: 0, FirstBlock: 0, NumMaps: 2 * indexMinMaps,
+			CPUPerTask: 1, NumReduces: 1, ReduceTime: 1, OutputBlocks: 1,
+		}},
+	}
+	tr, err := NewTracker(c, wl, &fifoSelector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.arrive(wl.Jobs[0])
+	j := tr.jobByID[0]
+	if j == nil {
+		t.Fatal("job 0 not active after arrive")
+	}
+	if j.linearScan {
+		t.Fatal("test job unexpectedly on the linear-scan path")
+	}
+	return tr, j
+}
+
+// nodeWithoutReplica returns a node holding no replica of b.
+func nodeWithoutReplica(t *testing.T, tr *Tracker, b dfs.BlockID) *Node {
+	t.Helper()
+	for _, n := range tr.c.Nodes {
+		if !tr.c.NN.HasReplica(b, n.ID) {
+			return n
+		}
+	}
+	t.Fatal("every node holds a replica of the test block")
+	return nil
+}
+
+func TestReplicaRemovalDropsNodeIndexEagerly(t *testing.T) {
+	tr, j := newIndexedJob(t, 1)
+	b := tr.files[0].Blocks[0]
+	seq := j.pendingSeq[b]
+	if seq == 0 {
+		t.Fatal("test block is not pending")
+	}
+	n := nodeWithoutReplica(t, tr, b)
+
+	if err := tr.c.NN.AddDynamicReplica(b, n.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !heapHas(j.byNode[n.ID], b, seq) {
+		t.Fatalf("ReplicaAdd event did not index block %d under node %d", b, n.ID)
+	}
+
+	if err := tr.c.NN.RemoveDynamicReplica(b, n.ID); err != nil {
+		t.Fatal(err)
+	}
+	if heapHas(j.byNode[n.ID], b, seq) {
+		t.Fatalf("ReplicaRemove event left a stale index entry for block %d under node %d", b, n.ID)
+	}
+
+	// The block is still pending, but node n must never be offered it as
+	// local: drain every local offer for n and make sure b is not among
+	// them.
+	for {
+		got, ok := j.TakeLocalBlock(n.ID)
+		if !ok {
+			break
+		}
+		if got == b {
+			t.Fatalf("evicted replica's node %d was offered block %d as node-local", n.ID, b)
+		}
+	}
+}
+
+func TestReplicaRemovalKeepsRackIndexWhileCovered(t *testing.T) {
+	tr, j := newIndexedJob(t, 2)
+	b := tr.files[0].Blocks[0]
+	seq := j.pendingSeq[b]
+	topo := tr.c.Topo
+
+	// Find a rack with two nodes and no replica of b at all.
+	var n1, n2 *Node
+	for _, a := range tr.c.Nodes {
+		if tr.c.NN.HasReplica(b, a.ID) {
+			continue
+		}
+		rackHasReplica := false
+		tr.c.NN.ForEachLocation(b, func(loc topology.NodeID, _ dfs.ReplicaKind) bool {
+			if topo.Rack(loc) == topo.Rack(a.ID) {
+				rackHasReplica = true
+				return false
+			}
+			return true
+		})
+		if rackHasReplica {
+			continue
+		}
+		for _, c2 := range tr.c.Nodes {
+			if c2.ID != a.ID && topo.Rack(c2.ID) == topo.Rack(a.ID) && !tr.c.NN.HasReplica(b, c2.ID) {
+				n1, n2 = a, c2
+				break
+			}
+		}
+		if n1 != nil {
+			break
+		}
+	}
+	if n1 == nil {
+		t.Skip("no replica-free rack with two nodes in this layout")
+	}
+	rack := topo.Rack(n1.ID)
+
+	if err := tr.c.NN.AddDynamicReplica(b, n1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.c.NN.AddDynamicReplica(b, n2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !heapHas(j.byRack[rack], b, seq) {
+		t.Fatalf("rack %d not indexed after replica adds", rack)
+	}
+
+	// Removing one of two same-rack replicas must keep the rack entry: a
+	// rack entry stands for "some replica in this rack", and one survives.
+	if err := tr.c.NN.RemoveDynamicReplica(b, n1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if heapHas(j.byNode[n1.ID], b, seq) {
+		t.Fatalf("node %d index kept a removed replica", n1.ID)
+	}
+	if !heapHas(j.byRack[rack], b, seq) {
+		t.Fatalf("rack %d index dropped while node %d still holds a replica", rack, n2.ID)
+	}
+
+	// Removing the last in-rack replica drops the rack entry too.
+	if err := tr.c.NN.RemoveDynamicReplica(b, n2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if heapHas(j.byRack[rack], b, seq) {
+		t.Fatalf("rack %d index kept an entry with no in-rack replica left", rack)
+	}
+}
+
+func TestBlockHeapRemovePreservesPopOrder(t *testing.T) {
+	var h blockHeap
+	for _, e := range []pendingRef{{seq: 5, b: 50}, {seq: 1, b: 10}, {seq: 3, b: 30}, {seq: 2, b: 20}, {seq: 4, b: 40}} {
+		h.push(e)
+	}
+	h.remove(30, 3)
+	want := []uint64{1, 2, 4, 5}
+	for i, w := range want {
+		if got := h.pop(); got.seq != w {
+			t.Fatalf("pop %d: seq %d, want %d", i, got.seq, w)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not drained: %d left", len(h))
+	}
+}

@@ -1,9 +1,11 @@
 package mapreduce
 
 import (
+	"fmt"
 	"sort"
 
 	"dare/internal/dfs"
+	"dare/internal/event"
 	"dare/internal/sim"
 	"dare/internal/topology"
 )
@@ -131,7 +133,56 @@ func (t *Tracker) RecoveryEvents() []RecoveryEvent { return t.recoveryEvents }
 // RepairsDone reports how many block re-replications completed.
 func (t *Tracker) RepairsDone() int { return t.repairsDone }
 
-// failNode executes one independent injected failure.
+// scheduleInjectedChurn registers every planned failure, recovery, and
+// rack failure with the engine. Run calls it once, before the heartbeat
+// tickers start.
+func (t *Tracker) scheduleInjectedChurn() error {
+	eng := t.c.Eng
+	for _, pf := range t.failures {
+		pf := pf
+		if int(pf.node) < 0 || int(pf.node) >= len(t.c.Nodes) {
+			return fmt.Errorf("mapreduce: failure scheduled for invalid node %d", pf.node)
+		}
+		eng.DeferAt(pf.at, func() { t.failNode(t.c.Nodes[pf.node]) })
+	}
+	for _, pr := range t.recoveries {
+		pr := pr
+		if int(pr.node) < 0 || int(pr.node) >= len(t.c.Nodes) {
+			return fmt.Errorf("mapreduce: recovery scheduled for invalid node %d", pr.node)
+		}
+		eng.DeferAt(pr.at, func() { t.recoverNode(t.c.Nodes[pr.node]) })
+	}
+	for _, prf := range t.rackFailures {
+		prf := prf
+		if prf.rack < 0 || prf.rack >= t.c.racks {
+			return fmt.Errorf("mapreduce: failure scheduled for invalid rack %d", prf.rack)
+		}
+		eng.DeferAt(prf.at, func() { t.failRack(prf.rack) })
+	}
+	return nil
+}
+
+// blockWeights lazily builds the access-weight map used for weighted
+// availability snapshots: each block weighs the number of map tasks that
+// read it across the whole workload.
+func (t *Tracker) blockWeights() map[dfs.BlockID]float64 {
+	if t.weights != nil {
+		return t.weights
+	}
+	w := make(map[dfs.BlockID]float64)
+	for _, spec := range t.wl.Jobs {
+		f := t.files[spec.File]
+		for i := spec.FirstBlock; i < spec.FirstBlock+spec.NumMaps; i++ {
+			w[f.Blocks[i]]++
+		}
+	}
+	t.weights = w
+	return w
+}
+
+// failNode executes one independent injected failure. The invariant
+// checker (when enabled) fires on the NodeFail event the name node
+// publishes inside killNode.
 func (t *Tracker) failNode(node *Node) {
 	if !node.Up {
 		return
@@ -140,7 +191,6 @@ func (t *Tracker) failNode(node *Node) {
 	if !t.repairDisabled {
 		t.scheduleRepairs()
 	}
-	t.checkAfterEvent()
 }
 
 // failRack executes one switch failure: every live node of the rack dies
@@ -154,7 +204,6 @@ func (t *Tracker) failRack(rack int) {
 	if !t.repairDisabled {
 		t.scheduleRepairs()
 	}
-	t.checkAfterEvent()
 }
 
 // killNode takes one node down: heartbeat stops, in-flight tasks die and
@@ -180,16 +229,31 @@ func (t *Tracker) killNode(node *Node, rack int) {
 		if ordered[i].isMap != ordered[j].isMap {
 			return ordered[i].isMap
 		}
-		return ordered[i].block < ordered[j].block
+		if ordered[i].block != ordered[j].block {
+			return ordered[i].block < ordered[j].block
+		}
+		// Reduce recs all carry the zero block: order them by job so the
+		// published task-fail sequence is deterministic (the bookkeeping
+		// itself is order-independent, but the trace observes the order).
+		return ordered[i].job.Spec.ID < ordered[j].job.Spec.ID
 	})
 	for _, r := range ordered {
 		t.c.Eng.Cancel(r.ev)
+		fe := event.New(event.TaskFail)
+		fe.Job = int32(r.job.Spec.ID)
+		fe.Node = int32(node.ID)
+		fe.Rack = int32(t.c.Topo.Rack(node.ID))
+		// Flag stays false: a node death is not the node's "fault" in
+		// blacklist terms (matching Hadoop — only flaky-attempt blame
+		// counts toward the blacklist).
 		if r.isMap {
 			r.job.runningMaps--
 			delete(r.group.recs, r)
-			// Requeue only when no sibling attempt survives elsewhere.
+			fe.Block = int64(r.block)
+			// Aux=1 asks the failure handler to requeue: no sibling
+			// attempt survives elsewhere.
 			if !r.group.done && len(r.group.recs) == 0 {
-				t.requeueOrFail(r.job, r.block)
+				fe.Aux = 1
 			}
 			ev.KilledMaps++
 		} else {
@@ -197,6 +261,7 @@ func (t *Tracker) killNode(node *Node, rack int) {
 			r.job.pendingReduces++
 			ev.KilledReduces++
 		}
+		t.bus.Publish(fe)
 	}
 	delete(t.inflight, node)
 
@@ -215,21 +280,23 @@ func (t *Tracker) killNode(node *Node, rack int) {
 // can both enable repairs that had no target and raise the replication
 // floor min(replication, up nodes).
 func (t *Tracker) recoverNode(node *Node) {
-	if node.Up {
-		return
-	}
-	if err := t.c.NN.RecoverNode(node.ID); err != nil {
-		return // tracker and name node views diverged; invariant check will flag it
+	if node.Up || !t.c.NN.NodeFailed(node.ID) {
+		return // up, or tracker and name node views diverged (invariant check will flag it)
 	}
 	node.Up = true
-	node.Blacklisted = false
-	t.nodeTaskFailures[node.ID] = 0
 	node.FreeMapSlots = t.c.Profile.MapSlotsPerNode
 	node.FreeReduceSlots = t.c.Profile.ReduceSlotsPerNode
 	// ActiveRemoteReads is intentionally left alone: pending fetch-end
 	// events still fire and decrement it.
 	if int(node.ID) < len(t.tickers) {
 		t.tickers[node.ID].Start(0)
+	}
+	// Re-register with the name node last: its NodeRecover event then
+	// finds the tracker and metadata views already consistent — the
+	// failure handler forgives the blacklist and the invariant checker
+	// runs during this publish.
+	if err := t.c.NN.RecoverNode(node.ID); err != nil {
+		return // unreachable: guarded above
 	}
 	t.recoveryEvents = append(t.recoveryEvents, RecoveryEvent{
 		Time:                 t.c.Eng.Now(),
@@ -240,76 +307,6 @@ func (t *Tracker) recoverNode(node *Node) {
 	if !t.repairDisabled {
 		t.scheduleRepairs()
 	}
-	t.checkAfterEvent()
-}
-
-// requeueOrFail puts a killed/failed map input back in the pending set
-// with exponential backoff, or fails its job once the block has burned
-// maxTaskAttempts attempts.
-func (t *Tracker) requeueOrFail(j *Job, b dfs.BlockID) {
-	if j.finished {
-		return
-	}
-	if j.attempts == nil {
-		j.attempts = make(map[dfs.BlockID]int)
-	}
-	j.attempts[b]++
-	n := j.attempts[b]
-	if t.maxTaskAttempts > 0 && n >= t.maxTaskAttempts {
-		t.failJob(j)
-		return
-	}
-	// Exponential backoff in heartbeat units: 1, 2, 4, ... intervals. The
-	// first retry waits one interval — the killed attempt's slot report
-	// would not reach the job tracker sooner anyway.
-	backoff := t.c.Profile.HeartbeatInterval * float64(int64(1)<<uint(n-1))
-	t.c.Eng.Defer(backoff, func() {
-		if !j.finished {
-			j.Requeue(b)
-		}
-	})
-}
-
-// failJob terminates a job whose task exhausted its attempts: Hadoop fails
-// the job rather than retrying forever. The job leaves the scheduler and
-// reports a failed Result stamped at the failure time.
-func (t *Tracker) failJob(j *Job) {
-	if j.finished {
-		return
-	}
-	j.finished = true
-	j.failed = true
-	j.finishTime = t.c.Eng.Now()
-	delete(t.active, j)
-	t.sel.RemoveJob(j)
-	t.results = append(t.results, j.result())
-	t.completed++
-	if t.completed == t.totalJobs {
-		t.c.Eng.Stop()
-	}
-}
-
-// noteNodeTaskFailure counts one failed attempt against node and
-// blacklists it at the threshold — unless that would leave the scheduler
-// no usable node at all.
-func (t *Tracker) noteNodeTaskFailure(node *Node) {
-	if t.blacklistAfter <= 0 || node.Blacklisted || !node.Up {
-		return
-	}
-	t.nodeTaskFailures[node.ID]++
-	if t.nodeTaskFailures[node.ID] < t.blacklistAfter {
-		return
-	}
-	usable := 0
-	for _, n := range t.c.Nodes {
-		if n.Up && !n.Blacklisted {
-			usable++
-		}
-	}
-	if usable <= 1 {
-		return // never blacklist the last schedulable node
-	}
-	node.Blacklisted = true
 }
 
 // scheduleRepairs runs one HDFS-style re-replication round: after the

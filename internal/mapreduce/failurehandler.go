@@ -1,0 +1,161 @@
+package mapreduce
+
+import (
+	"dare/internal/dfs"
+	"dare/internal/event"
+	"dare/internal/stats"
+)
+
+// DefaultMaxTaskAttempts mirrors Hadoop's mapred.map.max.attempts: a map
+// input whose attempts fail this many times fails its whole job.
+const DefaultMaxTaskAttempts = 4
+
+// DefaultBlacklistAfter is the per-node failed-attempt count at which the
+// job tracker stops scheduling on a node until it re-registers.
+const DefaultBlacklistAfter = 3
+
+// failureHandler owns task-attempt robustness: attempt limits,
+// exponential retry backoff, per-node failure accounting, and the
+// tasktracker blacklist. It subscribes to the cluster bus — TaskFail
+// events drive blame and requeueing, NodeRecover forgives the blacklist —
+// instead of being welded into the tracker's execution path.
+type failureHandler struct {
+	t *Tracker
+
+	maxTaskAttempts  int
+	blacklistAfter   int
+	nodeTaskFailures []int
+	taskFailProb     float64
+	taskFailG        *stats.RNG
+}
+
+func newFailureHandler(t *Tracker) *failureHandler {
+	return &failureHandler{
+		t:                t,
+		maxTaskAttempts:  DefaultMaxTaskAttempts,
+		blacklistAfter:   DefaultBlacklistAfter,
+		nodeTaskFailures: make([]int, len(t.c.Nodes)),
+	}
+}
+
+// HandleEvent implements event.Subscriber.
+//
+// TaskFail carries two independent verdicts: Flag=true blames the node
+// that ran the attempt (flaky-disk/JVM injection — node deaths are not the
+// node's "fault" in blacklist terms, matching Hadoop), and Aux=1 means no
+// sibling attempt survives so the input must be requeued (or the job
+// failed, past the attempt limit).
+func (h *failureHandler) HandleEvent(ev event.Event) {
+	switch ev.Kind {
+	case event.TaskFail:
+		if ev.Flag {
+			h.noteNodeTaskFailure(h.t.c.Nodes[ev.Node])
+		}
+		if ev.Aux == 1 {
+			if j := h.t.jobByID[ev.Job]; j != nil {
+				h.requeueOrFail(j, dfs.BlockID(ev.Block))
+			}
+		}
+	case event.NodeRecover:
+		// Re-registration forgives the blacklist, as in Hadoop.
+		node := h.t.c.Nodes[ev.Node]
+		node.Blacklisted = false
+		h.nodeTaskFailures[ev.Node] = 0
+	}
+}
+
+// injectedFailure draws the flaky-task coin. p = 0 (the default) draws
+// nothing, leaving existing runs bit-identical.
+func (h *failureHandler) injectedFailure() bool {
+	return h.taskFailProb > 0 && h.taskFailG.Float64() < h.taskFailProb
+}
+
+// requeueOrFail puts a killed/failed map input back in the pending set
+// with exponential backoff, or fails its job once the block has burned
+// maxTaskAttempts attempts.
+func (h *failureHandler) requeueOrFail(j *Job, b dfs.BlockID) {
+	if j.finished {
+		return
+	}
+	if j.attempts == nil {
+		j.attempts = make(map[dfs.BlockID]int)
+	}
+	j.attempts[b]++
+	n := j.attempts[b]
+	if h.maxTaskAttempts > 0 && n >= h.maxTaskAttempts {
+		h.failJob(j)
+		return
+	}
+	// Exponential backoff in heartbeat units: 1, 2, 4, ... intervals. The
+	// first retry waits one interval — the killed attempt's slot report
+	// would not reach the job tracker sooner anyway.
+	backoff := h.t.c.Profile.HeartbeatInterval * float64(int64(1)<<uint(n-1))
+	h.t.c.Eng.Defer(backoff, func() {
+		if !j.finished {
+			j.Requeue(b)
+		}
+	})
+}
+
+// failJob terminates a job whose task exhausted its attempts: Hadoop fails
+// the job rather than retrying forever. The job leaves the scheduler and
+// reports a failed Result stamped at the failure time.
+func (h *failureHandler) failJob(j *Job) {
+	if j.finished {
+		return
+	}
+	j.failed = true
+	h.t.finishJob(j)
+}
+
+// noteNodeTaskFailure counts one failed attempt against node and
+// blacklists it at the threshold — unless that would leave the scheduler
+// no usable node at all.
+func (h *failureHandler) noteNodeTaskFailure(node *Node) {
+	if h.blacklistAfter <= 0 || node.Blacklisted || !node.Up {
+		return
+	}
+	h.nodeTaskFailures[node.ID]++
+	if h.nodeTaskFailures[node.ID] < h.blacklistAfter {
+		return
+	}
+	usable := 0
+	for _, n := range h.t.c.Nodes {
+		if n.Up && !n.Blacklisted {
+			usable++
+		}
+	}
+	if usable <= 1 {
+		return // never blacklist the last schedulable node
+	}
+	node.Blacklisted = true
+}
+
+// SetMaxTaskAttempts overrides the per-task attempt limit (<= 0 retries
+// forever). Call before Run.
+func (t *Tracker) SetMaxTaskAttempts(n int) { t.faults.maxTaskAttempts = n }
+
+// SetBlacklistAfter overrides the per-node failed-attempt threshold for
+// blacklisting (<= 0 disables blacklisting). Call before Run.
+func (t *Tracker) SetBlacklistAfter(k int) { t.faults.blacklistAfter = k }
+
+// SetTaskFailureInjection makes each map attempt fail on completion with
+// probability p, drawn from rng — the deterministic stand-in for flaky
+// disks/JVMs that exercises retry, backoff, and blacklisting on *up*
+// nodes. p = 0 (the default) draws nothing, leaving existing runs
+// bit-identical. Call before Run.
+func (t *Tracker) SetTaskFailureInjection(p float64, rng *stats.RNG) {
+	t.faults.taskFailProb = p
+	t.faults.taskFailG = rng
+}
+
+// Blacklisted reports how many nodes are currently blacklisted.
+func (t *Tracker) Blacklisted() int {
+	n := 0
+	for _, node := range t.c.Nodes {
+		if node.Blacklisted {
+			n++
+		}
+	}
+	return n
+}

@@ -4,8 +4,46 @@ import (
 	"fmt"
 
 	"dare/internal/dfs"
+	"dare/internal/event"
 	"dare/internal/topology"
 )
+
+// invariantChecker runs the full cross-layer invariant check after every
+// node-lifecycle event, as a bus subscriber: the name node publishes
+// NodeFail/NodeRecover at the end of its own mutation, so the checker
+// judges exactly the state every earlier subscriber has finished reacting
+// to. The first violation latches, aborts the run, and stops the engine.
+// Disabled by default (SetInvariantChecks); it replaces the tracker's old
+// checkAfterEvent calls, which each churn path had to remember to make.
+//
+// Note a deliberate cadence difference from the old inline calls: a rack
+// failure now checks once per killed node (each FailNode publish) rather
+// than once after the whole rack — strictly more checking, and output-
+// invariant because a passing check has no observable effect.
+type invariantChecker struct {
+	t       *Tracker
+	enabled bool
+	err     error
+}
+
+// HandleEvent implements event.Subscriber.
+func (c *invariantChecker) HandleEvent(ev event.Event) {
+	if ev.Kind != event.NodeFail && ev.Kind != event.NodeRecover {
+		return
+	}
+	if !c.enabled || c.err != nil {
+		return
+	}
+	if err := c.t.CheckInvariants(); err != nil {
+		c.err = fmt.Errorf("mapreduce: invariant violated at t=%g: %w", c.t.c.Eng.Now(), err)
+		c.t.c.Eng.Stop()
+	}
+}
+
+// SetInvariantChecks makes the tracker run the full metadata invariant
+// checker after every node failure/recovery event; the first violation
+// aborts the run with its error. Call before Run.
+func (t *Tracker) SetInvariantChecks(v bool) { t.checker.enabled = v }
 
 // CheckInvariants validates cross-layer consistency between the name node,
 // the tracker's node view, and the per-job inverted locality indices. The
@@ -42,7 +80,7 @@ func (t *Tracker) CheckInvariants() error {
 	// entry under that node and its rack, or the indexed path could miss a
 	// local launch the linear scan would find. (Stale entries are legal —
 	// they are discarded lazily; missing entries are not.)
-	for j := range t.active {
+	for _, j := range t.active {
 		if err := j.checkIndex(); err != nil {
 			return err
 		}

@@ -49,15 +49,35 @@ type blockHeap []pendingRef
 
 func (h *blockHeap) push(e pendingRef) {
 	*h = append(*h, e)
-	s := *h
-	i := len(s) - 1
+	h.siftUp(len(*h) - 1)
+}
+
+func (h blockHeap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if s[parent].seq <= s[i].seq {
+		if h[parent].seq <= h[i].seq {
 			break
 		}
-		s[parent], s[i] = s[i], s[parent]
+		h[parent], h[i] = h[i], h[parent]
 		i = parent
+	}
+}
+
+func (h blockHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		small := i
+		if l := 2*i + 1; l < n && h[l].seq < h[small].seq {
+			small = l
+		}
+		if r := 2*i + 2; r < n && h[r].seq < h[small].seq {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
 	}
 }
 
@@ -69,22 +89,30 @@ func (h *blockHeap) pop() pendingRef {
 	n := len(s) - 1
 	s[0] = s[n]
 	*h = s[:n]
-	i := 0
-	for {
-		small := i
-		if l := 2*i + 1; l < n && s[l].seq < s[small].seq {
-			small = l
-		}
-		if r := 2*i + 2; r < n && s[r].seq < s[small].seq {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		s[i], s[small] = s[small], s[i]
-		i = small
-	}
+	(*h).siftDown(0)
 	return top
+}
+
+// remove deletes every entry for (b, seq) from h and restores the heap
+// property with a bottom-up heapify. O(len(h)), but it runs only on the
+// replica-removal path (evictions, failures, balancer moves), never on
+// selection. Pop order over the remaining live entries is unchanged: a
+// min-heap's pop sequence depends only on its multiset of seqs.
+func (h *blockHeap) remove(b dfs.BlockID, seq uint64) {
+	s := *h
+	kept := s[:0]
+	for _, e := range s {
+		if e.b != b || e.seq != seq {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == len(s) {
+		return
+	}
+	*h = kept
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		kept.siftDown(i)
+	}
 }
 
 // Job is the runtime state of one trace job inside the cluster.
@@ -109,9 +137,10 @@ type Job struct {
 	// byNode[n] and byRack[r] index pending blocks by current replica
 	// location, keyed by seq — the inverted locality index that makes
 	// TakeLocalBlock/TakeRackLocalBlock/HasLocalBlock O(1) amortized.
-	// Entries go stale when a block is taken or a replica moves; they are
-	// discarded lazily on pop, and replica additions are pushed via the
-	// name node's ReplicaListener hook.
+	// Entries go stale when a block is taken; they are discarded lazily on
+	// pop. Replica additions and removals arrive as bus events relayed by
+	// the tracker's localityIndexMaintainer: additions push entries,
+	// removals drop them eagerly (onReplicaRemoved).
 	byNode []blockHeap
 	byRack []blockHeap
 	// rackKeep is scratch for TakeRackLocalBlock: live entries whose only
@@ -218,8 +247,7 @@ func (j *Job) addPending(b dfs.BlockID) {
 }
 
 // onReplicaAdded indexes a newly announced replica of a still-pending
-// block. Replica removals need no counterpart: the Take/Has paths verify
-// liveness against the name node and discard stale entries lazily.
+// block.
 func (j *Job) onReplicaAdded(b dfs.BlockID, node topology.NodeID) {
 	if j.linearScan {
 		return
@@ -230,6 +258,40 @@ func (j *Job) onReplicaAdded(b dfs.BlockID, node topology.NodeID) {
 	}
 	j.byNode[node].push(pendingRef{seq: seq, b: b})
 	j.byRack[j.cluster.Topo.Rack(node)].push(pendingRef{seq: seq, b: b})
+}
+
+// onReplicaRemoved eagerly drops index entries for a removed replica of a
+// still-pending block: the byNode entry always goes (that exact copy is
+// gone), the byRack entry only when no surviving replica of the block
+// remains in that rack (a rack entry stands for "some replica in this
+// rack"). The Take/Has paths still verify liveness against the name node,
+// so correctness never depended on this — but eager removal keeps heaps
+// from accumulating dead entries under heavy eviction and churn, and a
+// removed replica can never again be offered as local.
+func (j *Job) onReplicaRemoved(b dfs.BlockID, node topology.NodeID) {
+	if j.linearScan {
+		return
+	}
+	seq, ok := j.pendingSeq[b]
+	if !ok {
+		return
+	}
+	j.byNode[node].remove(b, seq)
+	topo := j.cluster.Topo
+	rack := topo.Rack(node)
+	// The name node publishes after the mutation, so the remaining
+	// locations are the post-removal truth.
+	stillInRack := false
+	j.cluster.NN.ForEachLocation(b, func(n topology.NodeID, _ dfs.ReplicaKind) bool {
+		if topo.Rack(n) == rack {
+			stillInRack = true
+			return false
+		}
+		return true
+	})
+	if !stillInRack {
+		j.byRack[rack].remove(b, seq)
+	}
 }
 
 // ID reports the trace job ID.

@@ -1,0 +1,24 @@
+package mapreduce
+
+import (
+	"dare/internal/dfs"
+	"dare/internal/topology"
+)
+
+// TaskSelector is the pluggable scheduling policy (FIFO or Fair with delay
+// scheduling; see internal/scheduler). The tracker offers it a node with a
+// free slot at each heartbeat; the selector picks a job and removes the
+// chosen block from that job's pending set.
+type TaskSelector interface {
+	// Name labels the scheduler in reports.
+	Name() string
+	// AddJob registers a newly arrived job.
+	AddJob(j *Job)
+	// RemoveJob deregisters a finished job.
+	RemoveJob(j *Job)
+	// SelectMapTask picks a map task for a free map slot on node, or
+	// ok=false when nothing should launch there now.
+	SelectMapTask(node topology.NodeID, now float64) (j *Job, b dfs.BlockID, ok bool)
+	// SelectReduceTask picks a job to run a reduce task on node.
+	SelectReduceTask(node topology.NodeID, now float64) (j *Job, ok bool)
+}

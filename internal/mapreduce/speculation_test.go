@@ -27,7 +27,7 @@ func specRun(t *testing.T, speculative bool, seed uint64) ([]mapreduce.Result, *
 		t.Fatal(err)
 	}
 	wl := workload.Generate(workload.GenConfig{NumJobs: 80, NumFiles: 15, MeanInterarrival: 0.8, Seed: seed})
-	tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO(), nil)
+	tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestSpeculationWithFailures(t *testing.T) {
 		t.Fatal(err)
 	}
 	wl := workload.Generate(workload.GenConfig{NumJobs: 60, NumFiles: 12, MeanInterarrival: 0.8, Seed: 5})
-	tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO(), nil)
+	tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO())
 	if err != nil {
 		t.Fatal(err)
 	}

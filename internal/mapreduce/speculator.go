@@ -1,0 +1,117 @@
+package mapreduce
+
+import (
+	"sort"
+
+	"dare/internal/event"
+)
+
+// speculator owns speculative execution: it watches task groups, and on
+// every Heartbeat event fills map slots the scheduler left idle with
+// backup attempts for stragglers (Hadoop's speculative execution, which
+// §VI composes with DARE on the noisy EC2 profile). It subscribes to the
+// bus rather than being inlined in the tracker's heartbeat loop.
+type speculator struct {
+	t *Tracker
+	// groups holds active attempt groups in creation order, for
+	// determinism; findStraggler compacts finished ones as it scans.
+	groups   []*taskGroup
+	launched int
+}
+
+// observe registers a new attempt group for straggler tracking. It is a
+// direct call from launchMap, not an event reaction: groups are live
+// pointers that cannot ride a scalar event.
+func (s *speculator) observe(g *taskGroup) {
+	if s.t.c.Profile.SpeculativeExecution {
+		s.groups = append(s.groups, g)
+	}
+}
+
+// HandleEvent implements event.Subscriber: at each heartbeat, launch
+// backup attempts while the node has idle map slots and stragglers exist.
+func (s *speculator) HandleEvent(ev event.Event) {
+	if ev.Kind != event.Heartbeat || !s.t.c.Profile.SpeculativeExecution {
+		return
+	}
+	node := s.t.c.Nodes[ev.Node]
+	for node.FreeMapSlots > 0 {
+		g := s.findStraggler(node)
+		if g == nil {
+			break
+		}
+		s.launched++
+		sp := event.New(event.TaskSpeculate)
+		sp.Job = int32(g.job.Spec.ID)
+		sp.Block = int64(g.block)
+		sp.Node = ev.Node
+		sp.Rack = ev.Rack
+		s.t.bus.Publish(sp)
+		s.t.launchAttempt(node, g)
+	}
+}
+
+// findStraggler returns the oldest running map-task group that qualifies
+// for a speculative backup on node, compacting finished groups as it
+// scans.
+func (s *speculator) findStraggler(node *Node) *taskGroup {
+	factor := s.t.c.Profile.SpeculativeFactor
+	if factor <= 1 {
+		factor = 1.5
+	}
+	now := s.t.c.Eng.Now()
+	kept := s.groups[:0]
+	var found *taskGroup
+	for _, g := range s.groups {
+		if g.done || len(g.recs) == 0 {
+			continue // completed, or all attempts died with the node
+		}
+		kept = append(kept, g)
+		if found != nil {
+			continue
+		}
+		j := g.job
+		if j.completedMaps < 3 || len(g.recs) != 1 {
+			continue // need a duration estimate; one backup max
+		}
+		mean := j.mapTimeSum / float64(j.completedMaps)
+		if now-g.started <= factor*mean {
+			continue
+		}
+		onThisNode := false
+		for r := range g.recs {
+			if r.node == node {
+				onThisNode = true
+			}
+		}
+		if !onThisNode {
+			found = g
+		}
+	}
+	s.groups = kept
+	return found
+}
+
+// killSiblings cancels any backup attempt still running after g's winning
+// attempt completed (at most one backup; sorted iteration for determinism
+// regardless).
+func (s *speculator) killSiblings(g *taskGroup) {
+	if len(g.recs) == 0 {
+		return
+	}
+	siblings := make([]*taskRec, 0, len(g.recs))
+	for r := range g.recs {
+		siblings = append(siblings, r)
+	}
+	sort.Slice(siblings, func(i, j int) bool { return siblings[i].node.ID < siblings[j].node.ID })
+	for _, r := range siblings {
+		s.t.c.Eng.Cancel(r.ev)
+		s.t.untrack(r.node, r)
+		r.node.FreeMapSlots++
+		g.job.runningMaps--
+		delete(g.recs, r)
+	}
+}
+
+// SpeculativeLaunches reports how many backup attempts were started.
+func (t *Tracker) SpeculativeLaunches() int { return t.spec.launched }

@@ -2,59 +2,34 @@ package mapreduce
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"dare/internal/dfs"
+	"dare/internal/event"
 	"dare/internal/sim"
-	"dare/internal/stats"
-	"dare/internal/topology"
 	"dare/internal/workload"
 )
-
-// DefaultMaxTaskAttempts mirrors Hadoop's mapred.map.max.attempts: a map
-// input whose attempts fail this many times fails its whole job.
-const DefaultMaxTaskAttempts = 4
-
-// DefaultBlacklistAfter is the per-node failed-attempt count at which the
-// job tracker stops scheduling on a node until it re-registers.
-const DefaultBlacklistAfter = 3
-
-// TaskSelector is the pluggable scheduling policy (FIFO or Fair with delay
-// scheduling; see internal/scheduler). The tracker offers it a node with a
-// free slot at each heartbeat; the selector picks a job and removes the
-// chosen block from that job's pending set.
-type TaskSelector interface {
-	// Name labels the scheduler in reports.
-	Name() string
-	// AddJob registers a newly arrived job.
-	AddJob(j *Job)
-	// RemoveJob deregisters a finished job.
-	RemoveJob(j *Job)
-	// SelectMapTask picks a map task for a free map slot on node, or
-	// ok=false when nothing should launch there now.
-	SelectMapTask(node topology.NodeID, now float64) (j *Job, b dfs.BlockID, ok bool)
-	// SelectReduceTask picks a job to run a reduce task on node.
-	SelectReduceTask(node topology.NodeID, now float64) (j *Job, ok bool)
-}
-
-// ReplicationHook observes every scheduled map task; the DARE manager
-// implements it. A nil hook disables dynamic replication (vanilla Hadoop).
-type ReplicationHook interface {
-	OnMapTask(node topology.NodeID, b dfs.BlockID, f dfs.FileID, size int64, local bool)
-}
 
 // Tracker is the job tracker: it loads the workload's files into the DFS,
 // replays job arrivals, drives per-node heartbeats, launches tasks, and
 // collects results.
+//
+// Everything reactive lives elsewhere, as subscribers on the cluster event
+// bus: locality-index maintenance (locality.go), attempt limits, backoff,
+// and blacklisting (failurehandler.go), speculative execution
+// (speculator.go), and invariant checking (invariants.go). The tracker
+// itself only drives the clock-side machinery — arrivals, heartbeats, task
+// execution (exec.go), and injected churn (failure.go) — and publishes the
+// events those components react to.
 type Tracker struct {
-	c    *Cluster
-	sel  TaskSelector
-	hook ReplicationHook
+	c   *Cluster
+	sel TaskSelector
+	bus *event.Bus
 
 	wl      *workload.Workload
 	files   []*dfs.File
-	active  map[*Job]bool
+	active  []*Job // arrival order; iterated on every replica event
+	jobByID map[int32]*Job
 	results []Result
 
 	totalJobs int
@@ -75,58 +50,53 @@ type Tracker struct {
 	// overlapping round are not re-queued (no double copies).
 	repairInFlight map[dfs.BlockID]bool
 
-	// Task-attempt robustness state (see failure.go).
-	maxTaskAttempts  int
-	blacklistAfter   int
-	nodeTaskFailures []int
-	taskFailProb     float64
-	taskFailG        *stats.RNG
-
 	// weights caches the access-weight map backing per-event weighted
 	// availability snapshots; built lazily from the workload.
 	weights map[dfs.BlockID]float64
 
-	// checkEnabled runs the full invariant checker after every injected
-	// failure/recovery event; the first violation aborts the run.
-	checkEnabled bool
-	invariantErr error
-
-	// Speculative-execution state (active attempt groups, in creation
-	// order for determinism) and its activity counter.
-	specGroups   []*taskGroup
-	specLaunched int
+	// The tracker's decomposed concerns, each a bus subscriber living in
+	// its own file.
+	locality *localityIndexMaintainer
+	faults   *failureHandler
+	spec     *speculator
+	checker  *invariantChecker
 
 	// linearScan makes every job use the original O(pending) scan instead
 	// of the inverted locality index (equivalence testing).
 	linearScan bool
 }
 
-// NewTracker wires a tracker to a cluster, a scheduler, and an optional
-// replication hook. It loads the workload's file population into the DFS
-// immediately (files exist before the first job arrives, as in the
-// paper's experiments where SWIM pre-populates HDFS).
-func NewTracker(c *Cluster, wl *workload.Workload, sel TaskSelector, hook ReplicationHook) (*Tracker, error) {
+// NewTracker wires a tracker to a cluster and a scheduler, subscribes the
+// tracker's components to the cluster bus, and loads the workload's file
+// population into the DFS immediately (files exist before the first job
+// arrives, as in the paper's experiments where SWIM pre-populates HDFS).
+func NewTracker(c *Cluster, wl *workload.Workload, sel TaskSelector) (*Tracker, error) {
 	if err := wl.Validate(); err != nil {
 		return nil, err
 	}
 	t := &Tracker{
 		c:         c,
 		sel:       sel,
-		hook:      hook,
+		bus:       c.Bus,
 		wl:        wl,
-		active:    make(map[*Job]bool),
+		jobByID:   make(map[int32]*Job),
 		totalJobs: len(wl.Jobs),
 		inflight:  make(map[*Node]map[*taskRec]bool),
 
-		repairInFlight:   make(map[dfs.BlockID]bool),
-		maxTaskAttempts:  DefaultMaxTaskAttempts,
-		blacklistAfter:   DefaultBlacklistAfter,
-		nodeTaskFailures: make([]int, len(c.Nodes)),
+		repairInFlight: make(map[dfs.BlockID]bool),
 	}
-	// Observe every replica-set change so active jobs can keep their
-	// locality indices current (DARE announces, evictions, failures,
-	// repairs, balancer moves).
-	c.NN.SetReplicaListener(t)
+	t.locality = &localityIndexMaintainer{t: t}
+	t.faults = newFailureHandler(t)
+	t.spec = &speculator{t: t}
+	t.checker = &invariantChecker{t: t}
+	// Registration order is dispatch order: the index maintainer first, so
+	// every later subscriber (and the checker in particular) observes a
+	// consistent locality index; the checker last, so it judges the state
+	// every other component has finished reacting to.
+	t.bus.Subscribe(t.locality)
+	t.bus.Subscribe(t.faults)
+	t.bus.Subscribe(t.spec)
+	t.bus.Subscribe(t.checker)
 	blockSize := c.Profile.BlockSizeBytes()
 	for _, fs := range wl.Files {
 		f, err := c.NN.CreateFile(fs.Name, fs.Blocks, blockSize, 0)
@@ -144,99 +114,12 @@ func NewTracker(c *Cluster, wl *workload.Workload, sel TaskSelector, hook Replic
 // the switch exists so tests can prove it. Call before Run.
 func (t *Tracker) SetLinearScan(v bool) { t.linearScan = v }
 
-// SetMaxTaskAttempts overrides the per-task attempt limit (<= 0 retries
-// forever). Call before Run.
-func (t *Tracker) SetMaxTaskAttempts(n int) { t.maxTaskAttempts = n }
-
-// SetBlacklistAfter overrides the per-node failed-attempt threshold for
-// blacklisting (<= 0 disables blacklisting). Call before Run.
-func (t *Tracker) SetBlacklistAfter(k int) { t.blacklistAfter = k }
-
-// SetTaskFailureInjection makes each map attempt fail on completion with
-// probability p, drawn from rng — the deterministic stand-in for flaky
-// disks/JVMs that exercises retry, backoff, and blacklisting on *up*
-// nodes. p = 0 (the default) draws nothing, leaving existing runs
-// bit-identical. Call before Run.
-func (t *Tracker) SetTaskFailureInjection(p float64, rng *stats.RNG) {
-	t.taskFailProb = p
-	t.taskFailG = rng
-}
-
-// SetInvariantChecks makes the tracker run the full metadata invariant
-// checker after every injected failure/recovery event; the first violation
-// aborts the run with its error. Call before Run.
-func (t *Tracker) SetInvariantChecks(v bool) { t.checkEnabled = v }
-
-// Blacklisted reports how many nodes are currently blacklisted.
-func (t *Tracker) Blacklisted() int {
-	n := 0
-	for _, node := range t.c.Nodes {
-		if node.Blacklisted {
-			n++
-		}
-	}
-	return n
-}
-
-// blockWeights lazily builds the access-weight map used for weighted
-// availability snapshots: each block weighs the number of map tasks that
-// read it across the whole workload.
-func (t *Tracker) blockWeights() map[dfs.BlockID]float64 {
-	if t.weights != nil {
-		return t.weights
-	}
-	w := make(map[dfs.BlockID]float64)
-	for _, spec := range t.wl.Jobs {
-		f := t.files[spec.File]
-		for i := spec.FirstBlock; i < spec.FirstBlock+spec.NumMaps; i++ {
-			w[f.Blocks[i]]++
-		}
-	}
-	t.weights = w
-	return w
-}
-
-// checkAfterEvent runs the invariant checker when enabled, latching the
-// first violation and halting the simulation immediately.
-func (t *Tracker) checkAfterEvent() {
-	if !t.checkEnabled || t.invariantErr != nil {
-		return
-	}
-	if err := t.CheckInvariants(); err != nil {
-		t.invariantErr = fmt.Errorf("mapreduce: invariant violated at t=%g: %w", t.c.Eng.Now(), err)
-		t.c.Eng.Stop()
-	}
-}
-
-// OnReplicaAdded implements dfs.ReplicaListener: newly announced replicas
-// are indexed by every active job that still has the block pending. Jobs
-// are updated independently, so the map iteration order is immaterial.
-func (t *Tracker) OnReplicaAdded(b dfs.BlockID, node topology.NodeID) {
-	for j := range t.active {
-		j.onReplicaAdded(b, node)
-	}
-}
-
-// OnReplicaRemoved implements dfs.ReplicaListener. Removals need no index
-// update: stale entries are verified against the name node and discarded
-// lazily at selection time.
-func (t *Tracker) OnReplicaRemoved(b dfs.BlockID, node topology.NodeID) {}
-
-// SetHook installs (or replaces) the replication hook. Call before Run.
-// It exists because the DARE manager derives its budget from the bytes the
-// tracker loads into the DFS, so the natural order is NewTracker →
-// NewManager → SetHook.
-func (t *Tracker) SetHook(hook ReplicationHook) { t.hook = hook }
-
 // Files exposes the DFS files backing the workload, index-aligned with
 // workload.Files.
 func (t *Tracker) Files() []*dfs.File { return t.files }
 
 // Cluster exposes the underlying cluster.
 func (t *Tracker) Cluster() *Cluster { return t.c }
-
-// SpeculativeLaunches reports how many backup attempts were started.
-func (t *Tracker) SpeculativeLaunches() int { return t.specLaunched }
 
 // Run replays the whole workload and returns per-job results sorted by
 // job ID. It is single-use.
@@ -246,26 +129,8 @@ func (t *Tracker) Run() ([]Result, error) {
 		spec := spec
 		eng.DeferAt(spec.Arrival, func() { t.arrive(spec) })
 	}
-	for _, pf := range t.failures {
-		pf := pf
-		if int(pf.node) < 0 || int(pf.node) >= len(t.c.Nodes) {
-			return nil, fmt.Errorf("mapreduce: failure scheduled for invalid node %d", pf.node)
-		}
-		eng.DeferAt(pf.at, func() { t.failNode(t.c.Nodes[pf.node]) })
-	}
-	for _, pr := range t.recoveries {
-		pr := pr
-		if int(pr.node) < 0 || int(pr.node) >= len(t.c.Nodes) {
-			return nil, fmt.Errorf("mapreduce: recovery scheduled for invalid node %d", pr.node)
-		}
-		eng.DeferAt(pr.at, func() { t.recoverNode(t.c.Nodes[pr.node]) })
-	}
-	for _, prf := range t.rackFailures {
-		prf := prf
-		if prf.rack < 0 || prf.rack >= t.c.racks {
-			return nil, fmt.Errorf("mapreduce: failure scheduled for invalid rack %d", prf.rack)
-		}
-		eng.DeferAt(prf.at, func() { t.failRack(prf.rack) })
+	if err := t.scheduleInjectedChurn(); err != nil {
+		return nil, err
 	}
 	// De-synchronized heartbeats, like real clusters.
 	interval := t.c.Profile.HeartbeatInterval
@@ -286,11 +151,11 @@ func (t *Tracker) Run() ([]Result, error) {
 	// Background re-replication outlives the workload: drain the repair
 	// queue so post-run state reflects a healed DFS. The loop re-reads the
 	// bound because the detection event itself extends it.
-	for t.invariantErr == nil && t.lastRepairAt > eng.Now() {
+	for t.checker.err == nil && t.lastRepairAt > eng.Now() {
 		eng.RunUntil(t.lastRepairAt + 1e-9)
 	}
-	if t.invariantErr != nil {
-		return nil, t.invariantErr
+	if t.checker.err != nil {
+		return nil, t.checker.err
 	}
 	if t.completed != t.totalJobs {
 		return nil, fmt.Errorf("mapreduce: only %d/%d jobs completed by horizon %g", t.completed, t.totalJobs, horizon)
@@ -311,13 +176,18 @@ func (t *Tracker) arrive(spec workload.Job) {
 	if t.linearScan {
 		j.linearScan = true
 	}
-	t.active[j] = true
+	t.active = append(t.active, j)
+	t.jobByID[int32(spec.ID)] = j
 	t.sel.AddJob(j)
+	ev := event.New(event.JobArrive)
+	ev.Job = int32(spec.ID)
+	ev.File = int32(t.files[spec.File].ID)
+	ev.Aux = int64(spec.NumMaps)
+	t.bus.Publish(ev)
 }
 
 // heartbeat offers node's free slots to the scheduler, Hadoop-style: the
-// task tracker reports in, the job tracker hands back tasks. Slots left
-// idle by the scheduler may speculate on stragglers.
+// task tracker reports in, the job tracker hands back tasks.
 func (t *Tracker) heartbeat(node *Node) {
 	if node.Blacklisted {
 		return // reports in, gets no work (Hadoop blacklist semantics)
@@ -330,16 +200,14 @@ func (t *Tracker) heartbeat(node *Node) {
 		}
 		t.launchMap(node, j, b)
 	}
-	if t.c.Profile.SpeculativeExecution {
-		for node.FreeMapSlots > 0 {
-			g := t.findStraggler(node)
-			if g == nil {
-				break
-			}
-			t.specLaunched++
-			t.launchAttempt(node, g)
-		}
-	}
+	// The heartbeat event fires between the map and reduce rounds: the
+	// speculator fills map slots the scheduler left idle with backup
+	// attempts for stragglers.
+	hb := event.New(event.Heartbeat)
+	hb.Node = int32(node.ID)
+	hb.Rack = int32(t.c.Topo.Rack(node.ID))
+	hb.Aux = int64(node.FreeMapSlots)
+	t.bus.Publish(hb)
 	for node.FreeReduceSlots > 0 {
 		j, ok := t.sel.SelectReduceTask(node.ID, now)
 		if !ok {
@@ -349,229 +217,29 @@ func (t *Tracker) heartbeat(node *Node) {
 	}
 }
 
-// classify determines the locality level of running block b on node.
-func (t *Tracker) classify(b dfs.BlockID, node topology.NodeID) Locality {
-	if t.c.NN.HasReplica(b, node) {
-		return NodeLocal
-	}
-	rack := t.c.Topo.Rack(node)
-	inRack := false
-	t.c.NN.ForEachLocation(b, func(loc topology.NodeID, _ dfs.ReplicaKind) bool {
-		if t.c.Topo.Rack(loc) == rack {
-			inRack = true
-			return false
-		}
-		return true
-	})
-	if inRack {
-		return RackLocal
-	}
-	return Remote
-}
-
-// launchMap starts the first attempt of a new map task (attempt group).
-func (t *Tracker) launchMap(node *Node, j *Job, b dfs.BlockID) {
-	g := &taskGroup{job: j, block: b, started: t.c.Eng.Now(), recs: make(map[*taskRec]bool, 1)}
-	if t.c.Profile.SpeculativeExecution {
-		t.specGroups = append(t.specGroups, g)
-	}
-	t.launchAttempt(node, g)
-}
-
-// launchAttempt starts one attempt (original or speculative backup) of the
-// group's map task on node.
-func (t *Tracker) launchAttempt(node *Node, g *taskGroup) {
-	j := g.job
-	b := g.block
-	blk := t.c.NN.Block(b)
-	loc := t.classify(b, node.ID)
-	local := loc == NodeLocal
-
-	// DARE hook: "if a map task is scheduled" (Algorithms 1 and 2) —
-	// speculative attempts are scheduled map tasks too.
-	if t.hook != nil {
-		t.hook.OnMapTask(node.ID, b, blk.File, blk.Size, local)
-	}
-
-	var read float64
-	if local {
-		read = t.c.LocalReadTime(node.ID, blk.Size)
-	} else {
-		var err error
-		read, _, err = t.c.RemoteReadTime(b, node.ID, blk.Size)
-		if err != nil {
-			// No replica reachable (e.g. all replicas lost to failures):
-			// model a cold-storage restore at half disk speed so the run
-			// degrades instead of hanging.
-			read = t.c.LocalReadTime(node.ID, blk.Size) * 2
-		} else {
-			node.ActiveRemoteReads++
-			t.c.Eng.Defer(read, func() { node.ActiveRemoteReads-- })
-		}
-	}
-	dur := (math.Max(read, j.Spec.CPUPerTask) + t.c.Profile.TaskOverhead) * t.c.taskNoise()
-
-	if !local {
-		j.remoteBytes += blk.Size
-	}
-	node.FreeMapSlots--
-	j.runningMaps++
-	if j.firstTaskTime < 0 {
-		j.firstTaskTime = t.c.Eng.Now()
-	}
-	rec := &taskRec{job: j, block: b, isMap: true, group: g, node: node, loc: loc, dur: dur}
-	g.recs[rec] = true
-	rec.ev = t.c.Eng.Schedule(dur, func() { t.completeAttempt(rec) })
-	t.track(node, rec)
-}
-
-// completeAttempt finishes the winning attempt of a map-task group,
-// killing any sibling backup still running.
-func (t *Tracker) completeAttempt(rec *taskRec) {
-	g := rec.group
-	t.untrack(rec.node, rec)
-	delete(g.recs, rec)
-	rec.node.FreeMapSlots++
-	g.job.runningMaps--
-	if g.done {
-		return
-	}
-	// Injected task failure (flaky disk/JVM): the attempt's work is
-	// discarded. The node takes the blame; the input retries with backoff
-	// unless a sibling attempt is still running elsewhere.
-	if t.taskFailProb > 0 && t.taskFailG.Float64() < t.taskFailProb {
-		t.noteNodeTaskFailure(rec.node)
-		if len(g.recs) == 0 {
-			t.requeueOrFail(g.job, g.block)
-		}
-		return
-	}
-	g.done = true
-	// Kill siblings (at most one backup; sorted iteration for
-	// determinism regardless).
-	siblings := make([]*taskRec, 0, len(g.recs))
-	for s := range g.recs {
-		siblings = append(siblings, s)
-	}
-	sort.Slice(siblings, func(i, j int) bool { return siblings[i].node.ID < siblings[j].node.ID })
-	for _, s := range siblings {
-		t.c.Eng.Cancel(s.ev)
-		t.untrack(s.node, s)
-		s.node.FreeMapSlots++
-		g.job.runningMaps--
-		delete(g.recs, s)
-	}
-	t.finishMap(g.job, rec.loc, rec.dur)
-}
-
-// findStraggler returns the oldest running map-task group that qualifies
-// for a speculative backup on node, compacting finished groups as it
-// scans.
-func (t *Tracker) findStraggler(node *Node) *taskGroup {
-	factor := t.c.Profile.SpeculativeFactor
-	if factor <= 1 {
-		factor = 1.5
-	}
-	now := t.c.Eng.Now()
-	kept := t.specGroups[:0]
-	var found *taskGroup
-	for _, g := range t.specGroups {
-		if g.done || len(g.recs) == 0 {
-			continue // completed, or all attempts died with the node
-		}
-		kept = append(kept, g)
-		if found != nil {
-			continue
-		}
-		j := g.job
-		if j.completedMaps < 3 || len(g.recs) != 1 {
-			continue // need a duration estimate; one backup max
-		}
-		mean := j.mapTimeSum / float64(j.completedMaps)
-		if now-g.started <= factor*mean {
-			continue
-		}
-		onThisNode := false
-		for r := range g.recs {
-			if r.node == node {
-				onThisNode = true
-			}
-		}
-		if !onThisNode {
-			found = g
-		}
-	}
-	t.specGroups = kept
-	return found
-}
-
-// track and untrack maintain the in-flight task set used by failure
-// injection.
-func (t *Tracker) track(node *Node, rec *taskRec) {
-	set := t.inflight[node]
-	if set == nil {
-		set = make(map[*taskRec]bool)
-		t.inflight[node] = set
-	}
-	set[rec] = true
-}
-
-func (t *Tracker) untrack(node *Node, rec *taskRec) {
-	if set := t.inflight[node]; set != nil {
-		delete(set, rec)
-	}
-}
-
-func (t *Tracker) finishMap(j *Job, loc Locality, dur float64) {
-	j.completedMaps++
-	j.mapTimeSum += dur
-	switch loc {
-	case NodeLocal:
-		j.localMaps++
-	case RackLocal:
-		j.rackMaps++
-	default:
-		j.remoteMaps++
-	}
-	if j.MapsDone() && j.Spec.NumReduces == 0 {
-		t.finishJob(j)
-	}
-}
-
-func (t *Tracker) launchReduce(node *Node, j *Job) {
-	node.FreeReduceSlots--
-	j.pendingReduces--
-	j.runningReduces++
-	write := t.c.OutputWriteTime(node.ID, j.outputBlocksPerReduce())
-	dur := (j.Spec.ReduceTime + write + t.c.Profile.TaskOverhead) * t.c.taskNoise()
-	j.outputBytes += j.outputNetworkBytesPerReduce(t.c.Profile)
-	rec := &taskRec{job: j, isMap: false}
-	rec.ev = t.c.Eng.Schedule(dur, func() {
-		t.untrack(node, rec)
-		t.finishReduce(node, j)
-	})
-	t.track(node, rec)
-}
-
-func (t *Tracker) finishReduce(node *Node, j *Job) {
-	node.FreeReduceSlots++
-	j.runningReduces--
-	j.finishedReduces++
-	if j.MapsDone() && j.finishedReduces == j.Spec.NumReduces {
-		t.finishJob(j)
-	}
-}
-
+// finishJob retires a job (completed or failed), emits its JobFinish
+// event, and stops the engine when it was the last one.
 func (t *Tracker) finishJob(j *Job) {
 	if j.finished {
 		return
 	}
 	j.finished = true
 	j.finishTime = t.c.Eng.Now()
-	delete(t.active, j)
+	for i, a := range t.active {
+		if a == j {
+			t.active = append(t.active[:i], t.active[i+1:]...)
+			break
+		}
+	}
+	delete(t.jobByID, int32(j.Spec.ID))
 	t.sel.RemoveJob(j)
 	t.results = append(t.results, j.result())
 	t.completed++
+	ev := event.New(event.JobFinish)
+	ev.Job = int32(j.Spec.ID)
+	ev.Aux = int64(j.completedMaps)
+	ev.Flag = j.failed
+	t.bus.Publish(ev)
 	if t.completed == t.totalJobs {
 		t.c.Eng.Stop()
 	}

@@ -21,7 +21,7 @@ func smallWorkload(seed uint64, jobs int) *workload.Workload {
 	})
 }
 
-func runOnce(t *testing.T, sel mapreduce.TaskSelector, hook mapreduce.ReplicationHook, seed uint64, jobs int) ([]mapreduce.Result, *mapreduce.Cluster) {
+func runOnce(t *testing.T, sel mapreduce.TaskSelector, seed uint64, jobs int) ([]mapreduce.Result, *mapreduce.Cluster) {
 	t.Helper()
 	p := config.CCT()
 	p.Slaves = 8
@@ -30,7 +30,7 @@ func runOnce(t *testing.T, sel mapreduce.TaskSelector, hook mapreduce.Replicatio
 		t.Fatal(err)
 	}
 	wl := smallWorkload(seed, jobs)
-	tr, err := mapreduce.NewTracker(c, wl, sel, hook)
+	tr, err := mapreduce.NewTracker(c, wl, sel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func runOnce(t *testing.T, sel mapreduce.TaskSelector, hook mapreduce.Replicatio
 }
 
 func TestTrackerCompletesAllJobsFIFO(t *testing.T) {
-	results, c := runOnce(t, scheduler.NewFIFO(), nil, 1, 40)
+	results, c := runOnce(t, scheduler.NewFIFO(), 1, 40)
 	if len(results) != 40 {
 		t.Fatalf("results %d", len(results))
 	}
@@ -69,7 +69,7 @@ func TestTrackerCompletesAllJobsFIFO(t *testing.T) {
 }
 
 func TestTrackerCompletesAllJobsFair(t *testing.T) {
-	results, c := runOnce(t, scheduler.NewFair(5), nil, 2, 40)
+	results, c := runOnce(t, scheduler.NewFair(5), 2, 40)
 	if len(results) != 40 {
 		t.Fatalf("results %d", len(results))
 	}
@@ -79,8 +79,8 @@ func TestTrackerCompletesAllJobsFair(t *testing.T) {
 }
 
 func TestTrackerDeterministic(t *testing.T) {
-	a, _ := runOnce(t, scheduler.NewFIFO(), nil, 3, 30)
-	b, _ := runOnce(t, scheduler.NewFIFO(), nil, 3, 30)
+	a, _ := runOnce(t, scheduler.NewFIFO(), 3, 30)
+	b, _ := runOnce(t, scheduler.NewFIFO(), 3, 30)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("result %d differs between identical runs:\n%+v\n%+v", i, a[i], b[i])
@@ -96,14 +96,14 @@ func TestTrackerWithDAREHookReplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	wl := smallWorkload(4, 60)
-	tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO(), nil)
+	tr, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The manager derives its budget from the bytes NewTracker just
-	// loaded, so it is built second and attached via SetHook.
+	// loaded, so it is built second and subscribed to the cluster bus.
 	mgr := core.NewManager(core.DefaultConfig(), c.NN, stats.NewRNG(5), c.Eng.Defer)
-	tr.SetHook(mgr)
+	c.Bus.Subscribe(mgr)
 	results, err := tr.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +128,7 @@ func TestTrackerRejectsInvalidWorkload(t *testing.T) {
 	c, _ := mapreduce.NewCluster(p, 6)
 	wl := smallWorkload(6, 5)
 	wl.Jobs[0].NumMaps = 10000 // exceeds file
-	if _, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO(), nil); err == nil {
+	if _, err := mapreduce.NewTracker(c, wl, scheduler.NewFIFO()); err == nil {
 		t.Fatal("invalid workload accepted")
 	}
 }
@@ -137,7 +137,7 @@ func TestTrackerSlowdownAtLeastNearOne(t *testing.T) {
 	// Slowdown is turnaround over ideal dedicated time; it can dip a bit
 	// below 1 because the ideal includes conservative overheads, but it
 	// must never be dramatically below.
-	results, _ := runOnce(t, scheduler.NewFIFO(), nil, 7, 30)
+	results, _ := runOnce(t, scheduler.NewFIFO(), 7, 30)
 	for _, r := range results {
 		if s := r.Slowdown(); s < 0.3 {
 			t.Fatalf("job %d slowdown %v is implausible", r.ID, s)
@@ -146,7 +146,7 @@ func TestTrackerSlowdownAtLeastNearOne(t *testing.T) {
 }
 
 func TestTrackerMapTimeSumPositive(t *testing.T) {
-	results, _ := runOnce(t, scheduler.NewFair(5), nil, 8, 20)
+	results, _ := runOnce(t, scheduler.NewFair(5), 8, 20)
 	for _, r := range results {
 		if r.MapTimeSum <= 0 {
 			t.Fatalf("job %d map time sum %v", r.ID, r.MapTimeSum)

@@ -73,7 +73,7 @@ func availabilityRun(wl *workload.Workload, kind core.PolicyKind, failNodes int,
 	if err != nil {
 		return AvailabilityRow{}, err
 	}
-	tracker, err := mapreduce.NewTracker(cluster, wl, scheduler.NewFIFO(), nil)
+	tracker, err := mapreduce.NewTracker(cluster, wl, scheduler.NewFIFO())
 	if err != nil {
 		return AvailabilityRow{}, err
 	}
@@ -82,7 +82,7 @@ func availabilityRun(wl *workload.Workload, kind core.PolicyKind, failNodes int,
 		pcfg.AnnounceDelay = profile.HeartbeatInterval
 		pcfg.LazyDeleteDelay = profile.HeartbeatInterval
 		mgr := core.NewManager(pcfg, cluster.NN, stats.NewRNG(seed).Split(0xFA11), cluster.Eng.Defer)
-		tracker.SetHook(mgr)
+		cluster.Bus.Subscribe(mgr)
 	}
 	// Fail a deterministic batch at 60% of the arrival span, after DARE
 	// has spread replicas; repairs disabled to observe the raw exposure.

@@ -41,7 +41,7 @@ func BalanceStudy(jobs int, seed uint64) ([]BalanceRow, error) {
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		tracker, err := mapreduce.NewTracker(cluster, wl, scheduler.NewFIFO(), nil)
+		tracker, err := mapreduce.NewTracker(cluster, wl, scheduler.NewFIFO())
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -51,7 +51,7 @@ func BalanceStudy(jobs int, seed uint64) ([]BalanceRow, error) {
 			pcfg.AnnounceDelay = cluster.Profile.HeartbeatInterval
 			pcfg.LazyDeleteDelay = cluster.Profile.HeartbeatInterval
 			mgr = core.NewManager(pcfg, cluster.NN, stats.NewRNG(seed).Split(0xBA1), cluster.Eng.Defer)
-			tracker.SetHook(mgr)
+			cluster.Bus.Subscribe(mgr)
 		}
 		return cluster, tracker, mgr, nil
 	}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -8,6 +9,20 @@ import (
 	"dare/internal/core"
 	"dare/internal/workload"
 )
+
+// equivRun executes opts with the event recorder attached, so every
+// equivalence check below also proves the two paths publish the exact
+// same event stream, byte for byte.
+func equivRun(t *testing.T, opts Options) (*Output, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	opts.EventLog = &buf
+	out, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, buf.Bytes()
+}
 
 // TestIndexedMatchesLinearScan is the determinism contract of the inverted
 // locality index: for every profile, scheduler, and seed, the indexed
@@ -41,15 +56,18 @@ func TestIndexedMatchesLinearScan(t *testing.T) {
 						Policy:    PolicyFor(core.ElephantTrapPolicy),
 						Seed:      seed,
 					}
-					indexed := mustRun(t, opts)
+					indexed, indexedLog := equivRun(t, opts)
 					opts.linearScan = true
-					linear := mustRun(t, opts)
+					linear, linearLog := equivRun(t, opts)
 					if !reflect.DeepEqual(indexed.Summary, linear.Summary) {
 						t.Errorf("%s/%s/%s seed %d: summaries diverge\nindexed: %+v\nlinear:  %+v",
 							name, wlName, sched, seed, indexed.Summary, linear.Summary)
 					}
 					if !reflect.DeepEqual(indexed.Results, linear.Results) {
 						t.Errorf("%s/%s/%s seed %d: per-job results diverge", name, wlName, sched, seed)
+					}
+					if !bytes.Equal(indexedLog, linearLog) {
+						t.Errorf("%s/%s/%s seed %d: event logs diverge", name, wlName, sched, seed)
 					}
 				}
 			}
@@ -76,15 +94,18 @@ func TestIndexedMatchesLinearScanUnderFailures(t *testing.T) {
 				{Node: 7, At: span * 0.6},
 			},
 		}
-		indexed := mustRun(t, opts)
+		indexed, indexedLog := equivRun(t, opts)
 		opts.linearScan = true
-		linear := mustRun(t, opts)
+		linear, linearLog := equivRun(t, opts)
 		if !reflect.DeepEqual(indexed.Summary, linear.Summary) {
 			t.Errorf("seed %d: summaries diverge under failures\nindexed: %+v\nlinear:  %+v",
 				seed, indexed.Summary, linear.Summary)
 		}
 		if !reflect.DeepEqual(indexed.Results, linear.Results) {
 			t.Errorf("seed %d: per-job results diverge under failures", seed)
+		}
+		if !bytes.Equal(indexedLog, linearLog) {
+			t.Errorf("seed %d: event logs diverge under failures", seed)
 		}
 	}
 }
@@ -122,9 +143,9 @@ func TestIndexedMatchesLinearScanUnderChurn(t *testing.T) {
 				},
 				CheckInvariants: true,
 			}
-			indexed := mustRun(t, opts)
+			indexed, indexedLog := equivRun(t, opts)
 			opts.linearScan = true
-			linear := mustRun(t, opts)
+			linear, linearLog := equivRun(t, opts)
 			if !reflect.DeepEqual(indexed.Summary, linear.Summary) {
 				t.Errorf("%s seed %d: summaries diverge under churn\nindexed: %+v\nlinear:  %+v",
 					sched, seed, indexed.Summary, linear.Summary)
@@ -135,6 +156,9 @@ func TestIndexedMatchesLinearScanUnderChurn(t *testing.T) {
 			if !reflect.DeepEqual(indexed.FailureEvents, linear.FailureEvents) ||
 				!reflect.DeepEqual(indexed.RecoveryEvents, linear.RecoveryEvents) {
 				t.Errorf("%s seed %d: churn event records diverge", sched, seed)
+			}
+			if !bytes.Equal(indexedLog, linearLog) {
+				t.Errorf("%s seed %d: event logs diverge under churn", sched, seed)
 			}
 		}
 	}

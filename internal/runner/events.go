@@ -1,0 +1,91 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/event"
+	"dare/internal/workload"
+)
+
+// EventRow reports one arm's cluster bus event volume: how much of each
+// kind of traffic one simulated run publishes. It quantifies the event
+// spine itself — vanilla publishes no replica churn beyond placement,
+// while the DARE arms add replica-add/remove traffic and churn arms add
+// the node-lifecycle and repair kinds.
+type EventRow struct {
+	Policy string
+	Churn  bool
+	Counts event.Counts
+}
+
+// EventStudy measures per-kind bus event volume for {vanilla, DARE-LRU,
+// ElephantTrap} × {quiet, churn} on wl1, one run per arm. The trace
+// recorder is attached, so the tallies are exactly what a -events capture
+// of each run would contain.
+func EventStudy(jobs int, seed uint64) ([]EventRow, error) {
+	if jobs <= 0 {
+		jobs = 300
+	}
+	wl := truncate(workload.WL1(seed), jobs)
+	span := wl.Jobs[len(wl.Jobs)-1].Arrival
+
+	profile := config.CCT()
+	profile.RackSize = 5
+	profile.ReplicationFactor = 2
+	spec := DefaultChurnSpec(span, profile.Slaves)
+
+	type arm struct {
+		kind  core.PolicyKind
+		churn bool
+	}
+	var arms []arm
+	for _, kind := range EvaluatedPolicies {
+		arms = append(arms, arm{kind, false}, arm{kind, true})
+	}
+	rows := make([]EventRow, len(arms))
+	err := forEachIndex(len(arms), func(i int) error {
+		opts := Options{
+			Profile:   profile,
+			Workload:  wl,
+			Scheduler: "fifo",
+			Policy:    PolicyFor(arms[i].kind),
+			Seed:      seed,
+		}
+		if arms[i].churn {
+			opts.Churn = &spec
+		}
+		out, err := Run(opts)
+		if err != nil {
+			return fmt.Errorf("runner: events/%s: %w", arms[i].kind, err)
+		}
+		rows[i] = EventRow{Policy: arms[i].kind.String(), Churn: arms[i].churn, Counts: out.EventCounts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderEvents formats the event-volume table.
+func RenderEvents(rows []EventRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-5s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+		"policy", "churn", "total", "rep-add", "rep-rm", "repair", "launch", "complete", "fail", "hbeat")
+	for _, r := range rows {
+		churn := "no"
+		if r.Churn {
+			churn = "yes"
+		}
+		c := r.Counts
+		fmt.Fprintf(&b, "%-14s %-5s %9d %9d %9d %9d %9d %9d %9d %9d\n",
+			r.Policy, churn, c.Total(),
+			c[event.ReplicaAdd], c[event.ReplicaRemove], c[event.ReplicaRepair],
+			c[event.TaskLaunch], c[event.TaskComplete], c[event.TaskFail],
+			c[event.Heartbeat])
+	}
+	return b.String()
+}

@@ -5,11 +5,14 @@ package runner
 
 import (
 	"fmt"
+	"io"
+	"sync"
 	"sync/atomic"
 
 	"dare/internal/churn"
 	"dare/internal/config"
 	"dare/internal/core"
+	"dare/internal/event"
 	"dare/internal/mapreduce"
 	"dare/internal/metrics"
 	"dare/internal/scheduler"
@@ -58,6 +61,11 @@ type Options struct {
 	// injected failure/recovery event (debugging; the first violation
 	// aborts the run).
 	CheckInvariants bool
+	// EventLog, when non-nil, receives the run's full cluster event trace
+	// as JSONL, one object per line in publish order (see event.Recorder
+	// for the wire format). Same Options (including Seed) produce a
+	// byte-identical trace.
+	EventLog io.Writer
 
 	// linearScan forces the original O(pending) block-selection scan
 	// instead of the inverted locality index. Unexported: only the
@@ -121,6 +129,9 @@ type Output struct {
 	// EventsProcessed is the number of simulation events this run executed
 	// (throughput accounting for perf tracking).
 	EventsProcessed uint64
+	// EventCounts tallies the cluster bus events this run published, per
+	// kind (replica churn, task lifecycle, node lifecycle, heartbeats).
+	EventCounts event.Counts
 }
 
 // totalEvents accumulates simulation events executed across every Run in
@@ -131,6 +142,22 @@ var totalEvents atomic.Uint64
 // by all completed runs since process start — the numerator for the
 // events/sec throughput metric dare-bench emits in -json mode.
 func TotalEventsProcessed() uint64 { return totalEvents.Load() }
+
+// busCountsMu guards busCounts; runs may finish concurrently under the
+// sweep engine's worker pool.
+var busCountsMu sync.Mutex
+
+// busCounts accumulates per-kind cluster bus events across every Run in
+// the process (dare-bench -events reporting).
+var busCounts event.Counts
+
+// TotalBusEvents reports the cumulative per-kind cluster bus event counts
+// across all completed runs since process start.
+func TotalBusEvents() event.Counts {
+	busCountsMu.Lock()
+	defer busCountsMu.Unlock()
+	return busCounts
+}
 
 // Run executes one full simulation and returns its metrics. The run is a
 // pure function of Options (including Seed).
@@ -149,7 +176,17 @@ func Run(opts Options) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	tracker, err := mapreduce.NewTracker(cluster, opts.Workload, sel, nil)
+	// Observability subscribers ride first, before any engine-active
+	// subscriber, so the trace and tallies see every event — including
+	// the initial file placements NewTracker triggers below.
+	var rec *event.Recorder
+	if opts.EventLog != nil {
+		rec = event.NewRecorder(opts.EventLog)
+		cluster.Bus.Subscribe(rec)
+	}
+	counter := &event.Counter{}
+	cluster.Bus.Subscribe(counter)
+	tracker, err := mapreduce.NewTracker(cluster, opts.Workload, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -213,10 +250,10 @@ func Run(opts Options) (*Output, error) {
 	var scar *core.Scarlett
 	switch opts.Policy.Kind {
 	case core.NonePolicy:
-		// vanilla: no hook
+		// vanilla: no replication policy on the bus
 	case core.ScarlettPolicy:
 		scar = core.NewScarlett(opts.Policy, cluster.NN, cluster.Eng.Defer)
-		tracker.SetHook(scar)
+		cluster.Bus.Subscribe(scar)
 	default:
 		pcfg := opts.Policy
 		if pcfg.AnnounceDelay == 0 {
@@ -226,7 +263,7 @@ func Run(opts Options) (*Output, error) {
 			pcfg.LazyDeleteDelay = opts.Profile.HeartbeatInterval
 		}
 		mgr = core.NewManager(pcfg, cluster.NN, stats.NewRNG(opts.Seed).Split(0xDA2E), cluster.Eng.Defer)
-		tracker.SetHook(mgr)
+		cluster.Bus.Subscribe(mgr)
 	}
 
 	blockPop := opts.Workload.BlockAccessCounts()
@@ -237,6 +274,15 @@ func Run(opts Options) (*Output, error) {
 		return nil, err
 	}
 	totalEvents.Add(cluster.Eng.Processed())
+	evCounts := counter.Counts()
+	busCountsMu.Lock()
+	busCounts.Add(evCounts)
+	busCountsMu.Unlock()
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return nil, fmt.Errorf("runner: writing event log: %w", err)
+		}
+	}
 	cvAfter := metrics.PlacementCV(cluster.NN, tracker.Files(), blockPop)
 	if err := cluster.NN.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("runner: post-run DFS state corrupt: %w", err)
@@ -275,6 +321,7 @@ func Run(opts Options) (*Output, error) {
 		SchedulerName:       sel.Name(),
 		PolicyName:          polName,
 		EventsProcessed:     cluster.Eng.Processed(),
+		EventCounts:         evCounts,
 	}, nil
 }
 

@@ -86,7 +86,7 @@ func TestPoolsEndToEnd(t *testing.T) {
 
 	run := func(sel mapreduce.TaskSelector) float64 {
 		c, wl := build()
-		tr, err := mapreduce.NewTracker(c, wl, sel, nil)
+		tr, err := mapreduce.NewTracker(c, wl, sel)
 		if err != nil {
 			t.Fatal(err)
 		}
