@@ -36,7 +36,8 @@ var (
 	churnMTTF     = flag.Float64("mttf", 0, "churn: per-node mean time to failure in sim seconds (0 = auto-scale)")
 	churnMTTR     = flag.Float64("mttr", 0, "churn: mean time to repair in sim seconds (0 = auto-scale)")
 	churnRackProb = flag.Float64("rack-fail-prob", 0, "churn: probability a failure takes a whole rack (0 = default)")
-	churnCheck    = flag.Bool("check", false, "churn: run the metadata invariant checker after every churn event")
+	churnCheck    = flag.Bool("check", false, "churn/chaos: run the invariant checker after every injected event")
+	chaosEvents   = flag.Int("chaos-events", 0, "chaos: number of injections to draw (0 = default 16)")
 )
 
 func experiments() []experiment {
@@ -174,6 +175,14 @@ func experiments() []experiment {
 				return "", err
 			}
 			return dare.RenderChurn(rows), nil
+		}},
+		{"chaos", "Chaos: turnaround, locality, and availability under mixed gray failures (crashes, slow nodes, corruption, flaps)", func(jobs int, seed uint64) (string, error) {
+			spec := dare.ChaosSpec{Events: *chaosEvents}
+			rows, err := dare.ChaosStudy(jobs, seed, spec, *churnCheck)
+			if err != nil {
+				return "", err
+			}
+			return dare.RenderChaos(rows), nil
 		}},
 		{"speculation", "Speculation: DARE composed with backup tasks on the noisy EC2 profile", func(jobs int, seed uint64) (string, error) {
 			rows, err := dare.SpeculationStudy(jobs, seed)

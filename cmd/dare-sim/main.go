@@ -44,6 +44,8 @@ func main() {
 		mttf        = flag.Float64("mttf", 0, "churn: per-node mean time to failure in sim seconds (0 = auto-scale)")
 		mttr        = flag.Float64("mttr", 0, "churn: mean time to repair in sim seconds (0 = auto-scale)")
 		rackProb    = flag.Float64("rack-fail-prob", 0, "churn: probability a failure takes a whole rack (0 = default)")
+		chaosOn     = flag.Bool("chaos", false, "generate a seeded gray-failure scenario (crashes, slow nodes, corruption, flaps) and enable integrity-aware reads")
+		chaosEvents = flag.Int("chaos-events", 0, "chaos: number of injections to draw (0 = default 16)")
 		check       = flag.Bool("check", false, "run the metadata invariant checker after every failure/recovery event")
 		timeline    = flag.Int("timeline", 0, "print mean locality over N consecutive job buckets (convergence view)")
 		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
@@ -117,6 +119,10 @@ func main() {
 			}
 			churnSpec = &spec
 		}
+		var chaosSpec *dare.ChaosSpec
+		if *chaosOn {
+			chaosSpec = &dare.ChaosSpec{Events: *chaosEvents}
+		}
 		return wl, dare.Options{
 			Profile:         profile,
 			Workload:        wl,
@@ -126,6 +132,7 @@ func main() {
 			Seed:            s,
 			Failures:        failures,
 			Churn:           churnSpec,
+			Chaos:           chaosSpec,
 			DisableRepair:   *noRepair,
 			CheckInvariants: *check,
 		}, nil
@@ -190,10 +197,20 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *chaosOn {
+		g := out.Gray
+		fmt.Printf("chaos: %d crashes, %d flaps, %d degradations, %d/%d corruptions detected, %d read retries, %d hedged reads (%d won), %d stale replicas restored\n",
+			len(out.FailureEvents)-g.Flaps, g.Flaps, g.Degrades,
+			g.CorruptionsDetected, g.CorruptionsInjected, g.ReadRetries,
+			g.HedgedReads, g.HedgeWins, g.ReplicasRestored)
+	}
 	for _, ev := range out.FailureEvents {
 		tag := ""
 		if ev.Rack >= 0 {
 			tag = fmt.Sprintf(" (rack %d switch)", ev.Rack)
+		}
+		if ev.Flap {
+			tag = " (false-dead flap)"
 		}
 		fmt.Printf("failure t=%.1fs node %d%s: %d maps + %d reduces killed, %d replicas lost, availability %d/%d blocks (weighted %.4f), backlog %d\n",
 			ev.Time, ev.Node, tag, ev.KilledMaps, ev.KilledReduces,
@@ -201,8 +218,12 @@ func main() {
 			ev.AvailableBlocks, ev.TotalBlocks, ev.WeightedAvailability, ev.Backlog)
 	}
 	for _, ev := range out.RecoveryEvents {
-		fmt.Printf("rejoin  t=%.1fs node %d: empty re-registration, backlog %d, weighted availability %.4f\n",
-			ev.Time, ev.Node, ev.Backlog, ev.WeightedAvailability)
+		how := "empty re-registration"
+		if ev.Restored > 0 {
+			how = fmt.Sprintf("re-registered with %d stale replicas", ev.Restored)
+		}
+		fmt.Printf("rejoin  t=%.1fs node %d: %s, backlog %d, weighted availability %.4f\n",
+			ev.Time, ev.Node, how, ev.Backlog, ev.WeightedAvailability)
 	}
 	if len(out.FailureEvents) > 0 {
 		fmt.Printf("repairs completed   %d block re-replications\n", out.RepairsDone)

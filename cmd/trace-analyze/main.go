@@ -106,11 +106,14 @@ func analyzeEvents(path string) {
 		fatal(err)
 	}
 	defer f.Close()
-	evs, err := dare.ReadEventLog(f)
+	evs, skipped, err := dare.ReadEventLogSkipped(f)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("--- cluster event trace: %s ---\n", path)
+	if skipped > 0 {
+		fmt.Printf("(skipped %d lines with event kinds this build does not know)\n", skipped)
+	}
 	fmt.Println(dare.RenderTraceStats(dare.SummarizeEvents(evs)))
 }
 

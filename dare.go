@@ -187,8 +187,14 @@ type ClusterEvent = event.Event
 // across all completed runs in this process.
 func TotalBusEvents() EventCounts { return runner.TotalBusEvents() }
 
-// ReadEventLog decodes a JSONL trace written via Options.EventLog.
+// ReadEventLog decodes a JSONL trace written via Options.EventLog. Lines
+// whose kind this build does not know (a trace from a newer build) are
+// skipped; use ReadEventLogSkipped to count them.
 func ReadEventLog(r io.Reader) ([]ClusterEvent, error) { return event.ReadLog(r) }
+
+// ReadEventLogSkipped is ReadEventLog, additionally reporting how many
+// unknown-kind lines were skipped.
+func ReadEventLogSkipped(r io.Reader) ([]ClusterEvent, int, error) { return event.ReadLogSkipped(r) }
 
 // TraceStats summarizes a decoded event log (per-kind volume, sim-time
 // span, map-launch locality split, replica churn).
@@ -389,6 +395,32 @@ func ChurnStudy(jobs int, seed uint64, spec ChurnSpec, check bool) ([]ChurnRow, 
 	return runner.ChurnStudy(jobs, seed, spec, check)
 }
 
+// ---------------------------------------------------------------------------
+// Gray failures & chaos (slow nodes, corruption, hedged reads, flaps)
+
+// ChaosSpec configures the seeded gray-failure scenario generator (mixed
+// crashes, degradations, silent corruption, false-dead flaps); GrayStats
+// tallies the gray machinery's activity in Output.Gray; ChaosRow carries
+// one arm of the chaos study.
+type (
+	ChaosSpec = runner.ChaosSpec
+	GrayStats = mapreduce.GrayStats
+	ChaosRow  = runner.ChaosRow
+)
+
+// DefaultChaosSpec scales a chaos scenario to an arrival span (see
+// runner.DefaultChaosSpec).
+func DefaultChaosSpec(span float64) ChaosSpec { return runner.DefaultChaosSpec(span) }
+
+// ChaosStudy replays wl1 under one seeded gray-failure scenario for both
+// schedulers × {vanilla, DARE-LRU, ElephantTrap}: every arm faces the
+// identical injection schedule, so turnaround/locality/availability
+// differences are attributable to the replication policy. check enables
+// the cross-layer invariant checker after every injected event.
+func ChaosStudy(jobs int, seed uint64, spec ChaosSpec, check bool) ([]ChaosRow, error) {
+	return runner.ChaosStudy(jobs, seed, spec, check)
+}
+
 // EventRow carries one arm of the event-volume study.
 type EventRow = runner.EventRow
 
@@ -417,6 +449,7 @@ var (
 	RenderEvents       = runner.RenderEvents
 	RenderTraceStats   = event.RenderTraceStats
 	RenderChurn        = runner.RenderChurn
+	RenderChaos        = runner.RenderChaos
 )
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"testing"
+
+	"dare/internal/stats"
+)
+
+func spec() Spec {
+	return Spec{
+		Events:        24,
+		Horizon:       100,
+		CrashWeight:   1,
+		SlowWeight:    1.5,
+		CorruptWeight: 1.5,
+		FlapWeight:    1,
+		MTTR:          8,
+		SlowMean:      12,
+		SlowFactorMax: 6,
+		FlapDown:      3,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(10, spec(), stats.NewRNG(42).Split(0xCA05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(10, spec(), stats.NewRNG(42).Split(0xCA05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty scenario")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("action %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Replaying the schedule against its own up/down bookkeeping must find
+// every action feasible: victims up at fire time, never the last live
+// node, degradations on non-degraded nodes, sane parameters.
+func TestGenerateFeasible(t *testing.T) {
+	const n = 10
+	actions, err := Generate(n, spec(), stats.NewRNG(7).Split(0xCA05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	downUntil := make([]float64, n)
+	slowUntil := make([]float64, n)
+	upAt := func(t float64) int {
+		c := 0
+		for _, d := range downUntil {
+			if d <= t {
+				c++
+			}
+		}
+		return c
+	}
+	last := 0.0
+	classes := make(map[Kind]int)
+	for i, a := range actions {
+		if a.At < last {
+			t.Fatalf("action %d out of order: %g after %g", i, a.At, last)
+		}
+		last = a.At
+		classes[a.Kind]++
+		switch a.Kind {
+		case Crash:
+			if downUntil[a.Node] > a.At {
+				t.Fatalf("action %d crashes down node %d", i, a.Node)
+			}
+			if upAt(a.At) <= 1 {
+				t.Fatalf("action %d crashes the last live node", i)
+			}
+			downUntil[a.Node] = inf // Recover action resets below
+		case Recover:
+			downUntil[a.Node] = a.At
+		case Slow:
+			if a.Factor <= 1 {
+				t.Fatalf("action %d has factor %g", i, a.Factor)
+			}
+			if downUntil[a.Node] > a.At {
+				t.Fatalf("action %d degrades down node %d", i, a.Node)
+			}
+			if slowUntil[a.Node] > a.At {
+				t.Fatalf("action %d degrades already-degraded node %d", i, a.Node)
+			}
+			slowUntil[a.Node] = inf
+		case Restore:
+			slowUntil[a.Node] = a.At
+		case Corrupt:
+			if a.Node != -1 {
+				t.Fatalf("action %d: corrupt victims resolve at fire time, got node %d", i, a.Node)
+			}
+		case Flap:
+			if a.Down <= 0 {
+				t.Fatalf("action %d has flap window %g", i, a.Down)
+			}
+			if downUntil[a.Node] > a.At {
+				t.Fatalf("action %d flaps down node %d", i, a.Node)
+			}
+			if upAt(a.At) <= 1 {
+				t.Fatalf("action %d flaps the last live node", i)
+			}
+			downUntil[a.Node] = a.At + a.Down
+		}
+	}
+	// With 24 draws and all weights positive, every class should appear.
+	for _, k := range []Kind{Crash, Slow, Corrupt, Flap} {
+		if classes[k] == 0 {
+			t.Fatalf("class %v never drawn in 24 events", k)
+		}
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	if got, err := Generate(0, spec(), stats.NewRNG(1)); err != nil || got != nil {
+		t.Fatalf("n=0: got %v, %v", got, err)
+	}
+	s := spec()
+	s.Events = 0
+	if got, err := Generate(10, s, stats.NewRNG(1)); err != nil || got != nil {
+		t.Fatalf("Events=0: got %v, %v", got, err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []func(s *Spec){
+		func(s *Spec) { s.Events = -1 },
+		func(s *Spec) { s.Horizon = 0 },
+		func(s *Spec) { s.CrashWeight = -1 },
+		func(s *Spec) { s.CrashWeight, s.SlowWeight, s.CorruptWeight, s.FlapWeight = 0, 0, 0, 0 },
+		func(s *Spec) { s.MTTR = -1 },
+		func(s *Spec) { s.SlowMean = -1 },
+		func(s *Spec) { s.FlapDown = -1 },
+	}
+	for i, mutate := range bad {
+		s := spec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: bad spec accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Crash: "crash", Recover: "recover", Slow: "slow",
+		Restore: "restore", Corrupt: "corrupt", Flap: "flap",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -150,6 +150,15 @@ func (b *Balancer) move(blk BlockID, src, dst topology.NodeID) error {
 		return fmt.Errorf("dfs: block %d not on node %d", blk, src)
 	}
 	size := b.nn.blocks[blk].Size
+	// A move streams the stored bytes as-is, so latent corruption travels
+	// with the replica.
+	if b.nn.IsCorrupt(blk, src) {
+		b.nn.clearCorrupt(blk, src)
+		if b.nn.corrupt[blk] == nil {
+			b.nn.corrupt[blk] = make(map[topology.NodeID]bool)
+		}
+		b.nn.corrupt[blk][dst] = true
+	}
 	delete(b.nn.locations[blk], src)
 	delete(b.nn.perNode[src], blk)
 	b.nn.locations[blk][dst] = kind

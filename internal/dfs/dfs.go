@@ -81,6 +81,13 @@ type NameNode struct {
 	primaryBytes []int64
 	dynamicBytes []int64
 
+	// corrupt marks replicas whose (modelled) checksum no longer matches:
+	// corrupt[b][n] means node n's copy of b is silently bad. Metadata
+	// still lists the replica — corruption is latent until a reader
+	// verifies the checksum and quarantines it (see integrity.go). Lazily
+	// allocated: nil until the first injection.
+	corrupt map[BlockID]map[topology.NodeID]bool
+
 	// failed marks downed data nodes; placement avoids them.
 	failed map[topology.NodeID]bool
 	// churned latches once any node has ever failed. Unlike len(failed) it
@@ -357,6 +364,7 @@ func (nn *NameNode) RemoveDynamicReplica(b BlockID, node topology.NodeID) error 
 	if k != Dynamic {
 		return fmt.Errorf("dfs: refusing to remove primary replica of block %d at node %d", b, node)
 	}
+	nn.clearCorrupt(b, node)
 	delete(nn.locations[b], node)
 	delete(nn.perNode[node], b)
 	nn.dynamicBytes[node] -= nn.blocks[b].Size
@@ -460,6 +468,16 @@ func (nn *NameNode) CheckInvariants() error {
 		for b, kind := range m {
 			if got, ok := nn.locations[b][topology.NodeID(n)]; !ok || got != kind {
 				return fmt.Errorf("dfs: orphan per-node entry for block %d node %d", b, n)
+			}
+		}
+	}
+	// Corruption marks must describe replicas that still exist: every
+	// removal path (eviction, failure, quarantine) clears the mark, so a
+	// dangling mark means a removal path forgot to.
+	for b, nodes := range nn.corrupt {
+		for node := range nodes {
+			if _, ok := nn.locations[b][node]; !ok {
+				return fmt.Errorf("dfs: corruption mark for block %d on node %d outlived the replica", b, node)
 			}
 		}
 	}

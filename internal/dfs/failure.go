@@ -48,6 +48,7 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 	for _, b := range blocks {
 		kind := nn.perNode[node][b]
 		size := nn.blocks[b].Size
+		nn.clearCorrupt(b, node)
 		delete(nn.locations[b], node)
 		delete(nn.perNode[node], b)
 		if kind == Primary {
@@ -78,21 +79,15 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 // report (FailNode already scrubbed the metadata), so blocks that lost
 // their last replica stay lost. The node immediately becomes eligible for
 // placement, repair, and dynamic replication again.
+//
+// RecoverNode is idempotent in effect: recovering a node that never
+// failed or has already recovered mutates nothing and publishes nothing —
+// it only reports the mistake as an error, so callers retrying a rejoin
+// can never double-register a node (or double-start anything keyed on the
+// NodeRecover event). It is ReRegisterNode with an empty block report.
 func (nn *NameNode) RecoverNode(node topology.NodeID) error {
-	if int(node) < 0 || int(node) >= nn.topo.N() {
-		return fmt.Errorf("dfs: invalid node %d", node)
-	}
-	if !nn.failed[node] {
-		return fmt.Errorf("dfs: node %d is not failed", node)
-	}
-	delete(nn.failed, node)
-	if nn.bus != nil {
-		ev := event.New(event.NodeRecover)
-		ev.Node = int32(node)
-		ev.Rack = int32(nn.topo.Rack(node))
-		nn.bus.Publish(ev)
-	}
-	return nil
+	_, err := nn.ReRegisterNode(node, nil)
+	return err
 }
 
 // NodeFailed reports whether node has been failed.

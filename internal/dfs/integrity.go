@@ -1,0 +1,147 @@
+package dfs
+
+import (
+	"fmt"
+
+	"dare/internal/event"
+	"dare/internal/topology"
+)
+
+// Data integrity: replicas carry a (modelled) checksum. Corruption is
+// injected silently — the name node's metadata still lists the replica and
+// the scheduler still offers it as local — and surfaces only when a reader
+// verifies the checksum at the end of a read, exactly as HDFS discovers
+// bad blocks. Detection quarantines the replica: it is evicted from the
+// metadata (primary or dynamic alike), the locality index hears about it
+// through the usual ReplicaRemove event, and the repair pipeline restores
+// the replication factor from a surviving copy.
+
+// StaleReplica describes one replica a flapping node still holds on disk
+// when it re-registers after a false-dead declaration (see ReRegisterNode).
+type StaleReplica struct {
+	Block BlockID
+	Kind  ReplicaKind
+}
+
+// MarkCorrupt silently corrupts node's replica of b: metadata is
+// untouched and no event fires — the damage is latent until a read
+// verifies the checksum (QuarantineReplica). Marking a replica that does
+// not exist is an error.
+func (nn *NameNode) MarkCorrupt(b BlockID, node topology.NodeID) error {
+	if _, ok := nn.locations[b][node]; !ok {
+		return fmt.Errorf("dfs: node %d holds no replica of block %d to corrupt", node, b)
+	}
+	if nn.corrupt == nil {
+		nn.corrupt = make(map[BlockID]map[topology.NodeID]bool)
+	}
+	if nn.corrupt[b] == nil {
+		nn.corrupt[b] = make(map[topology.NodeID]bool)
+	}
+	nn.corrupt[b][node] = true
+	return nil
+}
+
+// IsCorrupt reports whether node's replica of b is marked corrupt.
+func (nn *NameNode) IsCorrupt(b BlockID, node topology.NodeID) bool {
+	return nn.corrupt[b][node]
+}
+
+// CorruptReplicas reports how many latent corrupt replicas exist.
+func (nn *NameNode) CorruptReplicas() int {
+	n := 0
+	for _, nodes := range nn.corrupt {
+		n += len(nodes)
+	}
+	return n
+}
+
+// clearCorrupt drops the corruption mark (if any) for node's replica of b;
+// every path that removes a replica calls it so marks never outlive the
+// replicas they describe.
+func (nn *NameNode) clearCorrupt(b BlockID, node topology.NodeID) {
+	if nodes := nn.corrupt[b]; nodes != nil {
+		delete(nodes, node)
+		if len(nodes) == 0 {
+			delete(nn.corrupt, b)
+		}
+	}
+}
+
+// QuarantineReplica removes a detected-corrupt replica from the metadata —
+// the checksum-failure path, applicable to primaries and dynamic copies
+// alike (unlike RemoveDynamicReplica, eviction here is mandatory: the
+// bytes are garbage). It publishes ReplicaCorrupt with the pre-removal
+// state, then the usual ReplicaRemove so locality indices and policies
+// react exactly as for any other disappearance. Blocks may drop below the
+// replication floor until repaired, so the churned latch is set.
+func (nn *NameNode) QuarantineReplica(b BlockID, node topology.NodeID) error {
+	kind, ok := nn.locations[b][node]
+	if !ok {
+		return fmt.Errorf("dfs: node %d holds no replica of block %d to quarantine", node, b)
+	}
+	nn.churned = true
+	nn.publishReplica(event.ReplicaCorrupt, b, node, kind == Dynamic)
+	nn.clearCorrupt(b, node)
+	delete(nn.locations[b], node)
+	delete(nn.perNode[node], b)
+	if kind == Primary {
+		nn.primaryBytes[node] -= nn.blocks[b].Size
+	} else {
+		nn.dynamicBytes[node] -= nn.blocks[b].Size
+	}
+	nn.publishReplica(event.ReplicaRemove, b, node, kind == Dynamic)
+	return nil
+}
+
+// ReRegisterNode rejoins a failed node whose disk survived — the
+// false-dead (flapping) path: heartbeat loss declared the node dead and
+// FailNode scrubbed its replicas, but the process comes back moments later
+// and its block report still lists them. Each reported replica is
+// reconciled against the registry: replicas of blocks the name node no
+// longer tracks are discarded, a report for a block the node somehow
+// already holds is ignored, and the rest are restored (with byte
+// accounting and ReplicaAdd events, so locality indices re-learn them).
+// The NodeRecover event fires last, with Aux = restored count, so every
+// subscriber observes a fully reconciled registry. It returns the number
+// of replicas restored.
+//
+// RecoverNode is the stale == nil special case: a node that rejoins empty.
+func (nn *NameNode) ReRegisterNode(node topology.NodeID, stale []StaleReplica) (int, error) {
+	if int(node) < 0 || int(node) >= nn.topo.N() {
+		return 0, fmt.Errorf("dfs: invalid node %d", node)
+	}
+	if !nn.failed[node] {
+		return 0, fmt.Errorf("dfs: node %d is not failed", node)
+	}
+	delete(nn.failed, node)
+	restored := 0
+	for _, s := range stale {
+		blk := nn.blocks[s.Block]
+		if blk == nil {
+			continue // registry no longer tracks the block: discard
+		}
+		if _, exists := nn.locations[s.Block][node]; exists {
+			continue
+		}
+		if nn.locations[s.Block] == nil {
+			nn.locations[s.Block] = make(map[topology.NodeID]ReplicaKind)
+		}
+		nn.locations[s.Block][node] = s.Kind
+		nn.perNode[node][s.Block] = s.Kind
+		if s.Kind == Primary {
+			nn.primaryBytes[node] += blk.Size
+		} else {
+			nn.dynamicBytes[node] += blk.Size
+		}
+		nn.publishReplica(event.ReplicaAdd, s.Block, node, s.Kind == Dynamic)
+		restored++
+	}
+	if nn.bus != nil {
+		ev := event.New(event.NodeRecover)
+		ev.Node = int32(node)
+		ev.Rack = int32(nn.topo.Rack(node))
+		ev.Aux = int64(restored)
+		nn.bus.Publish(ev)
+	}
+	return restored, nil
+}

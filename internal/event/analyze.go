@@ -17,13 +17,24 @@ type TraceStats struct {
 
 	ReplicasAdded   uint64 // ReplicaAdd
 	ReplicasRemoved uint64 // ReplicaRemove + the removals implied by repair sources
+
+	// Unknown counts events whose kind this binary does not know (a trace
+	// from a newer simulator); they contribute to the span but to no
+	// per-kind tally.
+	Unknown uint64
 }
 
-// Summarize tallies a decoded event log (as returned by ReadLog).
+// Summarize tallies a decoded event log (as returned by ReadLog). Events
+// of a kind outside this binary's taxonomy are tallied as Unknown rather
+// than panicking, so old analyzers survive newer traces.
 func Summarize(events []Event) TraceStats {
 	var s TraceStats
 	for i, ev := range events {
-		s.Counts[ev.Kind]++
+		if int(ev.Kind) >= NumKinds {
+			s.Unknown++
+		} else {
+			s.Counts[ev.Kind]++
+		}
 		if i == 0 {
 			s.Start = ev.Time
 		}
@@ -53,6 +64,9 @@ func RenderTraceStats(s TraceStats) string {
 	}
 	fmt.Fprintf(&b, "replicas    +%d added, -%d removed (net %+d)\n",
 		s.ReplicasAdded, s.ReplicasRemoved, int64(s.ReplicasAdded)-int64(s.ReplicasRemoved))
+	if s.Unknown > 0 {
+		fmt.Fprintf(&b, "unknown     %d events of kinds this binary does not know\n", s.Unknown)
+	}
 	fmt.Fprintf(&b, "\n%-16s %10s\n", "kind", "count")
 	for k, v := range s.Counts {
 		if v == 0 {

@@ -53,6 +53,14 @@ const (
 	TaskSpeculate // a backup attempt is about to launch for a straggling task
 	Heartbeat     // a live tasktracker reported in (Aux: free map slots before speculation)
 
+	// Gray-failure layer (published by dfs.NameNode and the gray injector;
+	// see DESIGN.md "Failure taxonomy").
+	NodeDegrade    // Node went gray: Aux = service/disk multiplier in milli-units; Flag: disk (vs service time)
+	NodeRestore    // a degraded Node returned to full speed (Flag mirrors the degrade)
+	ReplicaCorrupt // a checksum mismatch was detected on Node's replica of Block; it is being quarantined (Flag: dynamic copy)
+	ReadRetry      // a map attempt fell back to another replica after a corrupt read (Aux: retry ordinal, 1-based)
+	HedgedRead     // a slow remote read launched a backup fetch (Aux: hedge source node; Flag: the hedge won)
+
 	numKinds
 )
 
@@ -61,19 +69,24 @@ const (
 const NumKinds = int(numKinds)
 
 var kindNames = [NumKinds]string{
-	KindNone:      "none",
-	ReplicaAdd:    "replica-add",
-	ReplicaRemove: "replica-remove",
-	ReplicaRepair: "replica-repair",
-	NodeFail:      "node-fail",
-	NodeRecover:   "node-recover",
-	JobArrive:     "job-arrive",
-	JobFinish:     "job-finish",
-	TaskLaunch:    "task-launch",
-	TaskComplete:  "task-complete",
-	TaskFail:      "task-fail",
-	TaskSpeculate: "task-speculate",
-	Heartbeat:     "heartbeat",
+	KindNone:       "none",
+	ReplicaAdd:     "replica-add",
+	ReplicaRemove:  "replica-remove",
+	ReplicaRepair:  "replica-repair",
+	NodeFail:       "node-fail",
+	NodeRecover:    "node-recover",
+	JobArrive:      "job-arrive",
+	JobFinish:      "job-finish",
+	TaskLaunch:     "task-launch",
+	TaskComplete:   "task-complete",
+	TaskFail:       "task-fail",
+	TaskSpeculate:  "task-speculate",
+	Heartbeat:      "heartbeat",
+	NodeDegrade:    "node-degrade",
+	NodeRestore:    "node-restore",
+	ReplicaCorrupt: "replica-corrupt",
+	ReadRetry:      "read-retry",
+	HedgedRead:     "hedged-read",
 }
 
 // String returns the stable wire name of the kind (used in JSONL traces).

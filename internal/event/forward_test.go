@@ -1,0 +1,67 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+// Forward compatibility: an analyzer built from this binary must survive a
+// trace written by a future simulator with event kinds it has never heard
+// of — skip and count, never error, never panic.
+
+func TestReadLogSkipsUnknownKinds(t *testing.T) {
+	log := strings.Join([]string{
+		`{"t":1,"kind":"replica-add","node":3,"block":7}`,
+		`{"t":2,"kind":"quantum-entangle","node":4}`, // future kind
+		`{"t":3,"kind":"task-launch","node":5,"job":1,"block":9,"flag":true}`,
+		`{"t":4,"kind":"quantum-entangle","node":6}`,
+	}, "\n")
+
+	evs, skipped, err := ReadLogSkipped(strings.NewReader(log))
+	if err != nil {
+		t.Fatalf("ReadLogSkipped: %v", err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if len(evs) != 2 || evs[0].Kind != ReplicaAdd || evs[1].Kind != TaskLaunch {
+		t.Errorf("decoded events = %+v, want the two known-kind lines", evs)
+	}
+
+	// ReadLog (the facade path) tolerates the same trace silently.
+	evs2, err := ReadLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(evs2) != 2 {
+		t.Errorf("ReadLog decoded %d events, want 2", len(evs2))
+	}
+}
+
+func TestReadLogStillRejectsMalformedJSON(t *testing.T) {
+	if _, _, err := ReadLogSkipped(strings.NewReader(`{"t":1,"kind":`)); err == nil {
+		t.Fatal("malformed JSON line decoded without error")
+	}
+}
+
+func TestSummarizeToleratesSyntheticKind(t *testing.T) {
+	future := Kind(NumKinds + 3) // a kind this binary does not know
+	evs := []Event{
+		{Kind: ReplicaAdd, Time: 1},
+		{Kind: future, Time: 2},
+		{Kind: TaskLaunch, Time: 3, Block: 5, Flag: true},
+	}
+	s := Summarize(evs) // must not panic on the out-of-range kind
+	if s.Unknown != 1 {
+		t.Errorf("Unknown = %d, want 1", s.Unknown)
+	}
+	if s.Counts[ReplicaAdd] != 1 || s.Counts[TaskLaunch] != 1 {
+		t.Errorf("known kinds miscounted: %v", s.Counts)
+	}
+	if s.Start != 1 || s.End != 3 {
+		t.Errorf("span = [%g, %g], want [1, 3] (unknown events still span)", s.Start, s.End)
+	}
+	if !strings.Contains(RenderTraceStats(s), "unknown") {
+		t.Error("RenderTraceStats does not surface the unknown-event count")
+	}
+}

@@ -168,12 +168,22 @@ type logLine struct {
 
 // ReadLog decodes a JSONL trace written by Recorder back into events.
 // It is the analysis-side inverse of HandleEvent (used by trace-analyze);
-// it allocates freely and is not for the hot path.
+// it allocates freely and is not for the hot path. Lines whose kind this
+// binary does not know (a trace written by a newer simulator) are skipped,
+// not errors; use ReadLogSkipped to learn how many.
 func ReadLog(rd io.Reader) ([]Event, error) {
+	evs, _, err := ReadLogSkipped(rd)
+	return evs, err
+}
+
+// ReadLogSkipped is ReadLog plus a count of the lines skipped because
+// their kind name was not recognized. Malformed JSON is still an error —
+// only a valid line with an unknown "kind" is forward-compatible.
+func ReadLogSkipped(rd io.Reader) ([]Event, int, error) {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	var out []Event
-	lineNo := 0
+	lineNo, skipped := 0, 0
 	for sc.Scan() {
 		lineNo++
 		raw := strings.TrimSpace(sc.Text())
@@ -182,11 +192,12 @@ func ReadLog(rd io.Reader) ([]Event, error) {
 		}
 		var l logLine
 		if err := json.Unmarshal([]byte(raw), &l); err != nil {
-			return nil, fmt.Errorf("event log line %d: %w", lineNo, err)
+			return nil, skipped, fmt.Errorf("event log line %d: %w", lineNo, err)
 		}
 		k := KindFromString(l.Kind)
 		if k == KindNone {
-			return nil, fmt.Errorf("event log line %d: unknown kind %q", lineNo, l.Kind)
+			skipped++
+			continue
 		}
 		ev := New(k)
 		ev.Time = l.T
@@ -210,7 +221,7 @@ func ReadLog(rd io.Reader) ([]Event, error) {
 		out = append(out, ev)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, skipped, err
 	}
-	return out, nil
+	return out, skipped, nil
 }

@@ -34,6 +34,12 @@ type Node struct {
 	// ActiveRemoteReads counts in-flight remote fetches targeting this
 	// node; concurrent fetches share the NIC.
 	ActiveRemoteReads int
+	// SlowFactor and DiskFactor model gray degradation (1 = healthy).
+	// SlowFactor multiplies task service time (a struggling JVM, CPU
+	// contention); DiskFactor divides effective local disk bandwidth (a
+	// dying disk retrying sectors). Both stay exactly 1.0 unless the gray
+	// injector degrades the node, so healthy runs are bit-identical.
+	SlowFactor, DiskFactor float64
 	// Up is false once the node has been failed; a downed node stops
 	// heartbeating and receives no tasks or replicas.
 	Up bool
@@ -107,6 +113,8 @@ func NewCluster(p *config.Profile, seed uint64) (*Cluster, error) {
 			NetBW:           net,
 			FreeMapSlots:    p.MapSlotsPerNode,
 			FreeReduceSlots: p.ReduceSlotsPerNode,
+			SlowFactor:      1,
+			DiskFactor:      1,
 			Up:              true,
 		})
 		if r := topo.Rack(topology.NodeID(i)); r >= c.racks {
@@ -132,22 +140,30 @@ func (c *Cluster) taskNoise() float64 {
 }
 
 // LocalReadTime reports the seconds to read size bytes from node's local
-// disk.
+// disk. A disk-degraded node reads proportionally slower (DiskFactor is
+// exactly 1.0 on healthy nodes, so the multiplication is bit-exact).
 func (c *Cluster) LocalReadTime(node topology.NodeID, size int64) float64 {
-	return float64(size) / (c.Nodes[node].DiskBW * config.MB)
+	return float64(size) * c.Nodes[node].DiskFactor / (c.Nodes[node].DiskBW * config.MB)
 }
 
 // chooseSource picks the replica source for a remote read: the location
 // with the fewest hops from dst (ties broken by lowest node ID for
 // determinism). ok is false when the block has no replica.
 func (c *Cluster) chooseSource(b dfs.BlockID, dst topology.NodeID) (topology.NodeID, bool) {
+	return c.chooseSourceExcluding(b, dst, nil)
+}
+
+// chooseSourceExcluding is chooseSource with a (possibly nil) set of
+// sources to skip — the gray read path excludes replicas it has already
+// found corrupt or already has in flight as a hedge.
+func (c *Cluster) chooseSourceExcluding(b dfs.BlockID, dst topology.NodeID, excluded map[topology.NodeID]bool) (topology.NodeID, bool) {
 	best := topology.NodeID(-1)
 	bestHops := math.MaxInt32
 	// Iterate the location map directly (no allocation); the (hops, node
 	// ID) tie-break is a total order, so the winner is independent of map
 	// iteration order.
 	c.NN.ForEachLocation(b, func(src topology.NodeID, _ dfs.ReplicaKind) bool {
-		if src == dst {
+		if src == dst || excluded[src] {
 			return true
 		}
 		if h := c.Topo.Hops(src, dst); h < bestHops || (h == bestHops && src < best) {
@@ -164,7 +180,13 @@ func (c *Cluster) chooseSource(b dfs.BlockID, dst topology.NodeID) (topology.Nod
 // (oversubscription beyond 2 hops), RTT, and NIC sharing with other
 // in-flight fetches at dst. The second return is the chosen source.
 func (c *Cluster) RemoteReadTime(b dfs.BlockID, dst topology.NodeID, size int64) (float64, topology.NodeID, error) {
-	src, ok := c.chooseSource(b, dst)
+	return c.RemoteReadTimeExcluding(b, dst, size, nil)
+}
+
+// RemoteReadTimeExcluding is RemoteReadTime restricted to sources outside
+// the excluded set (the gray read path's retry and hedge fallbacks).
+func (c *Cluster) RemoteReadTimeExcluding(b dfs.BlockID, dst topology.NodeID, size int64, excluded map[topology.NodeID]bool) (float64, topology.NodeID, error) {
+	src, ok := c.chooseSourceExcluding(b, dst, excluded)
 	if !ok {
 		return 0, 0, fmt.Errorf("mapreduce: block %d has no remote replica for node %d", b, dst)
 	}
@@ -186,12 +208,13 @@ func (c *Cluster) RemoteReadTime(b dfs.BlockID, dst topology.NodeID, size int64)
 // OutputWriteTime reports the seconds a reduce task on node spends writing
 // `blocks` output blocks through the HDFS replication pipeline: the
 // pipeline throughput is bounded by the slowest of the local disk and the
-// NIC (the two downstream replicas stream in parallel behind it).
+// NIC (the two downstream replicas stream in parallel behind it). A
+// disk-degraded node writes proportionally slower.
 func (c *Cluster) OutputWriteTime(node topology.NodeID, blocks float64) float64 {
 	if blocks <= 0 {
 		return 0
 	}
-	bw := math.Min(c.Nodes[node].DiskBW, c.Nodes[node].NetBW*c.Profile.HopBWFactor)
+	bw := math.Min(c.Nodes[node].DiskBW/c.Nodes[node].DiskFactor, c.Nodes[node].NetBW*c.Profile.HopBWFactor)
 	if bw < 0.5 {
 		bw = 0.5
 	}

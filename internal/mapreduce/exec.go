@@ -65,7 +65,11 @@ func (t *Tracker) launchAttempt(node *Node, g *taskGroup) {
 	t.bus.Publish(ev)
 
 	var read float64
-	if local {
+	if t.gray.readsEnabled {
+		// Integrity-aware path: checksum verification, retry on corrupt
+		// replicas, hedged slow remote reads. NIC accounting happens inside.
+		read = t.grayRead(j, node, b, blk.Size)
+	} else if local {
 		read = t.c.LocalReadTime(node.ID, blk.Size)
 	} else {
 		var err error
@@ -80,7 +84,9 @@ func (t *Tracker) launchAttempt(node *Node, g *taskGroup) {
 			t.c.Eng.Defer(read, func() { node.ActiveRemoteReads-- })
 		}
 	}
-	dur := (math.Max(read, j.Spec.CPUPerTask) + t.c.Profile.TaskOverhead) * t.c.taskNoise()
+	// SlowFactor stretches the whole attempt on a gray-degraded node
+	// (exactly 1.0 on healthy nodes, so the multiplication is bit-exact).
+	dur := (math.Max(read, j.Spec.CPUPerTask) + t.c.Profile.TaskOverhead) * t.c.taskNoise() * node.SlowFactor
 
 	if !local {
 		j.remoteBytes += blk.Size
@@ -181,7 +187,7 @@ func (t *Tracker) launchReduce(node *Node, j *Job) {
 	j.pendingReduces--
 	j.runningReduces++
 	write := t.c.OutputWriteTime(node.ID, j.outputBlocksPerReduce())
-	dur := (j.Spec.ReduceTime + write + t.c.Profile.TaskOverhead) * t.c.taskNoise()
+	dur := (j.Spec.ReduceTime + write + t.c.Profile.TaskOverhead) * t.c.taskNoise() * node.SlowFactor
 	j.outputBytes += j.outputNetworkBytesPerReduce(t.c.Profile)
 	rec := &taskRec{job: j, isMap: false}
 	rec.ev = t.c.Eng.Schedule(dur, func() {

@@ -46,6 +46,9 @@ type FailureEvent struct {
 	// Backlog is the repair queue depth (under-replicated blocks) right
 	// after the failure.
 	Backlog int
+	// Flap marks a false-dead declaration (gray failure): the node was
+	// never actually down and rejoins shortly with its disk intact.
+	Flap bool
 }
 
 // RecoveryEvent records the cluster state right after one node rejoin.
@@ -56,8 +59,12 @@ type RecoveryEvent struct {
 	// can *grow* the queue: with more nodes up, min(replication, up) rises.
 	Backlog int
 	// WeightedAvailability at the rejoin (monotone non-increasing across a
-	// run: rejoin is empty, so lost blocks stay lost).
+	// run when rejoins are empty; a flap rejoin restores replicas and can
+	// raise it).
 	WeightedAvailability float64
+	// Restored counts the stale replicas reconciled back into the registry
+	// on a flap rejoin (0 for a crash recovery: those re-register empty).
+	Restored int
 }
 
 // plannedFailure is a failure registered before Run.
@@ -286,6 +293,10 @@ func (t *Tracker) recoverNode(node *Node) {
 	node.Up = true
 	node.FreeMapSlots = t.c.Profile.MapSlotsPerNode
 	node.FreeReduceSlots = t.c.Profile.ReduceSlotsPerNode
+	// A restarted node comes back healthy: any gray degradation ends with
+	// the old process (both factors are already 1 unless the gray injector
+	// ran, so this is golden-safe).
+	node.SlowFactor, node.DiskFactor = 1, 1
 	// ActiveRemoteReads is intentionally left alone: pending fetch-end
 	// events still fire and decrement it.
 	if int(node.ID) < len(t.tickers) {

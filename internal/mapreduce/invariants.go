@@ -28,7 +28,9 @@ type invariantChecker struct {
 
 // HandleEvent implements event.Subscriber.
 func (c *invariantChecker) HandleEvent(ev event.Event) {
-	if ev.Kind != event.NodeFail && ev.Kind != event.NodeRecover {
+	switch ev.Kind {
+	case event.NodeFail, event.NodeRecover, event.NodeDegrade, event.NodeRestore, event.ReplicaCorrupt:
+	default:
 		return
 	}
 	if !c.enabled || c.err != nil {
@@ -83,6 +85,45 @@ func (t *Tracker) CheckInvariants() error {
 	for _, j := range t.active {
 		if err := j.checkIndex(); err != nil {
 			return err
+		}
+	}
+	// 4. Task conservation: the tracker's in-flight attempt set, each job's
+	// running counter, and the pending/completed accounting must agree — a
+	// gray injection (flap kill, corrupt-read retry) that leaks or
+	// double-counts a task shows up here.
+	runningAttempts := make(map[*Job]int)
+	liveGroups := make(map[*taskGroup]bool)
+	for _, recs := range t.inflight {
+		for r := range recs {
+			if !r.isMap {
+				continue
+			}
+			runningAttempts[r.job]++
+			if !r.group.done {
+				liveGroups[r.group] = true
+			}
+		}
+	}
+	groupsPerJob := make(map[*Job]int, len(liveGroups))
+	for g := range liveGroups {
+		groupsPerJob[g.job]++
+	}
+	for _, j := range t.active {
+		if runningAttempts[j] != j.RunningMaps() {
+			return fmt.Errorf("mapreduce: job %d: %d in-flight map attempts but runningMaps=%d",
+				j.ID(), runningAttempts[j], j.RunningMaps())
+		}
+		if j.RunningMaps() < 0 || j.CompletedMaps() < 0 || j.PendingMaps() < 0 {
+			return fmt.Errorf("mapreduce: job %d: negative task counter (running=%d completed=%d pending=%d)",
+				j.ID(), j.RunningMaps(), j.CompletedMaps(), j.PendingMaps())
+		}
+		// Completed + pending + live groups can undershoot NumMaps (a
+		// killed/failed task sits in backoff limbo, neither pending nor
+		// running) but never overshoot: that would mean a map is both done
+		// and queued, i.e. duplicated work.
+		if total := j.CompletedMaps() + j.PendingMaps() + groupsPerJob[j]; total > j.Spec.NumMaps {
+			return fmt.Errorf("mapreduce: job %d: completed %d + pending %d + running groups %d exceeds NumMaps %d",
+				j.ID(), j.CompletedMaps(), j.PendingMaps(), groupsPerJob[j], j.Spec.NumMaps)
 		}
 	}
 	return nil

@@ -50,6 +50,9 @@ type Tracker struct {
 	// overlapping round are not re-queued (no double copies).
 	repairInFlight map[dfs.BlockID]bool
 
+	// Gray-failure injection state (see gray.go).
+	gray grayState
+
 	// weights caches the access-weight map backing per-event weighted
 	// availability snapshots; built lazily from the workload.
 	weights map[dfs.BlockID]float64
@@ -130,6 +133,9 @@ func (t *Tracker) Run() ([]Result, error) {
 		eng.DeferAt(spec.Arrival, func() { t.arrive(spec) })
 	}
 	if err := t.scheduleInjectedChurn(); err != nil {
+		return nil, err
+	}
+	if err := t.scheduleInjectedGray(); err != nil {
 		return nil, err
 	}
 	// De-synchronized heartbeats, like real clusters.

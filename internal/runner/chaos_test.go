@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+// One seeded chaos run must exercise the gray machinery end to end and
+// still complete every job with consistent metadata (the invariant checker
+// runs after every failure and gray event).
+func TestRunWithChaosCompletesAndChecks(t *testing.T) {
+	profile := config.CCT()
+	profile.RackSize = 5
+	profile.ReplicationFactor = 2
+	profile.SpeculativeExecution = true
+	wl := truncate(workload.WL1(11), 80)
+	out, err := Run(Options{
+		Profile:         profile,
+		Workload:        wl,
+		Scheduler:       "fair",
+		Policy:          PolicyFor(core.GreedyLRUPolicy),
+		Seed:            11,
+		Chaos:           &ChaosSpec{},
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := out.Gray
+	if g.Degrades+g.CorruptionsInjected+g.Flaps == 0 {
+		t.Fatalf("default chaos spec injected nothing: %+v", g)
+	}
+	if g.CorruptionsDetected > g.CorruptionsInjected {
+		t.Fatalf("detected %d > injected %d", g.CorruptionsDetected, g.CorruptionsInjected)
+	}
+	if g.HedgeWins > g.HedgedReads {
+		t.Fatalf("hedge wins %d > hedged reads %d", g.HedgeWins, g.HedgedReads)
+	}
+	if len(out.Results) != 80 {
+		t.Fatalf("results %d", len(out.Results))
+	}
+}
+
+// Two same-seed chaos studies must agree exactly: the scenario, the gray
+// RNG, and every arm's run are pure functions of the seed.
+func TestChaosStudyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 full runs")
+	}
+	a, err := ChaosStudy(60, 7, ChaosSpec{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosStudy(60, 7, ChaosSpec{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("chaos study rows differ between identical runs:\n%+v\n%+v", a, b)
+	}
+	if len(a) != 6 {
+		t.Fatalf("arms %d, want 6", len(a))
+	}
+	// The scenario generator draws from its own seed stream, so every arm
+	// faces the identical injection schedule.
+	for _, r := range a[1:] {
+		if r.Crashes != a[0].Crashes || r.Flaps != a[0].Flaps || r.Degrades != a[0].Degrades ||
+			r.Injected != a[0].Injected {
+			t.Fatalf("arms saw different injection schedules:\n%+v\n%+v", a[0], r)
+		}
+	}
+}
+
+// Disabling every class but corruption must produce a corruption-only
+// scenario (negative weights disable; the resolver maps them to zero).
+func TestChaosSpecClassDisable(t *testing.T) {
+	profile := config.CCT()
+	profile.RackSize = 5
+	profile.ReplicationFactor = 2
+	wl := truncate(workload.WL1(3), 60)
+	out, err := Run(Options{
+		Profile:   profile,
+		Workload:  wl,
+		Scheduler: "fifo",
+		Seed:      3,
+		Chaos:     &ChaosSpec{CrashWeight: -1, SlowWeight: -1, FlapWeight: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := out.Gray
+	if g.Degrades != 0 || g.Flaps != 0 || len(out.FailureEvents) != 0 {
+		t.Fatalf("disabled classes fired: %+v, failures %d", g, len(out.FailureEvents))
+	}
+	if g.CorruptionsInjected == 0 {
+		t.Fatal("corruption-only scenario injected nothing")
+	}
+}

@@ -46,6 +46,12 @@ type Options struct {
 	// schedule (exponential up/down times) on top of any explicit events
 	// above. Its horizon defaults to the workload's arrival span.
 	Churn *ChurnSpec
+	// Chaos, when non-nil, generates a seeded gray-failure scenario (mixed
+	// crashes, slow/disk-degraded nodes, silent corruption, false-dead
+	// flaps) and switches task launches to the integrity-aware read path
+	// (checksum verification, retry with backoff, hedged slow reads). Its
+	// horizon defaults to the workload's arrival span.
+	Chaos *ChaosSpec
 	// DisableRepair turns off the post-failure HDFS-style re-replication.
 	DisableRepair bool
 	// MaxTaskAttempts caps failed attempts per map input before the job
@@ -124,6 +130,11 @@ type Output struct {
 	FailureEvents  []mapreduce.FailureEvent
 	RecoveryEvents []mapreduce.RecoveryEvent
 	RepairsDone    int
+	// Gray tallies the gray-failure machinery's activity (degradations,
+	// corruption detections, read retries, hedged reads, flap
+	// reconciliation); zero unless Options.Chaos or explicit gray
+	// injection was used.
+	Gray mapreduce.GrayStats
 	// SchedulerName and PolicyName echo what ran.
 	SchedulerName, PolicyName string
 	// EventsProcessed is the number of simulation events this run executed
@@ -227,6 +238,11 @@ func Run(opts Options) (*Output, error) {
 			}
 		}
 	}
+	if opts.Chaos != nil {
+		if err := wireChaos(tracker, opts); err != nil {
+			return nil, err
+		}
+	}
 	if opts.DisableRepair {
 		tracker.DisableRepair()
 	}
@@ -318,6 +334,7 @@ func Run(opts Options) (*Output, error) {
 		FailureEvents:       tracker.FailureEvents(),
 		RecoveryEvents:      tracker.RecoveryEvents(),
 		RepairsDone:         tracker.RepairsDone(),
+		Gray:                tracker.Gray(),
 		SchedulerName:       sel.Name(),
 		PolicyName:          polName,
 		EventsProcessed:     cluster.Eng.Processed(),
