@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -240,8 +242,20 @@ func experiments() []experiment {
 			}
 			return dare.RenderEvents(rows), nil
 		}},
+		{"engine", "Engine core: calendar queue vs legacy heap, events/sec and allocs/event per arm", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.EngineStudy(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			engineRows = rows
+			return dare.RenderEngine(rows), nil
+		}},
 	}
 }
+
+// engineRows holds the last engine experiment's per-arm measurements so
+// -json can embed them in BENCH_engine.json.
+var engineRows []dare.EngineRow
 
 func main() {
 	var (
@@ -253,9 +267,41 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "write BENCH_<exp>.json perf records (wall-clock, events/sec)")
 		jsonDir  = flag.String("json-dir", ".", "directory for -json output files")
 		busStats = flag.Bool("events", false, "print per-kind cluster bus event counts after each experiment")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile after the selected experiments to this file")
 	)
 	flag.Parse()
 	dare.SetParallelism(*parallel)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dare-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dare-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dare-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dare-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	exps := experiments()
 	if *list {
@@ -344,6 +390,9 @@ type benchRecord struct {
 	// BusEvents breaks down the cluster bus traffic the experiment published,
 	// keyed by event kind (zero-count kinds are omitted).
 	BusEvents map[string]uint64 `json:"bus_events,omitempty"`
+	// Engine carries the per-arm queue measurements when the experiment is
+	// the engine microbenchmark (heap-vs-calendar record).
+	Engine []dare.EngineRow `json:"engine,omitempty"`
 }
 
 // writeBenchJSON records one experiment's perf numbers as BENCH_<exp>.json.
@@ -357,6 +406,9 @@ func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed tim
 		WallSeconds: elapsed.Seconds(),
 		Events:      events,
 		BusEvents:   bus.Map(),
+	}
+	if e.id == "engine" {
+		rec.Engine = engineRows
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		rec.EventsPerSec = float64(events) / s

@@ -430,6 +430,17 @@ func EventStudy(jobs int, seed uint64) ([]EventRow, error) {
 	return runner.EventStudy(jobs, seed)
 }
 
+// EngineRow carries one arm of the engine microbenchmark (calendar queue
+// vs legacy heap on the identical full-cluster run).
+type EngineRow = runner.EngineRow
+
+// EngineStudy benchmarks the pending-event set head to head across
+// {cct, ec2} × {plain, churn, chaos}, each on both queue implementations,
+// reporting wall time, events/sec, and allocations per event.
+func EngineStudy(jobs int, seed uint64) ([]EngineRow, error) {
+	return runner.EngineStudy(jobs, seed)
+}
+
 // Renderers format experiment rows the way the paper's figures group them.
 var (
 	RenderPerf         = runner.RenderPerf
@@ -447,6 +458,7 @@ var (
 	RenderBalance      = runner.RenderBalance
 	RenderUniform      = runner.RenderUniform
 	RenderEvents       = runner.RenderEvents
+	RenderEngine       = runner.RenderEngine
 	RenderTraceStats   = event.RenderTraceStats
 	RenderChurn        = runner.RenderChurn
 	RenderChaos        = runner.RenderChaos

@@ -36,7 +36,7 @@ type GrayStats struct {
 	// ReadRetries counts reads that fell back to another replica after a
 	// corrupt read; HedgedReads counts backup fetches launched for slow
 	// remote reads, of which HedgeWins finished before the primary fetch.
-	ReadRetries int
+	ReadRetries            int
 	HedgedReads, HedgeWins int
 }
 

@@ -1,0 +1,234 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+// EngineRow reports one arm of the engine microbenchmark: the same full
+// cluster simulation executed on the calendar queue and on the legacy
+// binary heap, with event throughput and per-event allocation cost.
+type EngineRow struct {
+	// Profile is the testbed ("cct" or "ec2").
+	Profile string `json:"profile"`
+	// Arm names the stress mix: "plain", "churn" (node/rack failures and
+	// recoveries), or "chaos" (gray failures + integrity reads).
+	Arm string `json:"arm"`
+	// Queue is the pending-event set implementation ("calendar" or "heap").
+	Queue string `json:"queue"`
+	// CPUSeconds is the process CPU time (user + system) the run consumed.
+	// CPU time, not wall clock: it is immune to co-tenant steal and
+	// involuntary preemption, which on shared hosts swamp the queue-cost
+	// signal this benchmark exists to measure.
+	CPUSeconds float64 `json:"cpu_seconds"`
+	// Events is the number of simulation events the run executed.
+	Events uint64 `json:"events"`
+	// EventsPerSec is Events / CPUSeconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerEvent is heap allocations (runtime Mallocs delta) divided
+	// by Events — the steady-state allocation pressure of the engine core
+	// plus everything above it.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// EngineStudy benchmarks the pending-event set head to head: for each
+// {profile} × {plain, churn, chaos} arm it runs the identical workload on
+// the calendar queue and on the legacy heap, measuring process CPU time,
+// events executed, and allocations per event. Arms run serially — never
+// under the sweep pool — because CPU-time and Mallocs deltas are only
+// meaningful with the process otherwise quiet. Both queue runs of an arm execute the
+// same deterministic schedule (same seed ⇒ same events), so any
+// EventsPerSec difference is pure queue cost.
+func EngineStudy(jobs int, seed uint64) ([]EngineRow, error) {
+	if jobs <= 0 {
+		jobs = 120
+	}
+	profiles := []struct {
+		name string
+		mk   func() *config.Profile
+	}{
+		{"cct", config.CCT},
+		{"ec2", config.EC2},
+	}
+	arms := []string{"plain", "churn", "chaos"}
+	var rows []EngineRow
+	for _, p := range profiles {
+		for _, arm := range arms {
+			mkOpts := func(heapQ bool) Options {
+				profile := p.mk()
+				if arm != "plain" {
+					// Tighter racks and RF=2 make failures bite, matching
+					// the churn/chaos experiment setups.
+					profile.RackSize = 5
+					profile.ReplicationFactor = 2
+				}
+				wl := truncate(workload.WL1(seed), jobs)
+				span := wl.Jobs[len(wl.Jobs)-1].Arrival
+				opts := Options{
+					Profile:   profile,
+					Workload:  wl,
+					Scheduler: "fair",
+					Policy:    PolicyFor(core.GreedyLRUPolicy),
+					Seed:      seed,
+					heapQueue: heapQ,
+				}
+				switch arm {
+				case "churn":
+					spec := DefaultChurnSpec(span, profile.Slaves)
+					opts.Churn = &spec
+				case "chaos":
+					spec := DefaultChaosSpec(span)
+					opts.Chaos = &spec
+				}
+				return opts
+			}
+			pair, err := engineArm(p.name, arm, mkOpts(false), mkOpts(true))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, pair[0], pair[1])
+		}
+	}
+	return rows, nil
+}
+
+// engineReps is how many timed repetitions each queue runs per arm; the
+// row reports the minimum (see engineArm), so more reps strictly tighten
+// the estimate. With ~0.4s batched regions the whole study stays around
+// two minutes.
+const engineReps = 21
+
+// engineArm executes one arm head to head: a discarded warm-up run per
+// queue, then engineReps calendar/heap rep *pairs* back to back, reporting
+// each queue's median CPU time and allocation delta. Interleaving the
+// pairs — rather than timing all calendar reps and then all heap reps —
+// exposes both queues to the same ambient machine conditions, so CPU
+// frequency drift or a noisy co-tenant cannot flip the comparison.
+func engineArm(profile, arm string, calOpts, heapOpts Options) ([2]EngineRow, error) {
+	pair := [2]EngineRow{
+		{Profile: profile, Arm: arm, Queue: "calendar"},
+		{Profile: profile, Arm: arm, Queue: "heap"},
+	}
+	opts := [2]Options{calOpts, heapOpts}
+	// Park the GC pacer for the duration of the arm: a collection cycle
+	// landing inside one queue's timed region (but not the other's) is the
+	// largest remaining noise term once timing is on CPU seconds. The
+	// explicit runtime.GC() before every sample keeps the heap bounded.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var cpus, mallocs [2][]float64
+	batch := 1
+	for i := range opts {
+		start := time.Now() // warm-up: page-in code and data paths
+		if _, err := Run(opts[i]); err != nil {
+			return pair, fmt.Errorf("runner: engine/%s/%s/%s: %w", profile, arm, pair[i].Queue, err)
+		}
+		// Size the timed region to ≥~400ms: a single short run sits at the
+		// host timer/scheduler noise floor, where sub-percent jitter can
+		// flip a head-to-head comparison, and a longer region also averages
+		// over ambient load bursts shorter than itself. The smallest arms
+		// (cct, a few thousand events in under 10ms) need the most batching
+		// for the min estimator to resolve the ~1% queue-cost signal.
+		if w := time.Since(start).Seconds(); w > 0 {
+			if b := int(0.4/w) + 1; b > batch {
+				batch = b
+			}
+		}
+	}
+	if batch > 64 {
+		batch = 64
+	}
+	for rep := 0; rep < engineReps; rep++ {
+		for slot := range opts {
+			// Alternate which queue goes first so neither implementation
+			// systematically inherits the warmer CPU state of slot two.
+			i := slot
+			if rep%2 == 1 {
+				i = 1 - slot
+			}
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			startCPU := cpuSeconds()
+			var out *Output
+			for b := 0; b < batch; b++ {
+				o, err := Run(opts[i])
+				if err != nil {
+					return pair, fmt.Errorf("runner: engine/%s/%s/%s: %w", profile, arm, pair[i].Queue, err)
+				}
+				out = o
+			}
+			cpu := (cpuSeconds() - startCPU) / float64(batch)
+			runtime.ReadMemStats(&after)
+			pair[i].Events = out.EventsProcessed
+			cpus[i] = append(cpus[i], cpu)
+			mallocs[i] = append(mallocs[i], float64(after.Mallocs-before.Mallocs)/float64(batch))
+		}
+	}
+	for i := range pair {
+		// Min, not median: timing noise on a shared host is strictly
+		// additive (co-tenant cache pressure, GC slivers, frequency dips
+		// inflate a sample; nothing deflates one), so the minimum over the
+		// interleaved reps is the tightest estimator of intrinsic cost —
+		// and because both queues draw the same number of samples from the
+		// same ambient distribution, each gets an equal shot at a quiet
+		// window and the head-to-head stays fair. Empirically the median
+		// still carries ±3% of ambient drift here, an order of magnitude
+		// above the queue-cost signal.
+		cpu := minOf(cpus[i])
+		pair[i].CPUSeconds = cpu
+		if cpu > 0 {
+			pair[i].EventsPerSec = float64(pair[i].Events) / cpu
+		}
+		if pair[i].Events > 0 {
+			// Allocation counts are near-deterministic (the run is a pure
+			// function of Options); the min discards the occasional rep
+			// where a background runtime allocation lands inside the window.
+			pair[i].AllocsPerEvent = minOf(mallocs[i]) / float64(pair[i].Events)
+		}
+	}
+	return pair, nil
+}
+
+// minOf returns the smallest value of xs (0 when empty).
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// RenderEngine formats the engine benchmark table, pairing each arm's
+// calendar row with its heap row and reporting the speedup.
+func RenderEngine(rows []EngineRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-6s %-9s %10s %9s %12s %12s\n",
+		"profile", "arm", "queue", "events", "cpu(s)", "events/sec", "allocs/event")
+	byArm := map[string]EngineRow{}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-6s %-9s %10d %9.3f %12.0f %12.3f\n",
+			r.Profile, r.Arm, r.Queue, r.Events, r.CPUSeconds, r.EventsPerSec, r.AllocsPerEvent)
+		key := r.Profile + "/" + r.Arm
+		if r.Queue == "heap" {
+			if cal, ok := byArm[key]; ok && r.EventsPerSec > 0 {
+				fmt.Fprintf(&b, "%-8s %-6s %-9s %47.2fx calendar speedup\n",
+					"", "", "", cal.EventsPerSec/r.EventsPerSec)
+			}
+		} else {
+			byArm[key] = r
+		}
+	}
+	return b.String()
+}

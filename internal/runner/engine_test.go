@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEngineStudyTiny smoke-runs the engine benchmark at a small job count
+// and sanity-checks the row grid: every {profile} × {arm} pair appears with
+// both queue implementations, all with nonzero event counts, and paired
+// runs (same seed, different queue) executed the identical number of
+// simulation events — the cheap proxy for "the queues fired the same
+// schedule" that runs on every CI pass.
+func TestEngineStudyTiny(t *testing.T) {
+	rows, err := EngineStudy(6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 2 profiles × 3 arms × 2 queues
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	events := map[string]uint64{}
+	for _, r := range rows {
+		if r.Events == 0 {
+			t.Errorf("%s/%s/%s executed zero events", r.Profile, r.Arm, r.Queue)
+		}
+		if r.Queue != "calendar" && r.Queue != "heap" {
+			t.Errorf("unexpected queue kind %q", r.Queue)
+		}
+		key := r.Profile + "/" + r.Arm
+		if prev, ok := events[key]; ok {
+			if prev != r.Events {
+				t.Errorf("%s: queue arms executed different event counts: %d vs %d",
+					key, prev, r.Events)
+			}
+		} else {
+			events[key] = r.Events
+		}
+	}
+	table := RenderEngine(rows)
+	for _, want := range []string{"calendar", "heap", "events/sec", "allocs/event", "speedup"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -75,6 +75,58 @@ func TestIndexedMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// TestCalendarMatchesHeapFullStack is the end-to-end determinism contract
+// of the calendar queue: a full cluster run — churn, chaos, invariant
+// checks, the works — executed on the calendar engine and on the legacy
+// heap engine must produce identical results and a byte-identical event
+// trace. The sim package's differential fuzz proves queue-level order
+// equivalence; this proves nothing above the engine observes a difference
+// either.
+func TestCalendarMatchesHeapFullStack(t *testing.T) {
+	profile := config.CCT()
+	profile.RackSize = 5
+	profile.ReplicationFactor = 2
+	for _, seed := range []uint64{7, 42} {
+		for _, arm := range []string{"plain", "churn", "chaos"} {
+			wl := truncate(workload.WL2(seed), 40)
+			span := wl.Jobs[len(wl.Jobs)-1].Arrival
+			opts := Options{
+				Profile:         profile,
+				Workload:        wl,
+				Scheduler:       "fair",
+				Policy:          PolicyFor(core.GreedyLRUPolicy),
+				Seed:            seed,
+				CheckInvariants: true,
+			}
+			switch arm {
+			case "churn":
+				spec := DefaultChurnSpec(span, profile.Slaves)
+				opts.Churn = &spec
+			case "chaos":
+				spec := DefaultChaosSpec(span)
+				opts.Chaos = &spec
+			}
+			cal, calLog := equivRun(t, opts)
+			opts.heapQueue = true
+			hp, hpLog := equivRun(t, opts)
+			if !reflect.DeepEqual(cal.Summary, hp.Summary) {
+				t.Errorf("%s seed %d: summaries diverge\ncalendar: %+v\nheap:     %+v",
+					arm, seed, cal.Summary, hp.Summary)
+			}
+			if !reflect.DeepEqual(cal.Results, hp.Results) {
+				t.Errorf("%s seed %d: per-job results diverge", arm, seed)
+			}
+			if cal.EventsProcessed != hp.EventsProcessed {
+				t.Errorf("%s seed %d: events processed diverge: %d vs %d",
+					arm, seed, cal.EventsProcessed, hp.EventsProcessed)
+			}
+			if !bytes.Equal(calLog, hpLog) {
+				t.Errorf("%s seed %d: event logs diverge", arm, seed)
+			}
+		}
+	}
+}
+
 // TestIndexedMatchesLinearScanUnderFailures drives the replica-removal
 // paths (node failure, repair re-replication) through both selection
 // paths: the index handles removals lazily, so this is where a staleness

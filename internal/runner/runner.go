@@ -77,6 +77,11 @@ type Options struct {
 	// instead of the inverted locality index. Unexported: only the
 	// equivalence tests use it to prove both paths agree byte-for-byte.
 	linearScan bool
+	// heapQueue runs the engine on the legacy container/heap pending-event
+	// set instead of the calendar queue. Unexported: equivalence tests and
+	// the engine benchmark experiment use it to prove/measure the two
+	// implementations against each other.
+	heapQueue bool
 }
 
 // NodeFailure kills one node at a simulated time.
@@ -186,6 +191,9 @@ func Run(opts Options) (*Output, error) {
 	cluster, err := mapreduce.NewCluster(opts.Profile, opts.Seed)
 	if err != nil {
 		return nil, err
+	}
+	if opts.heapQueue {
+		cluster.Eng.SetHeapQueue(true)
 	}
 	// Observability subscribers ride first, before any engine-active
 	// subscriber, so the trace and tallies see every event — including

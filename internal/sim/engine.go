@@ -1,16 +1,17 @@
 // Package sim implements a deterministic discrete-event simulation engine:
-// a pending-event set backed by a binary heap with FIFO tie-breaking on
-// equal timestamps. It is the substrate on which the HDFS model, the
-// MapReduce model, the schedulers, and DARE itself run.
+// a pending-event set with FIFO tie-breaking on equal timestamps, backed by
+// an amortized-O(1) calendar queue (with a runtime-selectable legacy binary
+// heap). It is the substrate on which the HDFS model, the MapReduce model,
+// the schedulers, and DARE itself run.
 //
 // Time is a float64 number of seconds since simulation start. Determinism
 // is guaranteed: events at the same timestamp fire in the order they were
 // scheduled, and nothing in the engine consults wall-clock time or global
-// randomness.
+// randomness. Both queue implementations fire the exact same (when, seq)
+// schedule, bit for bit.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -31,7 +32,10 @@ type Event struct {
 	// retained handle could Cancel a recycled event and corrupt an
 	// unrelated callback.
 	pooled bool
-	index  int // heap index, -1 once popped
+	// inQueue reports whether the event currently sits in the pending set.
+	// Cancel uses it to keep the canceled-pending count exact, and
+	// Reschedule uses it to refuse reuse of a struct the queue still owns.
+	inQueue bool
 }
 
 // When reports the time the event is scheduled to fire.
@@ -40,31 +44,85 @@ func (e *Event) When() Time { return e.when }
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
+// compactFloor is the minimum number of canceled-pending events before the
+// engine considers a compaction sweep; below it, lazy discarding is cheaper
+// than sweeping.
+const compactFloor = 64
+
 // Engine is the simulation executive. It is not safe for concurrent use;
 // the simulated world is single-threaded by design (the standard structure
 // for reproducible event-driven simulation).
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	q       pendingQueue
 	stopped bool
 	// Processed counts events executed; useful for progress reporting and
 	// runaway detection in tests.
 	processed uint64
 	// free holds recycled pooled events (see Event.pooled).
 	free []*Event
+	// canceledPending counts canceled events still sitting in the queue.
+	// When they exceed half the pending set (past compactFloor), the queue
+	// is compacted, so ticker start/stop churn cannot grow memory without
+	// bound.
+	canceledPending int
 }
 
-// NewEngine returns an engine with the clock at zero.
+// NewEngine returns an engine with the clock at zero, running on the
+// calendar queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.q = newCalendarQueue(&e.now)
+	return e
 }
+
+// SetHeapQueue selects the pending-event set implementation: true installs
+// the legacy container/heap queue, false the calendar queue (the default).
+// Pending events migrate in (when, seq) order, so the switch is valid at
+// any point; differential tests use it to prove both implementations fire
+// identical schedules.
+func (e *Engine) SetHeapQueue(on bool) {
+	want := "calendar"
+	if on {
+		want = "heap"
+	}
+	if e.q.kind() == want {
+		return
+	}
+	var nq pendingQueue
+	if on {
+		nq = newHeapQueue()
+	} else {
+		nq = newCalendarQueue(&e.now)
+	}
+	for {
+		ev := e.q.pop()
+		if ev == nil {
+			break
+		}
+		nq.push(ev)
+	}
+	e.q = nq
+}
+
+// QueueKind names the active pending-event set implementation
+// ("calendar" or "heap").
+func (e *Engine) QueueKind() string { return e.q.kind() }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // Processed reports how many events have been executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// enqueue stamps the next sequence number on ev and inserts it.
+func (e *Engine) enqueue(ev *Event) {
+	ev.seq = e.seq
+	e.seq++
+	ev.inQueue = true
+	e.q.push(ev)
+}
 
 // Schedule runs fn after delay seconds of simulated time. A negative delay
 // is a programming error and panics. It returns the event handle, which
@@ -85,10 +143,33 @@ func (e *Engine) At(when Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &Event{when: when, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev := &Event{when: when, fn: fn}
+	e.enqueue(ev)
 	return ev
+}
+
+// Reschedule re-enqueues a previously fired event handle to run delay
+// seconds from now, reusing the struct and its callback. This is the
+// ticker fast path: a self-rescheduling periodic event cycles through one
+// struct with no per-tick allocation and no lazy-cancel garbage. It panics
+// if the event is still pending, was created by Defer (the pool owns those
+// structs), or the delay is invalid.
+func (e *Engine) Reschedule(ev *Event, delay Time) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
+	}
+	if ev == nil || ev.fn == nil {
+		panic("sim: Reschedule of an invalid event")
+	}
+	if ev.pooled {
+		panic("sim: Reschedule of a pooled (Defer) event")
+	}
+	if ev.inQueue {
+		panic("sim: Reschedule of a still-pending event")
+	}
+	ev.when = e.now + delay
+	ev.canceled = false
+	e.enqueue(ev)
 }
 
 // Defer is Schedule without the returned handle, for callers that only
@@ -120,9 +201,7 @@ func (e *Engine) DeferAt(when Time, fn func()) {
 	} else {
 		ev = &Event{when: when, fn: fn, pooled: true}
 	}
-	ev.seq = e.seq
-	e.seq++
-	heap.Push(&e.queue, ev)
+	e.enqueue(ev)
 }
 
 // release returns a popped pooled event to the free list. The callback has
@@ -136,11 +215,24 @@ func (e *Engine) release(ev *Event) {
 }
 
 // Cancel marks ev so it will not fire. Canceling an already-fired or
-// already-canceled event is a no-op. The event stays in the heap and is
-// discarded lazily when popped, which keeps Cancel O(1).
+// already-canceled event is a no-op. The event stays queued and is
+// discarded lazily when popped — Cancel itself is O(1) — but the engine
+// keeps an exact count of canceled events still pending, and once they
+// outnumber the live ones (past a floor) the queue is swept in one pass.
+// That bounds memory under heavy cancel workloads (ticker flapping,
+// speculative-task cancellation) where lazy discarding alone would let
+// garbage accumulate until popped.
 func (e *Engine) Cancel(ev *Event) {
-	if ev != nil {
-		ev.canceled = true
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if !ev.inQueue {
+		return
+	}
+	e.canceledPending++
+	if e.canceledPending >= compactFloor && e.canceledPending*2 > e.q.len() {
+		e.canceledPending -= e.q.compact()
 	}
 }
 
@@ -159,13 +251,15 @@ func (e *Engine) Run() Time {
 // current event.
 func (e *Engine) RunUntil(until Time) Time {
 	e.stopped = false
-	for e.queue.Len() > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.when > until {
+	for !e.stopped {
+		next := e.q.peek()
+		if next == nil || next.when > until {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.q.pop()
+		next.inQueue = false
 		if next.canceled {
+			e.canceledPending--
 			e.release(next)
 			continue
 		}
@@ -185,9 +279,14 @@ func (e *Engine) RunUntil(until Time) Time {
 // reports whether one was executed. It exists mainly for tests that need
 // fine-grained control.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		next := heap.Pop(&e.queue).(*Event)
+	for {
+		next := e.q.pop()
+		if next == nil {
+			return false
+		}
+		next.inQueue = false
 		if next.canceled {
+			e.canceledPending--
 			e.release(next)
 			continue
 		}
@@ -198,44 +297,8 @@ func (e *Engine) Step() bool {
 		fn()
 		return true
 	}
-	return false
 }
 
-// Pending reports how many events (including canceled-but-unpopped ones)
+// Pending reports how many events (including canceled-but-unswept ones)
 // remain in the queue.
-func (e *Engine) Pending() int { return e.queue.Len() }
-
-// eventHeap orders by (when, seq): earliest first, FIFO among equal
-// timestamps. That tie-break is what makes runs reproducible.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+func (e *Engine) Pending() int { return e.q.len() }

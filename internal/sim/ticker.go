@@ -3,6 +3,13 @@ package sim
 // Ticker fires a callback at a fixed period, modelling heartbeats (the DFS
 // data-node heartbeat, the MapReduce task-tracker heartbeat). A Ticker is
 // created stopped; call Start to begin.
+//
+// Tickers are the dominant event class of a run (~18k heartbeats per
+// simulated cluster), so they ride the engine's fast path: each tick
+// re-enqueues its own event struct in place (Engine.Reschedule) instead of
+// allocating a fresh event, and a stopped ticker's canceled event is
+// reclaimed by the engine's compaction sweep rather than lingering until
+// its timestamp is reached.
 type Ticker struct {
 	eng    *Engine
 	period Time
@@ -28,6 +35,13 @@ func (t *Ticker) Start(phase Time) {
 		return
 	}
 	t.active = true
+	if t.ev != nil && !t.ev.inQueue {
+		// The previous event already fired or was swept: reuse the struct.
+		t.eng.Reschedule(t.ev, t.period+phase)
+		return
+	}
+	// First start, or the previous Stop's canceled event is still queued
+	// awaiting lazy discard: a fresh struct keeps the two from aliasing.
 	t.ev = t.eng.Schedule(t.period+phase, t.tick)
 }
 
@@ -38,7 +52,6 @@ func (t *Ticker) Stop() {
 	}
 	t.active = false
 	t.eng.Cancel(t.ev)
-	t.ev = nil
 }
 
 // Active reports whether the ticker is running.
@@ -49,7 +62,9 @@ func (t *Ticker) tick() {
 		return
 	}
 	t.fn()
-	if t.active { // fn may have stopped us
-		t.ev = t.eng.Schedule(t.period, t.tick)
+	// fn may have stopped us, or stopped and restarted us (in which case
+	// the restart already queued the next tick).
+	if t.active && !t.ev.inQueue {
+		t.eng.Reschedule(t.ev, t.period)
 	}
 }
