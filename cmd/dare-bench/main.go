@@ -250,12 +250,24 @@ func experiments() []experiment {
 			engineRows = rows
 			return dare.RenderEngine(rows), nil
 		}},
+		{"scale", "Scale: coalesced cohort vs per-node heartbeats at 1k-20k nodes (A16)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.ScaleStudy(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			scaleRows = rows
+			return dare.RenderScale(rows), nil
+		}},
 	}
 }
 
 // engineRows holds the last engine experiment's per-arm measurements so
 // -json can embed them in BENCH_engine.json.
 var engineRows []dare.EngineRow
+
+// scaleRows likewise holds the scale experiment's per-arm measurements
+// for BENCH_scale.json.
+var scaleRows []dare.ScaleRow
 
 func main() {
 	var (
@@ -393,6 +405,9 @@ type benchRecord struct {
 	// Engine carries the per-arm queue measurements when the experiment is
 	// the engine microbenchmark (heap-vs-calendar record).
 	Engine []dare.EngineRow `json:"engine,omitempty"`
+	// Scale carries the per-arm driver measurements when the experiment is
+	// the scale benchmark (cohort-vs-per-node record).
+	Scale []dare.ScaleRow `json:"scale,omitempty"`
 }
 
 // writeBenchJSON records one experiment's perf numbers as BENCH_<exp>.json.
@@ -409,6 +424,9 @@ func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed tim
 	}
 	if e.id == "engine" {
 		rec.Engine = engineRows
+	}
+	if e.id == "scale" {
+		rec.Scale = scaleRows
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		rec.EventsPerSec = float64(events) / s

@@ -25,6 +25,8 @@ func main() {
 	var (
 		profileName = flag.String("profile", "cct", "cluster profile: cct | ec2 | ec2-20 (Table III)")
 		profileFile = flag.String("profile-file", "", "load a custom cluster profile from a JSON spec file")
+		nodes       = flag.Int("nodes", 0, "override the profile's cluster size (slaves); scale runs beyond the paper's testbeds")
+		rackSize    = flag.Int("rack-size", 0, "override nodes per rack (dedicated profiles; 0 = keep the profile's)")
 		wlName      = flag.String("workload", "wl1", "workload: wl1 (small jobs) | wl2 (small after large)")
 		jobs        = flag.Int("jobs", 0, "truncate the workload to this many jobs (0 = full 500)")
 		schedName   = flag.String("scheduler", "fifo", "scheduler: fifo | fair")
@@ -69,6 +71,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *nodes > 0 {
+		profile.Slaves = *nodes
+		profile.Name = fmt.Sprintf("%s-%d", profile.Name, *nodes)
+	}
+	if *rackSize > 0 {
+		profile.RackSize = *rackSize
 	}
 	kind, err := dare.ParsePolicyKind(*policyName)
 	if err != nil {

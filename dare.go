@@ -441,6 +441,21 @@ func EngineStudy(jobs int, seed uint64) ([]EngineRow, error) {
 	return runner.EngineStudy(jobs, seed)
 }
 
+// ScaleRow carries one arm of the scale benchmark (coalesced cohort vs
+// per-node heartbeat driving on 1k–20k-node clusters).
+type ScaleRow = runner.ScaleRow
+
+// ScaleStudy benchmarks the heartbeat driver head to head across cluster
+// sizes {1k, 4k, 10k, 20k}, each in cohort and per-node mode, reporting
+// CPU time, engine/bus event throughput, and allocations per bus event.
+func ScaleStudy(jobs int, seed uint64) ([]ScaleRow, error) {
+	return runner.ScaleStudy(jobs, seed)
+}
+
+// ScaleProfile builds the n-node dedicated benchmark cluster the scale
+// study runs on (CCT performance models, 40-node racks).
+func ScaleProfile(nodes int) *Profile { return runner.ScaleProfile(nodes) }
+
 // Renderers format experiment rows the way the paper's figures group them.
 var (
 	RenderPerf         = runner.RenderPerf
@@ -459,6 +474,7 @@ var (
 	RenderUniform      = runner.RenderUniform
 	RenderEvents       = runner.RenderEvents
 	RenderEngine       = runner.RenderEngine
+	RenderScale        = runner.RenderScale
 	RenderTraceStats   = event.RenderTraceStats
 	RenderChurn        = runner.RenderChurn
 	RenderChaos        = runner.RenderChaos

@@ -85,7 +85,7 @@ func (b *Balancer) Run() (moves int, movedBytes int64, err error) {
 			return moves, movedBytes, fmt.Errorf("dfs: balancer move: %w", err)
 		}
 		moves++
-		movedBytes += b.nn.blocks[blk].Size
+		movedBytes += b.nn.Block(blk).Size
 	}
 }
 
@@ -136,7 +136,7 @@ func (b *Balancer) pickBlock(src, dst topology.NodeID, gap int64) (BlockID, bool
 		if b.nn.HasReplica(id, dst) {
 			continue
 		}
-		if s := b.nn.blocks[id].Size; s > bestSize && s < gap {
+		if s := b.nn.Block(id).Size; s > bestSize && s < gap {
 			best, bestSize = id, s
 		}
 	}
@@ -145,23 +145,27 @@ func (b *Balancer) pickBlock(src, dst topology.NodeID, gap int64) (BlockID, bool
 
 // move relocates one replica from src to dst, preserving its kind.
 func (b *Balancer) move(blk BlockID, src, dst topology.NodeID) error {
-	kind, ok := b.nn.locations[blk][src]
+	sh := b.nn.shard(blk)
+	kind, ok := sh.locations[blk][src]
 	if !ok {
 		return fmt.Errorf("dfs: block %d not on node %d", blk, src)
 	}
-	size := b.nn.blocks[blk].Size
+	size := sh.blocks[blk].Size
 	// A move streams the stored bytes as-is, so latent corruption travels
 	// with the replica.
 	if b.nn.IsCorrupt(blk, src) {
 		b.nn.clearCorrupt(blk, src)
-		if b.nn.corrupt[blk] == nil {
-			b.nn.corrupt[blk] = make(map[topology.NodeID]bool)
+		if sh.corrupt == nil {
+			sh.corrupt = make(map[BlockID]map[topology.NodeID]bool)
 		}
-		b.nn.corrupt[blk][dst] = true
+		if sh.corrupt[blk] == nil {
+			sh.corrupt[blk] = make(map[topology.NodeID]bool)
+		}
+		sh.corrupt[blk][dst] = true
 	}
-	delete(b.nn.locations[blk], src)
+	delete(sh.locations[blk], src)
 	delete(b.nn.perNode[src], blk)
-	b.nn.locations[blk][dst] = kind
+	sh.locations[blk][dst] = kind
 	b.nn.perNode[dst][blk] = kind
 	if kind == Primary {
 		b.nn.primaryBytes[src] -= size

@@ -69,24 +69,24 @@ type NameNode struct {
 	rng         *stats.RNG
 	replication int
 
-	files  map[FileID]*File
-	blocks map[BlockID]*Block
-	// locations[b][n] records that node n holds a replica of b and whether
-	// it is pinned.
-	locations map[BlockID]map[topology.NodeID]ReplicaKind
+	files map[FileID]*File
+	// shards partitions the per-block registry (block descriptors, replica
+	// locations, corruption marks) by block-ID hash, so block lookups and
+	// mutations touch one shard-sized map and registry-wide scans
+	// (UnderReplicated, Availability, CheckInvariants) walk bounded maps
+	// instead of one cluster-sized one. Block IDs are sequential, so the
+	// low-bit mask spreads blocks round-robin and shards stay balanced.
+	// Shard count is a power of two scaled to the node count (one shard
+	// for paper-scale clusters — identical layout to the unsharded code).
+	shards    []registryShard
+	shardMask uint64
+	numBlocks int
 	// perNode[n] tracks what node n stores, for placement and for the
 	// popularity-index metric (Fig. 11).
 	perNode []map[BlockID]ReplicaKind
 	// primaryBytes[n] and dynamicBytes[n] track storage accounting.
 	primaryBytes []int64
 	dynamicBytes []int64
-
-	// corrupt marks replicas whose (modelled) checksum no longer matches:
-	// corrupt[b][n] means node n's copy of b is silently bad. Metadata
-	// still lists the replica — corruption is latent until a reader
-	// verifies the checksum and quarantines it (see integrity.go). Lazily
-	// allocated: nil until the first injection.
-	corrupt map[BlockID]map[topology.NodeID]bool
 
 	// failed marks downed data nodes; placement avoids them.
 	failed map[topology.NodeID]bool
@@ -106,6 +106,41 @@ type NameNode struct {
 	nextBlock BlockID
 }
 
+// registryShard is one hash-partition of the block registry.
+type registryShard struct {
+	blocks map[BlockID]*Block
+	// locations[b][n] records that node n holds a replica of b and whether
+	// it is pinned.
+	locations map[BlockID]map[topology.NodeID]ReplicaKind
+	// corrupt marks replicas whose (modelled) checksum no longer matches:
+	// corrupt[b][n] means node n's copy of b is silently bad. Metadata
+	// still lists the replica — corruption is latent until a reader
+	// verifies the checksum and quarantines it (see integrity.go). Lazily
+	// allocated: nil until the first injection into this shard.
+	corrupt map[BlockID]map[topology.NodeID]bool
+}
+
+// registryShards picks the shard count for an n-node cluster: a power of
+// two, 1 for small clusters (so paper-scale experiments keep the exact
+// historical map layout), growing with the node count and capped at 1024.
+func registryShards(n int) int {
+	s := 1
+	for s < n/32 && s < 1024 {
+		s <<= 1
+	}
+	return s
+}
+
+// shard routes a block to its registry partition.
+func (nn *NameNode) shard(b BlockID) *registryShard {
+	return &nn.shards[uint64(b)&nn.shardMask]
+}
+
+// locs returns b's location map (nil if untracked).
+func (nn *NameNode) locs(b BlockID) map[topology.NodeID]ReplicaKind {
+	return nn.shard(b).locations[b]
+}
+
 // NewNameNode creates a name node for the given topology with the given
 // static replication factor. rng drives placement randomness and must be a
 // dedicated sub-stream of the experiment seed.
@@ -119,11 +154,15 @@ func NewNameNode(topo topology.Topology, replication int, rng *stats.RNG) *NameN
 		rng:          rng,
 		replication:  replication,
 		files:        make(map[FileID]*File),
-		blocks:       make(map[BlockID]*Block),
-		locations:    make(map[BlockID]map[topology.NodeID]ReplicaKind),
+		shards:       make([]registryShard, registryShards(n)),
 		perNode:      make([]map[BlockID]ReplicaKind, n),
 		primaryBytes: make([]int64, n),
 		dynamicBytes: make([]int64, n),
+	}
+	nn.shardMask = uint64(len(nn.shards) - 1)
+	for i := range nn.shards {
+		nn.shards[i].blocks = make(map[BlockID]*Block)
+		nn.shards[i].locations = make(map[BlockID]map[topology.NodeID]ReplicaKind)
 	}
 	for i := range nn.perNode {
 		nn.perNode[i] = make(map[BlockID]ReplicaKind)
@@ -155,7 +194,7 @@ func (nn *NameNode) publishReplica(kind event.Kind, b BlockID, node topology.Nod
 	ev.Node = int32(node)
 	ev.Rack = int32(nn.topo.Rack(node))
 	ev.Flag = dynamic
-	if blk := nn.blocks[b]; blk != nil {
+	if blk := nn.shard(b).blocks[b]; blk != nil {
 		ev.File = int32(blk.File)
 		ev.Aux = blk.Size
 	}
@@ -186,7 +225,8 @@ func (nn *NameNode) CreateFile(name string, numBlocks int, blockSize int64, now 
 	for i := 0; i < numBlocks; i++ {
 		b := &Block{ID: nn.nextBlock, File: f.ID, Index: i, Size: blockSize}
 		nn.nextBlock++
-		nn.blocks[b.ID] = b
+		nn.shard(b.ID).blocks[b.ID] = b
+		nn.numBlocks++
 		f.Blocks = append(f.Blocks, b.ID)
 		nn.placePrimaries(b)
 	}
@@ -271,7 +311,7 @@ func (nn *NameNode) placePrimaries(b *Block) {
 		nn.perNode[node][b.ID] = Primary
 		nn.primaryBytes[node] += b.Size
 	}
-	nn.locations[b.ID] = locs
+	nn.shard(b.ID).locations[b.ID] = locs
 	for _, node := range chosen {
 		nn.publishReplica(event.ReplicaAdd, b.ID, node, false)
 	}
@@ -284,15 +324,15 @@ func (nn *NameNode) File(id FileID) *File { return nn.files[id] }
 func (nn *NameNode) Files() int { return len(nn.files) }
 
 // Block returns a block by ID, or nil.
-func (nn *NameNode) Block(id BlockID) *Block { return nn.blocks[id] }
+func (nn *NameNode) Block(id BlockID) *Block { return nn.shard(id).blocks[id] }
 
 // Blocks reports the number of blocks.
-func (nn *NameNode) Blocks() int { return len(nn.blocks) }
+func (nn *NameNode) Blocks() int { return nn.numBlocks }
 
 // Locations returns the nodes currently holding replicas of b. The slice
 // is freshly allocated and sorted by node ID for determinism.
 func (nn *NameNode) Locations(b BlockID) []topology.NodeID {
-	locs := nn.locations[b]
+	locs := nn.locs(b)
 	out := make([]topology.NodeID, 0, len(locs))
 	for n := range locs {
 		out = append(out, n)
@@ -307,7 +347,7 @@ func (nn *NameNode) Locations(b BlockID) []topology.NodeID {
 // order-independent facts from the iteration (existence, counts, extrema
 // with a total tie-break) to preserve determinism.
 func (nn *NameNode) ForEachLocation(b BlockID, fn func(node topology.NodeID, kind ReplicaKind) bool) {
-	for n, k := range nn.locations[b] {
+	for n, k := range nn.locs(b) {
 		if !fn(n, k) {
 			return
 		}
@@ -316,25 +356,26 @@ func (nn *NameNode) ForEachLocation(b BlockID, fn func(node topology.NodeID, kin
 
 // HasReplica reports whether node holds any replica of b.
 func (nn *NameNode) HasReplica(b BlockID, node topology.NodeID) bool {
-	_, ok := nn.locations[b][node]
+	_, ok := nn.locs(b)[node]
 	return ok
 }
 
 // ReplicaKindAt reports the kind of replica node holds for b.
 func (nn *NameNode) ReplicaKindAt(b BlockID, node topology.NodeID) (ReplicaKind, bool) {
-	k, ok := nn.locations[b][node]
+	k, ok := nn.locs(b)[node]
 	return k, ok
 }
 
 // NumReplicas reports how many replicas b currently has.
-func (nn *NameNode) NumReplicas(b BlockID) int { return len(nn.locations[b]) }
+func (nn *NameNode) NumReplicas(b BlockID) int { return len(nn.locs(b)) }
 
 // AddDynamicReplica registers a DARE-created replica of b at node. Adding
 // where any replica already exists is an error — callers must check
 // HasReplica first (DARE only replicates after a *remote* read, so a local
 // copy cannot exist).
 func (nn *NameNode) AddDynamicReplica(b BlockID, node topology.NodeID) error {
-	blk := nn.blocks[b]
+	sh := nn.shard(b)
+	blk := sh.blocks[b]
 	if blk == nil {
 		return fmt.Errorf("dfs: unknown block %d", b)
 	}
@@ -344,10 +385,10 @@ func (nn *NameNode) AddDynamicReplica(b BlockID, node topology.NodeID) error {
 	if nn.failed[node] {
 		return fmt.Errorf("dfs: node %d: %w", node, ErrNodeDown)
 	}
-	if _, exists := nn.locations[b][node]; exists {
+	if _, exists := sh.locations[b][node]; exists {
 		return fmt.Errorf("dfs: node %d already holds a replica of block %d", node, b)
 	}
-	nn.locations[b][node] = Dynamic
+	sh.locations[b][node] = Dynamic
 	nn.perNode[node][b] = Dynamic
 	nn.dynamicBytes[node] += blk.Size
 	nn.publishReplica(event.ReplicaAdd, b, node, true)
@@ -357,7 +398,8 @@ func (nn *NameNode) AddDynamicReplica(b BlockID, node topology.NodeID) error {
 // RemoveDynamicReplica evicts a dynamic replica. Removing a primary
 // replica is an error: DARE never touches the static replication factor.
 func (nn *NameNode) RemoveDynamicReplica(b BlockID, node topology.NodeID) error {
-	k, ok := nn.locations[b][node]
+	sh := nn.shard(b)
+	k, ok := sh.locations[b][node]
 	if !ok {
 		return fmt.Errorf("dfs: node %d holds no replica of block %d", node, b)
 	}
@@ -365,9 +407,9 @@ func (nn *NameNode) RemoveDynamicReplica(b BlockID, node topology.NodeID) error 
 		return fmt.Errorf("dfs: refusing to remove primary replica of block %d at node %d", b, node)
 	}
 	nn.clearCorrupt(b, node)
-	delete(nn.locations[b], node)
+	delete(sh.locations[b], node)
 	delete(nn.perNode[node], b)
-	nn.dynamicBytes[node] -= nn.blocks[b].Size
+	nn.dynamicBytes[node] -= sh.blocks[b].Size
 	nn.publishReplica(event.ReplicaRemove, b, node, true)
 	return nil
 }
@@ -427,28 +469,30 @@ func (nn *NameNode) CheckInvariants() error {
 	}
 	primBytes := make([]int64, nn.topo.N())
 	dynBytes := make([]int64, nn.topo.N())
-	for id, locs := range nn.locations {
-		blk := nn.blocks[id]
-		if blk == nil {
-			return fmt.Errorf("dfs: location entry for unknown block %d", id)
-		}
-		primaries := 0
-		for node, kind := range locs {
-			if nn.failed[node] {
-				return fmt.Errorf("dfs: block %d has a replica on down node %d", id, node)
+	for si := range nn.shards {
+		for id, locs := range nn.shards[si].locations {
+			blk := nn.shards[si].blocks[id]
+			if blk == nil {
+				return fmt.Errorf("dfs: location entry for unknown block %d", id)
 			}
-			if got, ok := nn.perNode[node][id]; !ok || got != kind {
-				return fmt.Errorf("dfs: per-node view disagrees for block %d node %d", id, node)
+			primaries := 0
+			for node, kind := range locs {
+				if nn.failed[node] {
+					return fmt.Errorf("dfs: block %d has a replica on down node %d", id, node)
+				}
+				if got, ok := nn.perNode[node][id]; !ok || got != kind {
+					return fmt.Errorf("dfs: per-node view disagrees for block %d node %d", id, node)
+				}
+				if kind == Primary {
+					primaries++
+					primBytes[node] += blk.Size
+				} else {
+					dynBytes[node] += blk.Size
+				}
 			}
-			if kind == Primary {
-				primaries++
-				primBytes[node] += blk.Size
-			} else {
-				dynBytes[node] += blk.Size
+			if primaries < minRepl {
+				return fmt.Errorf("dfs: block %d has %d primary replicas, want >= %d", id, primaries, minRepl)
 			}
-		}
-		if primaries < minRepl {
-			return fmt.Errorf("dfs: block %d has %d primary replicas, want >= %d", id, primaries, minRepl)
 		}
 	}
 	for n := range primBytes {
@@ -466,7 +510,7 @@ func (nn *NameNode) CheckInvariants() error {
 	// loop above only walks locations, so scan the other direction too.
 	for n, m := range nn.perNode {
 		for b, kind := range m {
-			if got, ok := nn.locations[b][topology.NodeID(n)]; !ok || got != kind {
+			if got, ok := nn.locs(b)[topology.NodeID(n)]; !ok || got != kind {
 				return fmt.Errorf("dfs: orphan per-node entry for block %d node %d", b, n)
 			}
 		}
@@ -474,10 +518,12 @@ func (nn *NameNode) CheckInvariants() error {
 	// Corruption marks must describe replicas that still exist: every
 	// removal path (eviction, failure, quarantine) clears the mark, so a
 	// dangling mark means a removal path forgot to.
-	for b, nodes := range nn.corrupt {
-		for node := range nodes {
-			if _, ok := nn.locations[b][node]; !ok {
-				return fmt.Errorf("dfs: corruption mark for block %d on node %d outlived the replica", b, node)
+	for si := range nn.shards {
+		for b, nodes := range nn.shards[si].corrupt {
+			for node := range nodes {
+				if _, ok := nn.shards[si].locations[b][node]; !ok {
+					return fmt.Errorf("dfs: corruption mark for block %d on node %d outlived the replica", b, node)
+				}
 			}
 		}
 	}

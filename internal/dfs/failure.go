@@ -46,10 +46,11 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 	}
 	sortBlockIDs(blocks)
 	for _, b := range blocks {
+		sh := nn.shard(b)
 		kind := nn.perNode[node][b]
-		size := nn.blocks[b].Size
+		size := sh.blocks[b].Size
 		nn.clearCorrupt(b, node)
-		delete(nn.locations[b], node)
+		delete(sh.locations[b], node)
 		delete(nn.perNode[node], b)
 		if kind == Primary {
 			nn.primaryBytes[node] -= size
@@ -58,7 +59,7 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 			nn.dynamicBytes[node] -= size
 			rep.LostDynamic = append(rep.LostDynamic, b)
 		}
-		if len(nn.locations[b]) == 0 {
+		if len(sh.locations[b]) == 0 {
 			rep.UnavailableBlocks = append(rep.UnavailableBlocks, b)
 		}
 		nn.publishReplica(event.ReplicaRemove, b, node, kind == Dynamic)
@@ -110,7 +111,8 @@ func (nn *NameNode) UpNodes() []topology.NodeID {
 // AddPrimaryReplica registers a repaired primary replica of b at node —
 // the re-replication path. The node must be up and not already hold b.
 func (nn *NameNode) AddPrimaryReplica(b BlockID, node topology.NodeID) error {
-	blk := nn.blocks[b]
+	sh := nn.shard(b)
+	blk := sh.blocks[b]
 	if blk == nil {
 		return fmt.Errorf("dfs: unknown block %d", b)
 	}
@@ -120,10 +122,10 @@ func (nn *NameNode) AddPrimaryReplica(b BlockID, node topology.NodeID) error {
 	if nn.failed[node] {
 		return fmt.Errorf("dfs: node %d: %w", node, ErrNodeDown)
 	}
-	if _, exists := nn.locations[b][node]; exists {
+	if _, exists := sh.locations[b][node]; exists {
 		return fmt.Errorf("dfs: node %d already holds a replica of block %d", node, b)
 	}
-	nn.locations[b][node] = Primary
+	sh.locations[b][node] = Primary
 	nn.perNode[node][b] = Primary
 	nn.primaryBytes[node] += blk.Size
 	nn.publishReplica(event.ReplicaRepair, b, node, false)
@@ -139,18 +141,20 @@ func (nn *NameNode) UnderReplicated() []BlockID {
 		want = up
 	}
 	var out []BlockID
-	for b, locs := range nn.locations {
-		if len(locs) == 0 {
-			continue // unavailable: nothing to copy from
-		}
-		primaries := 0
-		for _, k := range locs {
-			if k == Primary {
-				primaries++
+	for si := range nn.shards {
+		for b, locs := range nn.shards[si].locations {
+			if len(locs) == 0 {
+				continue // unavailable: nothing to copy from
 			}
-		}
-		if primaries < want {
-			out = append(out, b)
+			primaries := 0
+			for _, k := range locs {
+				if k == Primary {
+					primaries++
+				}
+			}
+			if primaries < want {
+				out = append(out, b)
+			}
 		}
 	}
 	sortBlockIDs(out)
@@ -163,7 +167,7 @@ func (nn *NameNode) UnderReplicated() []BlockID {
 // per-block companion of UnderReplicated, for repair loops that would
 // otherwise rescan the whole block map per repaired block.
 func (nn *NameNode) IsUnderReplicated(b BlockID) bool {
-	locs := nn.locations[b]
+	locs := nn.locs(b)
 	if len(locs) == 0 {
 		return false // unavailable: nothing to copy from
 	}
@@ -186,8 +190,9 @@ func (nn *NameNode) IsUnderReplicated(b BlockID) bool {
 // bytes (space balancing) and then lowest ID as tie-breaks. ok is false
 // when every live node already holds b.
 func (nn *NameNode) RepairTarget(b BlockID) (topology.NodeID, bool) {
-	coveredRacks := make(map[int]bool, len(nn.locations[b]))
-	for node := range nn.locations[b] {
+	locs := nn.locs(b)
+	coveredRacks := make(map[int]bool, len(locs))
+	for node := range locs {
 		coveredRacks[nn.topo.Rack(node)] = true
 	}
 	best := topology.NodeID(-1)
@@ -209,10 +214,12 @@ func (nn *NameNode) RepairTarget(b BlockID) (topology.NodeID, bool) {
 
 // Availability reports (blocks with >= 1 live replica, total blocks).
 func (nn *NameNode) Availability() (available, total int) {
-	for b := range nn.blocks {
-		total++
-		if len(nn.locations[b]) > 0 {
-			available++
+	for si := range nn.shards {
+		for b := range nn.shards[si].blocks {
+			total++
+			if len(nn.shards[si].locations[b]) > 0 {
+				available++
+			}
 		}
 	}
 	return available, total
@@ -234,11 +241,12 @@ func (nn *NameNode) WeightedAvailability(weights map[BlockID]float64) float64 {
 		if w <= 0 {
 			continue
 		}
-		if _, ok := nn.blocks[b]; !ok {
+		sh := nn.shard(b)
+		if _, ok := sh.blocks[b]; !ok {
 			continue
 		}
 		total += w
-		if len(nn.locations[b]) > 0 {
+		if len(sh.locations[b]) > 0 {
 			avail += w
 		}
 	}

@@ -28,29 +28,32 @@ type StaleReplica struct {
 // verifies the checksum (QuarantineReplica). Marking a replica that does
 // not exist is an error.
 func (nn *NameNode) MarkCorrupt(b BlockID, node topology.NodeID) error {
-	if _, ok := nn.locations[b][node]; !ok {
+	sh := nn.shard(b)
+	if _, ok := sh.locations[b][node]; !ok {
 		return fmt.Errorf("dfs: node %d holds no replica of block %d to corrupt", node, b)
 	}
-	if nn.corrupt == nil {
-		nn.corrupt = make(map[BlockID]map[topology.NodeID]bool)
+	if sh.corrupt == nil {
+		sh.corrupt = make(map[BlockID]map[topology.NodeID]bool)
 	}
-	if nn.corrupt[b] == nil {
-		nn.corrupt[b] = make(map[topology.NodeID]bool)
+	if sh.corrupt[b] == nil {
+		sh.corrupt[b] = make(map[topology.NodeID]bool)
 	}
-	nn.corrupt[b][node] = true
+	sh.corrupt[b][node] = true
 	return nil
 }
 
 // IsCorrupt reports whether node's replica of b is marked corrupt.
 func (nn *NameNode) IsCorrupt(b BlockID, node topology.NodeID) bool {
-	return nn.corrupt[b][node]
+	return nn.shard(b).corrupt[b][node]
 }
 
 // CorruptReplicas reports how many latent corrupt replicas exist.
 func (nn *NameNode) CorruptReplicas() int {
 	n := 0
-	for _, nodes := range nn.corrupt {
-		n += len(nodes)
+	for si := range nn.shards {
+		for _, nodes := range nn.shards[si].corrupt {
+			n += len(nodes)
+		}
 	}
 	return n
 }
@@ -59,10 +62,11 @@ func (nn *NameNode) CorruptReplicas() int {
 // every path that removes a replica calls it so marks never outlive the
 // replicas they describe.
 func (nn *NameNode) clearCorrupt(b BlockID, node topology.NodeID) {
-	if nodes := nn.corrupt[b]; nodes != nil {
+	sh := nn.shard(b)
+	if nodes := sh.corrupt[b]; nodes != nil {
 		delete(nodes, node)
 		if len(nodes) == 0 {
-			delete(nn.corrupt, b)
+			delete(sh.corrupt, b)
 		}
 	}
 }
@@ -75,19 +79,20 @@ func (nn *NameNode) clearCorrupt(b BlockID, node topology.NodeID) {
 // react exactly as for any other disappearance. Blocks may drop below the
 // replication floor until repaired, so the churned latch is set.
 func (nn *NameNode) QuarantineReplica(b BlockID, node topology.NodeID) error {
-	kind, ok := nn.locations[b][node]
+	sh := nn.shard(b)
+	kind, ok := sh.locations[b][node]
 	if !ok {
 		return fmt.Errorf("dfs: node %d holds no replica of block %d to quarantine", node, b)
 	}
 	nn.churned = true
 	nn.publishReplica(event.ReplicaCorrupt, b, node, kind == Dynamic)
 	nn.clearCorrupt(b, node)
-	delete(nn.locations[b], node)
+	delete(sh.locations[b], node)
 	delete(nn.perNode[node], b)
 	if kind == Primary {
-		nn.primaryBytes[node] -= nn.blocks[b].Size
+		nn.primaryBytes[node] -= sh.blocks[b].Size
 	} else {
-		nn.dynamicBytes[node] -= nn.blocks[b].Size
+		nn.dynamicBytes[node] -= sh.blocks[b].Size
 	}
 	nn.publishReplica(event.ReplicaRemove, b, node, kind == Dynamic)
 	return nil
@@ -116,17 +121,18 @@ func (nn *NameNode) ReRegisterNode(node topology.NodeID, stale []StaleReplica) (
 	delete(nn.failed, node)
 	restored := 0
 	for _, s := range stale {
-		blk := nn.blocks[s.Block]
+		sh := nn.shard(s.Block)
+		blk := sh.blocks[s.Block]
 		if blk == nil {
 			continue // registry no longer tracks the block: discard
 		}
-		if _, exists := nn.locations[s.Block][node]; exists {
+		if _, exists := sh.locations[s.Block][node]; exists {
 			continue
 		}
-		if nn.locations[s.Block] == nil {
-			nn.locations[s.Block] = make(map[topology.NodeID]ReplicaKind)
+		if sh.locations[s.Block] == nil {
+			sh.locations[s.Block] = make(map[topology.NodeID]ReplicaKind)
 		}
-		nn.locations[s.Block][node] = s.Kind
+		sh.locations[s.Block][node] = s.Kind
 		nn.perNode[node][s.Block] = s.Kind
 		if s.Kind == Primary {
 			nn.primaryBytes[node] += blk.Size

@@ -203,7 +203,7 @@ func TestInvariantsCatchDanglingCorruptMark(t *testing.T) {
 	}
 	// Corrupt (sic) the metadata directly: remove the replica behind the
 	// mark's back.
-	delete(nn.locations[b], node)
+	delete(nn.shard(b).locations[b], node)
 	delete(nn.perNode[node], b)
 	nn.primaryBytes[node] -= 100
 	if err := nn.CheckInvariants(); err == nil {

@@ -18,6 +18,11 @@ type TraceStats struct {
 	ReplicasAdded   uint64 // ReplicaAdd
 	ReplicasRemoved uint64 // ReplicaRemove + the removals implied by repair sources
 
+	// Heartbeats is the heartbeat share of the trace — the clock-tick tax
+	// the cohort coalescing work exists to contain (BENCH_engine.json put
+	// it at ~83% of all bus events before coalescing).
+	Heartbeats uint64
+
 	// Unknown counts events whose kind this binary does not know (a trace
 	// from a newer simulator); they contribute to the span but to no
 	// per-kind tally.
@@ -48,6 +53,7 @@ func Summarize(events []Event) TraceStats {
 	}
 	s.ReplicasAdded = s.Counts[ReplicaAdd]
 	s.ReplicasRemoved = s.Counts[ReplicaRemove]
+	s.Heartbeats = s.Counts[Heartbeat]
 	return s
 }
 
@@ -61,6 +67,14 @@ func RenderTraceStats(s TraceStats) string {
 	if s.MapLaunches > 0 {
 		fmt.Fprintf(&b, "locality    %d/%d map launches data-local (%.1f%%)\n",
 			s.LocalMapLaunches, s.MapLaunches, 100*float64(s.LocalMapLaunches)/float64(s.MapLaunches))
+	}
+	if total := s.Counts.Total(); total > 0 && s.Heartbeats > 0 {
+		line := fmt.Sprintf("heartbeats  %d of %d bus events (%.1f%% heartbeat tax)",
+			s.Heartbeats, total, 100*float64(s.Heartbeats)/float64(total))
+		if span := s.End - s.Start; span > 0 {
+			line += fmt.Sprintf(", %.1f per sim second", float64(s.Heartbeats)/span)
+		}
+		fmt.Fprintf(&b, "%s\n", line)
 	}
 	fmt.Fprintf(&b, "replicas    +%d added, -%d removed (net %+d)\n",
 		s.ReplicasAdded, s.ReplicasRemoved, int64(s.ReplicasAdded)-int64(s.ReplicasRemoved))

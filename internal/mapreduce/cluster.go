@@ -69,6 +69,12 @@ type Cluster struct {
 	// racks is the number of racks in the topology (max rack ID + 1),
 	// computed once so per-job rack indices can be sized up front.
 	racks int
+	// rackOrdinal[n] is node n's dense index within its own rack (the
+	// count of same-rack nodes with smaller IDs) and rackSizes[r] the
+	// node count of rack r. Heartbeat cohort assignment and the per-rack
+	// job locality shards both key off these.
+	rackOrdinal []int
+	rackSizes   []int
 }
 
 // NewCluster builds a cluster from a profile. All randomness (virtual
@@ -117,9 +123,15 @@ func NewCluster(p *config.Profile, seed uint64) (*Cluster, error) {
 			DiskFactor:      1,
 			Up:              true,
 		})
-		if r := topo.Rack(topology.NodeID(i)); r >= c.racks {
+		r := topo.Rack(topology.NodeID(i))
+		if r >= c.racks {
 			c.racks = r + 1
 		}
+		for len(c.rackSizes) <= r {
+			c.rackSizes = append(c.rackSizes, 0)
+		}
+		c.rackOrdinal = append(c.rackOrdinal, c.rackSizes[r])
+		c.rackSizes[r]++
 	}
 	return c, nil
 }

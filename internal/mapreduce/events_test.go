@@ -91,14 +91,14 @@ func TestReplicaRemovalDropsNodeIndexEagerly(t *testing.T) {
 	if err := tr.c.NN.AddDynamicReplica(b, n.ID); err != nil {
 		t.Fatal(err)
 	}
-	if !heapHas(j.byNode[n.ID], b, seq) {
+	if !heapHas((*j.nodeHeap(n.ID)), b, seq) {
 		t.Fatalf("ReplicaAdd event did not index block %d under node %d", b, n.ID)
 	}
 
 	if err := tr.c.NN.RemoveDynamicReplica(b, n.ID); err != nil {
 		t.Fatal(err)
 	}
-	if heapHas(j.byNode[n.ID], b, seq) {
+	if heapHas((*j.nodeHeap(n.ID)), b, seq) {
 		t.Fatalf("ReplicaRemove event left a stale index entry for block %d under node %d", b, n.ID)
 	}
 
@@ -160,7 +160,7 @@ func TestReplicaRemovalKeepsRackIndexWhileCovered(t *testing.T) {
 	if err := tr.c.NN.AddDynamicReplica(b, n2.ID); err != nil {
 		t.Fatal(err)
 	}
-	if !heapHas(j.byRack[rack], b, seq) {
+	if !heapHas((*j.rackHeap(rack)), b, seq) {
 		t.Fatalf("rack %d not indexed after replica adds", rack)
 	}
 
@@ -169,10 +169,10 @@ func TestReplicaRemovalKeepsRackIndexWhileCovered(t *testing.T) {
 	if err := tr.c.NN.RemoveDynamicReplica(b, n1.ID); err != nil {
 		t.Fatal(err)
 	}
-	if heapHas(j.byNode[n1.ID], b, seq) {
+	if heapHas((*j.nodeHeap(n1.ID)), b, seq) {
 		t.Fatalf("node %d index kept a removed replica", n1.ID)
 	}
-	if !heapHas(j.byRack[rack], b, seq) {
+	if !heapHas((*j.rackHeap(rack)), b, seq) {
 		t.Fatalf("rack %d index dropped while node %d still holds a replica", rack, n2.ID)
 	}
 
@@ -180,7 +180,7 @@ func TestReplicaRemovalKeepsRackIndexWhileCovered(t *testing.T) {
 	if err := tr.c.NN.RemoveDynamicReplica(b, n2.ID); err != nil {
 		t.Fatal(err)
 	}
-	if heapHas(j.byRack[rack], b, seq) {
+	if heapHas((*j.rackHeap(rack)), b, seq) {
 		t.Fatalf("rack %d index kept an entry with no in-rack replica left", rack)
 	}
 }

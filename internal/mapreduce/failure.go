@@ -218,11 +218,9 @@ func (t *Tracker) failRack(rack int) {
 // is recorded. rack tags rack-correlated failures (-1 for independent).
 func (t *Tracker) killNode(node *Node, rack int) {
 	node.Up = false
-	// Stop the node's heartbeat: no new tasks land there. tickers is
-	// index-aligned with Nodes (empty before Run).
-	if int(node.ID) < len(t.tickers) {
-		t.tickers[node.ID].Stop()
-	}
+	// Stop the node's heartbeat: no new tasks land there. The driver is
+	// nil before Run and its Stop is a no-op then.
+	t.hb.Stop(node.ID)
 
 	ev := FailureEvent{Time: t.c.Eng.Now(), Node: node.ID, Rack: rack}
 
@@ -299,9 +297,10 @@ func (t *Tracker) recoverNode(node *Node) {
 	node.SlowFactor, node.DiskFactor = 1, 1
 	// ActiveRemoteReads is intentionally left alone: pending fetch-end
 	// events still fire and decrement it.
-	if int(node.ID) < len(t.tickers) {
-		t.tickers[node.ID].Start(0)
-	}
+	// The rejoining node falls back into its original heartbeat cadence
+	// (next beat at its next grid instant), matching how a restarted task
+	// tracker re-syncs to the job tracker's reporting schedule.
+	t.hb.Resume(node.ID)
 	// Re-register with the name node last: its NodeRecover event then
 	// finds the tracker and metadata views already consistent — the
 	// failure handler forgives the blacklist and the invariant checker

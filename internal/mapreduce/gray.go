@@ -298,9 +298,7 @@ func (t *Tracker) rejoinWithReport(node *Node, stale []dfs.StaleReplica) {
 	// The restarted process comes back healthy: gray episodes do not
 	// survive a re-registration.
 	node.SlowFactor, node.DiskFactor = 1, 1
-	if int(node.ID) < len(t.tickers) {
-		t.tickers[node.ID].Start(0)
-	}
+	t.hb.Resume(node.ID)
 	// Re-register last, as in recoverNode: subscribers of the restored
 	// ReplicaAdd events and the final NodeRecover (Aux: restored count)
 	// observe consistent tracker state.

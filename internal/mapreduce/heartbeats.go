@@ -1,0 +1,135 @@
+package mapreduce
+
+import (
+	"dare/internal/sim"
+	"dare/internal/topology"
+)
+
+// heartbeatCohortSize picks how many same-rack nodes share one coalesced
+// heartbeat event on an n-node cluster. Cohorts never cross racks — a
+// rack failure must stop a whole cohort's worth of members without
+// touching another rack's schedule — and the size scales with the
+// cluster: paper-scale clusters (< 256 nodes) get singleton cohorts,
+// which makes the cohort phase assignment interval·i/n — bit-identical
+// to the historical per-node de-synchronization, so small-cluster
+// experiments are untouched. Past that the stride grows toward 8, where
+// one engine event sweeps eight heartbeats and the dominant event class
+// shrinks 8x. Tests force a specific size to exercise real sweeps at
+// small scale.
+func heartbeatCohortSize(n int) int {
+	s := n / 128
+	if s < 1 {
+		s = 1
+	}
+	if s > 8 {
+		s = 8
+	}
+	return s
+}
+
+// heartbeatHandle is one node's heartbeat stream, independent of driver
+// mode. Both sim.Ticker (per-node mode) and sim.CohortMember (coalesced
+// mode) satisfy it: Stop halts the stream in O(1), Resume rejoins the
+// node's original phase grid at the next instant.
+type heartbeatHandle interface {
+	Stop()
+	Resume()
+}
+
+// heartbeatDriver owns every node's heartbeat stream. In the default
+// coalesced mode it schedules one engine event per (rack, stride) cohort
+// per interval and sweeps the member callbacks in node order; in per-node
+// mode (equivalence testing) each node gets its own sim.Ticker. Both
+// modes assign each node the phase of its cohort — computed identically —
+// so the two drivers publish byte-identical heartbeat event streams: same
+// instants, and at each shared instant the same node order (engine FIFO
+// tie-break equals activation order equals cohort sweep order).
+type heartbeatDriver struct {
+	handles []heartbeatHandle // index-aligned with Cluster.Nodes
+	ct      *sim.CohortTicker // nil in per-node mode
+	tickers []*sim.Ticker     // nil in coalesced mode
+	cohorts int
+}
+
+// newHeartbeatDriver starts heartbeats for every node of c at the given
+// interval, calling beat(node) once per node per interval. Cohorts are
+// per-rack chunks of cohortSize nodes in ID order (cohortSize <= 0 means
+// heartbeatCohortSize(n), the default); cohort i of C starts with phase
+// interval·i/C, so cohorts are de-synchronized exactly as individual
+// nodes were, just at cohort granularity.
+func newHeartbeatDriver(c *Cluster, interval float64, cohortSize int, perNode bool, beat func(*Node)) *heartbeatDriver {
+	n := len(c.Nodes)
+	if cohortSize <= 0 {
+		cohortSize = heartbeatCohortSize(n)
+	}
+	// Enumerate cohorts in order of first member (node ID) appearance:
+	// deterministic for any topology, and equal to (rack, stride) order on
+	// contiguous dedicated racks.
+	cohortOf := make([]int, n)
+	type cohortKey struct{ rack, stride int }
+	index := make(map[cohortKey]int)
+	for i := 0; i < n; i++ {
+		k := cohortKey{c.Topo.Rack(topology.NodeID(i)), c.rackOrdinal[i] / cohortSize}
+		id, ok := index[k]
+		if !ok {
+			id = len(index)
+			index[k] = id
+		}
+		cohortOf[i] = id
+	}
+	numCohorts := len(index)
+	phases := make([]float64, numCohorts)
+	for i := range phases {
+		phases[i] = interval * float64(i) / float64(numCohorts)
+	}
+	d := &heartbeatDriver{handles: make([]heartbeatHandle, n), cohorts: numCohorts}
+	if perNode {
+		d.tickers = make([]*sim.Ticker, n)
+		for i, node := range c.Nodes {
+			node := node
+			tk := sim.NewTicker(c.Eng, interval, func() { beat(node) })
+			tk.Start(phases[cohortOf[i]])
+			d.tickers[i] = tk
+			d.handles[i] = tk
+		}
+		return d
+	}
+	d.ct = sim.NewCohortTicker(c.Eng, interval)
+	cohorts := make([]*sim.Cohort, numCohorts)
+	for i := range cohorts {
+		cohorts[i] = d.ct.NewCohort(phases[i])
+	}
+	// Members join in node ID order, so each cohort sweeps its nodes in
+	// the order their per-node first events would have been enqueued.
+	for i, node := range c.Nodes {
+		node := node
+		d.handles[i] = cohorts[cohortOf[i]].Add(func() { beat(node) })
+	}
+	return d
+}
+
+// Stop halts node id's heartbeat stream (node failure).
+func (d *heartbeatDriver) Stop(id topology.NodeID) {
+	if d != nil && int(id) < len(d.handles) {
+		d.handles[id].Stop()
+	}
+}
+
+// Resume restarts node id's heartbeat stream on its original phase grid
+// (node recovery or flap rejoin): the next beat is the node's next
+// scheduled instant, not a full interval away.
+func (d *heartbeatDriver) Resume(id topology.NodeID) {
+	if d != nil && int(id) < len(d.handles) {
+		d.handles[id].Resume()
+	}
+}
+
+// StopAll halts every stream (end of the tracking horizon).
+func (d *heartbeatDriver) StopAll() {
+	if d == nil {
+		return
+	}
+	for _, h := range d.handles {
+		h.Stop()
+	}
+}

@@ -140,11 +140,11 @@ func (j *Job) checkIndex() error {
 		missing := topology.NodeID(-1)
 		rackMiss := false
 		j.cluster.NN.ForEachLocation(b, func(node topology.NodeID, _ dfs.ReplicaKind) bool {
-			if !heapHas(j.byNode[node], b, seq) {
+			if !heapHas(*j.nodeHeap(node), b, seq) {
 				missing = node
 				return false
 			}
-			if !heapHas(j.byRack[topo.Rack(node)], b, seq) {
+			if !heapHas(*j.rackHeap(topo.Rack(node)), b, seq) {
 				missing, rackMiss = node, true
 				return false
 			}

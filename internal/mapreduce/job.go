@@ -134,15 +134,18 @@ type Job struct {
 	// missing block never matches a real seq.
 	nextSeq uint64
 
-	// byNode[n] and byRack[r] index pending blocks by current replica
-	// location, keyed by seq — the inverted locality index that makes
-	// TakeLocalBlock/TakeRackLocalBlock/HasLocalBlock O(1) amortized.
-	// Entries go stale when a block is taken; they are discarded lazily on
-	// pop. Replica additions and removals arrive as bus events relayed by
-	// the tracker's localityIndexMaintainer: additions push entries,
-	// removals drop them eagerly (onReplicaRemoved).
-	byNode []blockHeap
-	byRack []blockHeap
+	// shards[r] holds rack r's slice of the inverted locality index — the
+	// per-node heaps for the rack's nodes plus the rack-level heap — that
+	// makes TakeLocalBlock/TakeRackLocalBlock/HasLocalBlock O(1)
+	// amortized. Shards are allocated lazily on first touch: a job whose
+	// input replicas span a handful of racks pays for those racks only,
+	// not one heap header per cluster node, which is what lets tens of
+	// thousands of nodes coexist with per-job indexes. Heap entries go
+	// stale when a block is taken; they are discarded lazily on pop.
+	// Replica additions and removals arrive as bus events relayed by the
+	// tracker's localityIndexMaintainer: additions push entries, removals
+	// drop them eagerly (onReplicaRemoved).
+	shards []*jobRackShard
 	// rackKeep is scratch for TakeRackLocalBlock: live entries whose only
 	// in-rack replica sits on the requesting node are parked here and
 	// restored after the search.
@@ -180,6 +183,33 @@ type Job struct {
 	finishTime float64
 }
 
+// jobRackShard is one rack's slice of a job's inverted locality index:
+// byNode[o] is the heap for the rack's node with within-rack ordinal o
+// (cluster.rackOrdinal), rack the rack-level heap.
+type jobRackShard struct {
+	byNode []blockHeap
+	rack   blockHeap
+}
+
+// rackShard returns rack r's shard, allocating it on first touch.
+func (j *Job) rackShard(r int) *jobRackShard {
+	sh := j.shards[r]
+	if sh == nil {
+		sh = &jobRackShard{byNode: make([]blockHeap, j.cluster.rackSizes[r])}
+		j.shards[r] = sh
+	}
+	return sh
+}
+
+// nodeHeap returns node's per-node heap within its rack shard.
+func (j *Job) nodeHeap(node topology.NodeID) *blockHeap {
+	sh := j.rackShard(j.cluster.Topo.Rack(node))
+	return &sh.byNode[j.cluster.rackOrdinal[node]]
+}
+
+// rackHeap returns rack r's rack-level heap.
+func (j *Job) rackHeap(r int) *blockHeap { return &j.rackShard(r).rack }
+
 // indexMinMaps is the pending-set size below which the inverted locality
 // index is not worth its allocations: a linear scan over that few
 // pendingRefs is at most a couple of cache lines per offer, while the
@@ -204,8 +234,7 @@ func NewJob(spec workload.Job, file *dfs.File, c *Cluster) *Job {
 		firstTaskTime:  -1,
 	}
 	if !j.linearScan {
-		heaps := make([]blockHeap, c.Topo.N()+c.racks)
-		j.byNode, j.byRack = heaps[:c.Topo.N()], heaps[c.Topo.N():]
+		j.shards = make([]*jobRackShard, c.racks)
 	}
 	for i := spec.FirstBlock; i < spec.FirstBlock+spec.NumMaps; i++ {
 		j.addPending(file.Blocks[i])
@@ -230,7 +259,7 @@ func (j *Job) addPending(b dfs.BlockID) {
 	var racks [8]int
 	nr := 0
 	j.cluster.NN.ForEachLocation(b, func(node topology.NodeID, _ dfs.ReplicaKind) bool {
-		j.byNode[node].push(pendingRef{seq: seq, b: b})
+		j.nodeHeap(node).push(pendingRef{seq: seq, b: b})
 		r := topo.Rack(node)
 		for i := 0; i < nr; i++ {
 			if racks[i] == r {
@@ -241,7 +270,7 @@ func (j *Job) addPending(b dfs.BlockID) {
 			racks[nr] = r
 			nr++
 		}
-		j.byRack[r].push(pendingRef{seq: seq, b: b})
+		j.rackHeap(r).push(pendingRef{seq: seq, b: b})
 		return true
 	})
 }
@@ -256,8 +285,8 @@ func (j *Job) onReplicaAdded(b dfs.BlockID, node topology.NodeID) {
 	if !ok {
 		return
 	}
-	j.byNode[node].push(pendingRef{seq: seq, b: b})
-	j.byRack[j.cluster.Topo.Rack(node)].push(pendingRef{seq: seq, b: b})
+	j.nodeHeap(node).push(pendingRef{seq: seq, b: b})
+	j.rackHeap(j.cluster.Topo.Rack(node)).push(pendingRef{seq: seq, b: b})
 }
 
 // onReplicaRemoved eagerly drops index entries for a removed replica of a
@@ -276,7 +305,7 @@ func (j *Job) onReplicaRemoved(b dfs.BlockID, node topology.NodeID) {
 	if !ok {
 		return
 	}
-	j.byNode[node].remove(b, seq)
+	j.nodeHeap(node).remove(b, seq)
 	topo := j.cluster.Topo
 	rack := topo.Rack(node)
 	// The name node publishes after the mutation, so the remaining
@@ -290,7 +319,7 @@ func (j *Job) onReplicaRemoved(b dfs.BlockID, node topology.NodeID) {
 		return true
 	})
 	if !stillInRack {
-		j.byRack[rack].remove(b, seq)
+		j.rackHeap(rack).remove(b, seq)
 	}
 }
 
@@ -348,7 +377,7 @@ func (j *Job) TakeLocalBlock(node topology.NodeID) (dfs.BlockID, bool) {
 		}
 		return 0, false
 	}
-	h := &j.byNode[node]
+	h := j.nodeHeap(node)
 	for len(*h) > 0 {
 		e := h.peek()
 		if !j.live(e) || !j.cluster.NN.HasReplica(e.b, node) {
@@ -396,7 +425,7 @@ func (j *Job) TakeRackLocalBlock(node topology.NodeID) (dfs.BlockID, bool) {
 		}
 		return 0, false
 	}
-	h := &j.byRack[rack]
+	h := j.rackHeap(rack)
 	j.rackKeep = j.rackKeep[:0]
 	var taken dfs.BlockID
 	found := false
@@ -453,7 +482,7 @@ func (j *Job) HasLocalBlock(node topology.NodeID) bool {
 		}
 		return false
 	}
-	h := &j.byNode[node]
+	h := j.nodeHeap(node)
 	for len(*h) > 0 {
 		e := h.peek()
 		if !j.live(e) || !j.cluster.NN.HasReplica(e.b, node) {

@@ -6,7 +6,6 @@ import (
 
 	"dare/internal/dfs"
 	"dare/internal/event"
-	"dare/internal/sim"
 	"dare/internal/workload"
 )
 
@@ -34,7 +33,7 @@ type Tracker struct {
 
 	totalJobs int
 	completed int
-	tickers   []*sim.Ticker
+	hb        *heartbeatDriver
 
 	// Failure-injection state (see failure.go).
 	failures       []plannedFailure
@@ -67,6 +66,13 @@ type Tracker struct {
 	// linearScan makes every job use the original O(pending) scan instead
 	// of the inverted locality index (equivalence testing).
 	linearScan bool
+	// perNodeHeartbeats drives heartbeats with one ticker per node instead
+	// of coalesced cohort events (equivalence testing; see heartbeats.go).
+	perNodeHeartbeats bool
+	// hbCohortSize overrides the auto-scaled heartbeat cohort size (0 =
+	// auto); differential tests force real multi-member sweeps on small
+	// clusters with it.
+	hbCohortSize int
 }
 
 // NewTracker wires a tracker to a cluster and a scheduler, subscribes the
@@ -117,6 +123,19 @@ func NewTracker(c *Cluster, wl *workload.Workload, sel TaskSelector) (*Tracker, 
 // the switch exists so tests can prove it. Call before Run.
 func (t *Tracker) SetLinearScan(v bool) { t.linearScan = v }
 
+// SetPerNodeHeartbeats switches heartbeat driving to one sim.Ticker per
+// node (true) or coalesced cohort events (false, the default). Both modes
+// publish byte-identical heartbeat streams by construction; the switch
+// exists so tests and the scale benchmark can prove and measure it. Call
+// before Run.
+func (t *Tracker) SetPerNodeHeartbeats(v bool) { t.perNodeHeartbeats = v }
+
+// SetHeartbeatCohortSize overrides the auto-scaled cohort size (0 = auto,
+// the default). Differential tests use it to force multi-member sweeps on
+// clusters small enough that the auto scale would give singleton cohorts.
+// Call before Run.
+func (t *Tracker) SetHeartbeatCohortSize(n int) { t.hbCohortSize = n }
+
 // Files exposes the DFS files backing the workload, index-aligned with
 // workload.Files.
 func (t *Tracker) Files() []*dfs.File { return t.files }
@@ -138,22 +157,15 @@ func (t *Tracker) Run() ([]Result, error) {
 	if err := t.scheduleInjectedGray(); err != nil {
 		return nil, err
 	}
-	// De-synchronized heartbeats, like real clusters.
-	interval := t.c.Profile.HeartbeatInterval
-	for i, node := range t.c.Nodes {
-		node := node
-		phase := interval * float64(i) / float64(len(t.c.Nodes))
-		tk := sim.NewTicker(eng, interval, func() { t.heartbeat(node) })
-		tk.Start(phase)
-		t.tickers = append(t.tickers, tk)
-	}
+	// De-synchronized heartbeats, like real clusters: one coalesced event
+	// per cohort per interval (or one ticker per node in the equivalence-
+	// testing mode).
+	t.hb = newHeartbeatDriver(t.c, t.c.Profile.HeartbeatInterval, t.hbCohortSize, t.perNodeHeartbeats, t.heartbeat)
 	// Generous runaway guard: a workload that cannot finish in simulated
 	// years indicates a scheduling bug; surface it instead of spinning.
 	horizon := t.lastArrival() + 1e7
 	eng.RunUntil(horizon)
-	for _, tk := range t.tickers {
-		tk.Stop()
-	}
+	t.hb.StopAll()
 	// Background re-replication outlives the workload: drain the repair
 	// queue so post-run state reflects a healed DFS. The loop re-reads the
 	// bound because the detection event itself extends it.

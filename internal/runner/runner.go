@@ -82,6 +82,15 @@ type Options struct {
 	// the engine benchmark experiment use it to prove/measure the two
 	// implementations against each other.
 	heapQueue bool
+	// perNodeHeartbeats drives heartbeats with one sim.Ticker per node
+	// instead of coalesced cohort events. Unexported: equivalence tests and
+	// the scale benchmark use it to prove/measure the two drivers against
+	// each other.
+	perNodeHeartbeats bool
+	// hbCohortSize overrides the auto-scaled heartbeat cohort size (0 =
+	// auto). Unexported: differential tests force real multi-member sweeps
+	// on paper-scale clusters with it.
+	hbCohortSize int
 }
 
 // NodeFailure kills one node at a simulated time.
@@ -268,6 +277,12 @@ func Run(opts Options) (*Output, error) {
 	}
 	if opts.linearScan {
 		tracker.SetLinearScan(true)
+	}
+	if opts.perNodeHeartbeats {
+		tracker.SetPerNodeHeartbeats(true)
+	}
+	if opts.hbCohortSize != 0 {
+		tracker.SetHeartbeatCohortSize(opts.hbCohortSize)
 	}
 
 	var mgr *core.Manager

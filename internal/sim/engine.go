@@ -172,6 +172,31 @@ func (e *Engine) Reschedule(ev *Event, delay Time) {
 	e.enqueue(ev)
 }
 
+// RescheduleAt is Reschedule with an absolute timestamp: it re-enqueues a
+// previously fired event handle to run at time when, reusing the struct
+// and its callback. Tickers use it to stay on an analytic grid (anchor +
+// k·period) instead of accumulating now+period floating-point drift tick
+// after tick — the property the cohort heartbeat coalescing relies on to
+// keep per-node and cohort schedules bit-identical. The same validity
+// rules as Reschedule apply.
+func (e *Engine) RescheduleAt(ev *Event, when Time) {
+	if when < e.now || math.IsNaN(when) {
+		panic(fmt.Sprintf("sim: rescheduling at %v before now %v", when, e.now))
+	}
+	if ev == nil || ev.fn == nil {
+		panic("sim: RescheduleAt of an invalid event")
+	}
+	if ev.pooled {
+		panic("sim: RescheduleAt of a pooled (Defer) event")
+	}
+	if ev.inQueue {
+		panic("sim: RescheduleAt of a still-pending event")
+	}
+	ev.when = when
+	ev.canceled = false
+	e.enqueue(ev)
+}
+
 // Defer is Schedule without the returned handle, for callers that only
 // need fire-and-forget scheduling (e.g. the DARE manager's DeferFunc).
 // Because no handle escapes, the event struct comes from (and returns to)

@@ -1,21 +1,36 @@
 package sim
 
+import "math"
+
 // Ticker fires a callback at a fixed period, modelling heartbeats (the DFS
 // data-node heartbeat, the MapReduce task-tracker heartbeat). A Ticker is
 // created stopped; call Start to begin.
 //
-// Tickers are the dominant event class of a run (~18k heartbeats per
-// simulated cluster), so they ride the engine's fast path: each tick
-// re-enqueues its own event struct in place (Engine.Reschedule) instead of
-// allocating a fresh event, and a stopped ticker's canceled event is
+// Tickers are the dominant event class of a run (~83% of all bus events in
+// BENCH_engine.json), so they ride the engine's fast path: each tick
+// re-enqueues its own event struct in place (Engine.RescheduleAt) instead
+// of allocating a fresh event, and a stopped ticker's canceled event is
 // reclaimed by the engine's compaction sweep rather than lingering until
 // its timestamp is reached.
+//
+// Tick times sit on an absolute grid: anchor + k·period for integer k ≥ 1,
+// where anchor is fixed at Start time (now + phase). Computing each tick
+// analytically rather than as now + period keeps long ticker streams free
+// of accumulated floating-point drift, which is what lets CohortTicker
+// fire many members from one shared event at bit-identical times to the
+// per-ticker schedule.
 type Ticker struct {
 	eng    *Engine
 	period Time
 	fn     func()
 	ev     *Event
 	active bool
+	// anchor is the grid origin (start time + phase); next is the index k
+	// of the next scheduled tick on that grid. started records that Start
+	// ran at least once, so Resume has a grid to land on.
+	anchor  Time
+	next    uint64
+	started bool
 }
 
 // NewTicker creates a ticker on eng with the given period and callback.
@@ -27,22 +42,79 @@ func NewTicker(eng *Engine, period Time, fn func()) *Ticker {
 	return &Ticker{eng: eng, period: period, fn: fn}
 }
 
-// Start begins ticking; the first tick fires one period from now, after an
-// optional phase offset (useful to de-synchronize many nodes' heartbeats,
-// as real clusters do).
+// gridTime is the k-th tick instant of a grid rooted at anchor. It is the
+// single definition of "when does tick k fire" shared by Ticker and
+// CohortTicker: both compute anchor + period·k in this exact expression,
+// so the two schedules agree bit for bit.
+func gridTime(anchor, period Time, k uint64) Time {
+	return anchor + period*float64(k)
+}
+
+// nextGridIndex finds the smallest k ≥ 1 with gridTime(anchor, period, k)
+// strictly after now — the tick a resuming member must wait for. The
+// closed-form estimate is refined by short walks in both directions so
+// floating-point rounding in the division can never land a tick at or
+// before now, nor skip the first eligible instant.
+func nextGridIndex(anchor, period, now Time) uint64 {
+	var k uint64 = 1
+	if now > anchor+period {
+		k = uint64(math.Floor((now - anchor) / period))
+		if k < 1 {
+			k = 1
+		}
+	}
+	for k > 1 && gridTime(anchor, period, k-1) > now {
+		k--
+	}
+	for gridTime(anchor, period, k) <= now {
+		k++
+	}
+	return k
+}
+
+// Start begins ticking on a fresh grid anchored at now + phase; the first
+// tick fires one period after the anchor. Distinct phase offsets give
+// distinct grids, de-synchronizing many nodes' heartbeats as real clusters
+// do (see TestTickerDistinctPhasesNeverCollide). Starting an active ticker
+// is a no-op.
 func (t *Ticker) Start(phase Time) {
 	if t.active {
 		return
 	}
 	t.active = true
+	t.started = true
+	t.anchor = t.eng.Now() + phase
+	t.next = 1
+	t.scheduleNext()
+}
+
+// Resume restarts a stopped ticker on its original grid: the next tick is
+// the first grid instant strictly after now, not one full period away.
+// Node recovery uses it so a rejoining node falls back into the cluster's
+// existing heartbeat cadence — the property that keeps cohort membership
+// splices equivalent to independent per-node tickers. Resuming an active
+// or never-started ticker is a no-op.
+func (t *Ticker) Resume() {
+	if t.active || !t.started {
+		return
+	}
+	t.active = true
+	t.next = nextGridIndex(t.anchor, t.period, t.eng.Now())
+	t.scheduleNext()
+}
+
+// scheduleNext enqueues the tick at grid index t.next, reusing the event
+// struct when the engine no longer owns it.
+func (t *Ticker) scheduleNext() {
+	when := gridTime(t.anchor, t.period, t.next)
 	if t.ev != nil && !t.ev.inQueue {
 		// The previous event already fired or was swept: reuse the struct.
-		t.eng.Reschedule(t.ev, t.period+phase)
+		t.eng.RescheduleAt(t.ev, when)
 		return
 	}
 	// First start, or the previous Stop's canceled event is still queued
 	// awaiting lazy discard: a fresh struct keeps the two from aliasing.
-	t.ev = t.eng.Schedule(t.period+phase, t.tick)
+	t.ev = t.eng.At(when, t.tick)
 }
 
 // Stop cancels future ticks.
@@ -65,6 +137,7 @@ func (t *Ticker) tick() {
 	// fn may have stopped us, or stopped and restarted us (in which case
 	// the restart already queued the next tick).
 	if t.active && !t.ev.inQueue {
-		t.eng.Reschedule(t.ev, t.period)
+		t.next++
+		t.eng.RescheduleAt(t.ev, gridTime(t.anchor, t.period, t.next))
 	}
 }
