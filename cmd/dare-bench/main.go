@@ -186,6 +186,14 @@ func experiments() []experiment {
 			}
 			return dare.RenderChaos(rows), nil
 		}},
+		{"failover", "Failover: master crash/recovery cost, journal replay vs block-report warming (A17)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.FailoverStudy(jobs, seed, *churnCheck)
+			if err != nil {
+				return "", err
+			}
+			failoverRows = rows
+			return dare.RenderFailover(rows), nil
+		}},
 		{"speculation", "Speculation: DARE composed with backup tasks on the noisy EC2 profile", func(jobs int, seed uint64) (string, error) {
 			rows, err := dare.SpeculationStudy(jobs, seed)
 			if err != nil {
@@ -268,6 +276,10 @@ var engineRows []dare.EngineRow
 // scaleRows likewise holds the scale experiment's per-arm measurements
 // for BENCH_scale.json.
 var scaleRows []dare.ScaleRow
+
+// failoverRows holds the failover experiment's per-arm measurements for
+// BENCH_failover.json.
+var failoverRows []dare.FailoverRow
 
 func main() {
 	var (
@@ -408,6 +420,10 @@ type benchRecord struct {
 	// Scale carries the per-arm driver measurements when the experiment is
 	// the scale benchmark (cohort-vs-per-node record).
 	Scale []dare.ScaleRow `json:"scale,omitempty"`
+	// Failover carries the per-arm recovery measurements when the
+	// experiment is the control-plane failover study (journal-vs-report
+	// record).
+	Failover []dare.FailoverRow `json:"failover,omitempty"`
 }
 
 // writeBenchJSON records one experiment's perf numbers as BENCH_<exp>.json.
@@ -427,6 +443,9 @@ func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed tim
 	}
 	if e.id == "scale" {
 		rec.Scale = scaleRows
+	}
+	if e.id == "failover" {
+		rec.Failover = failoverRows
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		rec.EventsPerSec = float64(events) / s

@@ -48,6 +48,11 @@ func main() {
 		rackProb    = flag.Float64("rack-fail-prob", 0, "churn: probability a failure takes a whole rack (0 = default)")
 		chaosOn     = flag.Bool("chaos", false, "generate a seeded gray-failure scenario (crashes, slow nodes, corruption, flaps) and enable integrity-aware reads")
 		chaosEvents = flag.Int("chaos-events", 0, "chaos: number of injections to draw (0 = default 16)")
+		chaosMaster = flag.Float64("chaos-master", 0, "chaos: master-crash class weight (0 = chaos never takes the control plane down)")
+		masterFail  = flag.Float64("master-fail-at", 0, "crash the master (name node + job tracker) at this fraction of the arrival span (0 = never)")
+		masterDown  = flag.Float64("master-down", 0, "master outage length in sim seconds (0 = a sixteenth of the span)")
+		masterMode  = flag.String("master-recovery", "journal", "master recovery mode: journal (checkpoint + edit-log replay) | report (cold start warmed by per-node block reports)")
+		masterCkpt  = flag.Int("master-checkpoint", 0, "checkpoint the metadata journal every N records (0 = only at recovery)")
 		check       = flag.Bool("check", false, "run the metadata invariant checker after every failure/recovery event")
 		timeline    = flag.Int("timeline", 0, "print mean locality over N consecutive job buckets (convergence view)")
 		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
@@ -130,20 +135,31 @@ func main() {
 		}
 		var chaosSpec *dare.ChaosSpec
 		if *chaosOn {
-			chaosSpec = &dare.ChaosSpec{Events: *chaosEvents}
+			chaosSpec = &dare.ChaosSpec{Events: *chaosEvents, MasterWeight: *chaosMaster, MasterRecovery: *masterMode}
+		}
+		var masterOutages []dare.MasterOutage
+		if *masterFail > 0 {
+			span := wl.Jobs[len(wl.Jobs)-1].Arrival
+			down := *masterDown
+			if down <= 0 {
+				down = span / 16
+			}
+			masterOutages = []dare.MasterOutage{{At: span * *masterFail, Down: down, Mode: *masterMode}}
 		}
 		return wl, dare.Options{
-			Profile:         profile,
-			Workload:        wl,
-			Scheduler:       *schedName,
-			FairSkips:       *fairSkips,
-			Policy:          policy,
-			Seed:            s,
-			Failures:        failures,
-			Churn:           churnSpec,
-			Chaos:           chaosSpec,
-			DisableRepair:   *noRepair,
-			CheckInvariants: *check,
+			Profile:               profile,
+			Workload:              wl,
+			Scheduler:             *schedName,
+			FairSkips:             *fairSkips,
+			Policy:                policy,
+			Seed:                  s,
+			Failures:              failures,
+			Churn:                 churnSpec,
+			Chaos:                 chaosSpec,
+			MasterOutages:         masterOutages,
+			MasterCheckpointEvery: *masterCkpt,
+			DisableRepair:         *noRepair,
+			CheckInvariants:       *check,
 		}, nil
 	}
 
@@ -212,6 +228,23 @@ func main() {
 			len(out.FailureEvents)-g.Flaps, g.Flaps, g.Degrades,
 			g.CorruptionsDetected, g.CorruptionsInjected, g.ReadRetries,
 			g.HedgedReads, g.HedgeWins, g.ReplicasRestored)
+	}
+	if m := out.Master; m.Outages > 0 {
+		fmt.Printf("master: %d outages, %.1f s unavailable; %d heartbeats + %d reads deferred, %d maps + %d reduces killed and requeued\n",
+			m.Outages, m.Downtime, m.DeferredHeartbeats, m.DeferredReads, m.KilledMaps, m.KilledReduces)
+		fmt.Printf("master journal: %d checkpoints, %d records pending", m.JournalCheckpoints, m.JournalRecords)
+		if m.BlockReports > 0 {
+			fmt.Printf("; report-mode warmup %.1f s over %d block reports", m.WarmupTime, m.BlockReports)
+		}
+		fmt.Println()
+		for _, ev := range out.MasterEvents {
+			switch ev.Kind {
+			case "crash":
+				fmt.Printf("master  t=%.1fs crash (weighted availability was %.4f)\n", ev.Time, ev.WeightedAvailability)
+			case "recover":
+				fmt.Printf("master  t=%.1fs recover: weighted availability %.4f\n", ev.Time, ev.WeightedAvailability)
+			}
+		}
 	}
 	for _, ev := range out.FailureEvents {
 		tag := ""

@@ -421,6 +421,31 @@ func ChaosStudy(jobs int, seed uint64, spec ChaosSpec, check bool) ([]ChaosRow, 
 	return runner.ChaosStudy(jobs, seed, spec, check)
 }
 
+// ---------------------------------------------------------------------------
+// Control-plane failover (master crash, journaled metadata, block reports)
+
+// MasterOutage schedules one master crash/recover pair within a run;
+// MasterStats tallies the outage machinery in Output.Master; MasterEvent
+// is one control-plane availability sample in Output.MasterEvents;
+// FailoverRow carries one arm of the failover study.
+type (
+	MasterOutage = runner.MasterOutage
+	MasterStats  = mapreduce.MasterStats
+	MasterEvent  = mapreduce.MasterEvent
+	FailoverRow  = runner.FailoverRow
+)
+
+// FailoverStudy replays wl1 under two identically-scheduled master
+// outages for fifo × {vanilla, ElephantTrap} × {journal, report}: the
+// journal arms recover by checkpoint + edit-log replay (instant full
+// view), the report arms from a cold registry progressively warmed by
+// per-node block reports. Rows report recovery time, deferred work,
+// killed attempts, and time-averaged access-weighted master availability.
+// check enables the invariant checker after every recovery.
+func FailoverStudy(jobs int, seed uint64, check bool) ([]FailoverRow, error) {
+	return runner.FailoverStudy(jobs, seed, check)
+}
+
 // EventRow carries one arm of the event-volume study.
 type EventRow = runner.EventRow
 
@@ -478,6 +503,7 @@ var (
 	RenderTraceStats   = event.RenderTraceStats
 	RenderChurn        = runner.RenderChurn
 	RenderChaos        = runner.RenderChaos
+	RenderFailover     = runner.RenderFailover
 )
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,10 @@ const (
 	// Flap falsely declares a live node dead for Action.Down seconds; it
 	// rejoins with its disk intact and reconciles stale replicas.
 	Flap
+	// MasterCrash takes the control plane down for Action.Down seconds:
+	// heartbeats go unanswered, metadata freezes, and recovery replays the
+	// journal (or warms from block reports). Node is -1.
+	MasterCrash
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +57,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case Flap:
 		return "flap"
+	case MasterCrash:
+		return "master-crash"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -70,7 +76,8 @@ type Action struct {
 	// Disk marks a Slow action as disk degradation (bandwidth divider)
 	// rather than service-time degradation.
 	Disk bool
-	// Down is the false-dead window for Flap.
+	// Down is the false-dead window for Flap, or the outage length for
+	// MasterCrash.
 	Down float64
 }
 
@@ -81,10 +88,11 @@ type Spec struct {
 	Events int
 	// Horizon bounds injection: no action starts at or past it.
 	Horizon float64
-	// CrashWeight, SlowWeight, CorruptWeight, and FlapWeight set the
-	// relative frequency of each failure class; a zero weight disables the
-	// class. At least one must be positive.
-	CrashWeight, SlowWeight, CorruptWeight, FlapWeight float64
+	// CrashWeight, SlowWeight, CorruptWeight, FlapWeight, and MasterWeight
+	// set the relative frequency of each failure class; a zero weight
+	// disables the class. At least one must be positive. MasterWeight
+	// requires the tracker to have master recovery enabled.
+	CrashWeight, SlowWeight, CorruptWeight, FlapWeight, MasterWeight float64
 	// MTTR is the mean downtime after a crash (exponential); <= 0 makes
 	// crashes permanent.
 	MTTR float64
@@ -95,6 +103,10 @@ type Spec struct {
 	SlowFactorMax float64
 	// FlapDown is the mean false-dead window (exponential).
 	FlapDown float64
+	// MasterDown is the mean control-plane outage length (exponential);
+	// required > 0 when MasterWeight is positive. Outages never overlap:
+	// the class is infeasible while a previous outage is still open.
+	MasterDown float64
 }
 
 // Validate reports a specification error, if any.
@@ -104,10 +116,12 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("chaos: Events must be >= 0, got %d", s.Events)
 	case s.Horizon <= 0 && s.Events > 0:
 		return fmt.Errorf("chaos: Horizon must be > 0, got %v", s.Horizon)
-	case s.CrashWeight < 0 || s.SlowWeight < 0 || s.CorruptWeight < 0 || s.FlapWeight < 0:
+	case s.CrashWeight < 0 || s.SlowWeight < 0 || s.CorruptWeight < 0 || s.FlapWeight < 0 || s.MasterWeight < 0:
 		return fmt.Errorf("chaos: class weights must be >= 0")
-	case s.Events > 0 && s.CrashWeight+s.SlowWeight+s.CorruptWeight+s.FlapWeight <= 0:
+	case s.Events > 0 && s.CrashWeight+s.SlowWeight+s.CorruptWeight+s.FlapWeight+s.MasterWeight <= 0:
 		return fmt.Errorf("chaos: at least one class weight must be positive")
+	case s.MasterWeight > 0 && s.MasterDown <= 0:
+		return fmt.Errorf("chaos: MasterWeight > 0 requires MasterDown > 0, got %v", s.MasterDown)
 	case s.MTTR < 0:
 		return fmt.Errorf("chaos: MTTR must be >= 0, got %v", s.MTTR)
 	case s.SlowMean < 0:
@@ -141,12 +155,13 @@ func Generate(n int, spec Spec, rng *stats.RNG) ([]Action, error) {
 	gap := spec.Horizon / float64(spec.Events) // mean inter-injection gap
 	var actions []Action
 	t := 0.0
+	masterDownUntil := 0.0
 	for drawn := 0; drawn < spec.Events; drawn++ {
 		t += rng.ExpFloat64() * gap
 		if t >= spec.Horizon {
 			break
 		}
-		kind, ok := pickKind(spec, nodes, t, rng)
+		kind, ok := pickKind(spec, nodes, masterDownUntil, t, rng)
 		if !ok {
 			continue // no class is feasible at this instant
 		}
@@ -182,6 +197,13 @@ func Generate(n int, spec Spec, rng *stats.RNG) ([]Action, error) {
 			}
 			nodes[v].downUntil = t + down
 			actions = append(actions, Action{At: t, Kind: Flap, Node: v, Down: down})
+		case MasterCrash:
+			down := rng.ExpFloat64() * spec.MasterDown
+			if down <= 0 {
+				down = spec.MasterDown
+			}
+			masterDownUntil = t + down
+			actions = append(actions, Action{At: t, Kind: MasterCrash, Node: -1, Down: down})
 		}
 	}
 	// Paired Recover/Restore actions were appended out of order; sort by
@@ -205,8 +227,9 @@ const inf = 1e308
 // pickKind draws a failure class among those feasible at time t, weighted
 // by the spec. Crash and Flap need at least two up nodes (never take the
 // last one down); Slow needs an up, not-currently-degraded node; Corrupt
-// is always feasible.
-func pickKind(spec Spec, nodes []nodeState, t float64, rng *stats.RNG) (Kind, bool) {
+// is always feasible; MasterCrash needs the previous outage to have ended
+// (a single master cannot crash twice concurrently).
+func pickKind(spec Spec, nodes []nodeState, masterDownUntil, t float64, rng *stats.RNG) (Kind, bool) {
 	upCount, slowable := 0, 0
 	for _, ns := range nodes {
 		if ns.downUntil <= t {
@@ -232,6 +255,9 @@ func pickKind(spec Spec, nodes []nodeState, t float64, rng *stats.RNG) (Kind, bo
 	}
 	if spec.FlapWeight > 0 && upCount > 1 {
 		cands = append(cands, cand{Flap, spec.FlapWeight})
+	}
+	if spec.MasterWeight > 0 && masterDownUntil <= t {
+		cands = append(cands, cand{MasterCrash, spec.MasterWeight})
 	}
 	if len(cands) == 0 {
 		return 0, false

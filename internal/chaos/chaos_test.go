@@ -120,6 +120,40 @@ func TestGenerateFeasible(t *testing.T) {
 	}
 }
 
+// Master outages must never overlap: a new MasterCrash is only feasible
+// after the previous outage window closed.
+func TestGenerateMasterOutagesDisjoint(t *testing.T) {
+	s := spec()
+	s.Events = 60
+	s.MasterWeight = 2
+	s.MasterDown = 5
+	actions, err := Generate(10, s, stats.NewRNG(11).Split(0xCA05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterDownUntil := 0.0
+	seen := 0
+	for i, a := range actions {
+		if a.Kind != MasterCrash {
+			continue
+		}
+		seen++
+		if a.Node != -1 {
+			t.Fatalf("action %d: master crash carries node %d, want -1", i, a.Node)
+		}
+		if a.Down <= 0 {
+			t.Fatalf("action %d: master outage window %g", i, a.Down)
+		}
+		if a.At < masterDownUntil {
+			t.Fatalf("action %d: master crash at %g overlaps outage open until %g", i, a.At, masterDownUntil)
+		}
+		masterDownUntil = a.At + a.Down
+	}
+	if seen == 0 {
+		t.Fatal("MasterCrash never drawn in 60 events with weight 2")
+	}
+}
+
 func TestGenerateEmpty(t *testing.T) {
 	if got, err := Generate(0, spec(), stats.NewRNG(1)); err != nil || got != nil {
 		t.Fatalf("n=0: got %v, %v", got, err)
@@ -140,6 +174,8 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		func(s *Spec) { s.MTTR = -1 },
 		func(s *Spec) { s.SlowMean = -1 },
 		func(s *Spec) { s.FlapDown = -1 },
+		func(s *Spec) { s.MasterWeight = -1 },
+		func(s *Spec) { s.MasterWeight = 1; s.MasterDown = 0 },
 	}
 	for i, mutate := range bad {
 		s := spec()
@@ -154,6 +190,7 @@ func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		Crash: "crash", Recover: "recover", Slow: "slow",
 		Restore: "restore", Corrupt: "corrupt", Flap: "flap",
+		MasterCrash: "master-crash",
 	} {
 		if got := k.String(); got != want {
 			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), got, want)

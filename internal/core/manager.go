@@ -160,6 +160,13 @@ func (m *Manager) announce(node topology.NodeID, b dfs.BlockID) {
 			if errors.Is(err, dfs.ErrNodeDown) {
 				return // the node died with the replica; nothing to announce
 			}
+			if errors.Is(err, dfs.ErrMasterDown) {
+				// The heartbeat carrying the announce got no answer. Real
+				// DataNodes re-announce in the next full block report; here the
+				// replica simply stays local-only (the policy already counts
+				// it) and the post-recovery report path re-learns the disk.
+				return
+			}
 			m.errs = append(m.errs, fmt.Errorf("core: announce block %d at node %d: %w", b, node, err))
 		}
 	})
@@ -178,6 +185,12 @@ func (m *Manager) evict(node topology.NodeID, b dfs.BlockID) {
 			return // already gone
 		}
 		if err := m.store.RemoveDynamicReplica(b, node); err != nil {
+			if errors.Is(err, dfs.ErrMasterDown) {
+				// Lazy deletion proceeds on disk; the master never hearing
+				// about a replica it will re-learn (or not) from block
+				// reports is exactly the HDFS stale-replica case.
+				return
+			}
 			m.errs = append(m.errs, fmt.Errorf("core: evict block %d at node %d: %w", b, node, err))
 		}
 	})

@@ -150,10 +150,14 @@ func (b *Balancer) move(blk BlockID, src, dst topology.NodeID) error {
 	if !ok {
 		return fmt.Errorf("dfs: block %d not on node %d", blk, src)
 	}
+	if b.nn.down {
+		return fmt.Errorf("dfs: balancer move of block %d: %w", blk, ErrMasterDown)
+	}
 	size := sh.blocks[blk].Size
 	// A move streams the stored bytes as-is, so latent corruption travels
 	// with the replica.
-	if b.nn.IsCorrupt(blk, src) {
+	carryCorrupt := b.nn.IsCorrupt(blk, src)
+	if carryCorrupt {
 		b.nn.clearCorrupt(blk, src)
 		if sh.corrupt == nil {
 			sh.corrupt = make(map[BlockID]map[topology.NodeID]bool)
@@ -174,8 +178,14 @@ func (b *Balancer) move(blk BlockID, src, dst topology.NodeID) error {
 		b.nn.dynamicBytes[src] -= size
 		b.nn.dynamicBytes[dst] += size
 	}
+	b.nn.journalAdd(journalRecord{op: opRemoveReplica, block: blk, node: src})
+	b.nn.journalAdd(journalRecord{op: opAddReplica, block: blk, node: dst, kind: kind})
+	if carryCorrupt {
+		b.nn.journalAdd(journalRecord{op: opMarkCorrupt, block: blk, node: dst})
+	}
 	b.nn.publishReplica(event.ReplicaRemove, blk, src, kind == Dynamic)
 	b.nn.publishReplica(event.ReplicaAdd, blk, dst, kind == Dynamic)
+	b.nn.journalMaybeCheckpoint()
 	return nil
 }
 

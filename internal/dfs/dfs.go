@@ -104,6 +104,16 @@ type NameNode struct {
 
 	nextFile  FileID
 	nextBlock BlockID
+
+	// Control-plane fault tolerance (journal.go): the metadata journal with
+	// its rolling checkpoint, the crashed latch, and — while a report-mode
+	// recovery warms — the set of nodes whose block reports are still
+	// outstanding plus the crash-time capture of every node's disk
+	// contents. All zero-valued (and zero-cost) unless EnableJournal ran.
+	journal   metaJournal
+	down      bool
+	warming   map[topology.NodeID]bool
+	diskTruth [][]diskReplica
 }
 
 // registryShard is one hash-partition of the block registry.
@@ -220,17 +230,23 @@ func (nn *NameNode) CreateFile(name string, numBlocks int, blockSize int64, now 
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("dfs: file %q block size must be positive", name)
 	}
+	if nn.down {
+		return nil, fmt.Errorf("dfs: create %q: %w", name, ErrMasterDown)
+	}
 	f := &File{ID: nn.nextFile, Name: name, Created: now}
 	nn.nextFile++
+	nn.journalAdd(journalRecord{op: opNewFile, file: f.ID, name: name, created: now})
 	for i := 0; i < numBlocks; i++ {
 		b := &Block{ID: nn.nextBlock, File: f.ID, Index: i, Size: blockSize}
 		nn.nextBlock++
 		nn.shard(b.ID).blocks[b.ID] = b
 		nn.numBlocks++
 		f.Blocks = append(f.Blocks, b.ID)
+		nn.journalAdd(journalRecord{op: opNewBlock, file: f.ID, block: b.ID, index: i, size: blockSize})
 		nn.placePrimaries(b)
 	}
 	nn.files[f.ID] = f
+	nn.journalMaybeCheckpoint()
 	return f, nil
 }
 
@@ -310,6 +326,7 @@ func (nn *NameNode) placePrimaries(b *Block) {
 		locs[node] = Primary
 		nn.perNode[node][b.ID] = Primary
 		nn.primaryBytes[node] += b.Size
+		nn.journalAdd(journalRecord{op: opAddReplica, block: b.ID, node: node, kind: Primary})
 	}
 	nn.shard(b.ID).locations[b.ID] = locs
 	for _, node := range chosen {
@@ -382,6 +399,9 @@ func (nn *NameNode) AddDynamicReplica(b BlockID, node topology.NodeID) error {
 	if int(node) < 0 || int(node) >= nn.topo.N() {
 		return fmt.Errorf("dfs: invalid node %d", node)
 	}
+	if nn.down {
+		return fmt.Errorf("dfs: add replica of block %d: %w", b, ErrMasterDown)
+	}
 	if nn.failed[node] {
 		return fmt.Errorf("dfs: node %d: %w", node, ErrNodeDown)
 	}
@@ -391,7 +411,9 @@ func (nn *NameNode) AddDynamicReplica(b BlockID, node topology.NodeID) error {
 	sh.locations[b][node] = Dynamic
 	nn.perNode[node][b] = Dynamic
 	nn.dynamicBytes[node] += blk.Size
+	nn.journalAdd(journalRecord{op: opAddReplica, block: b, node: node, kind: Dynamic})
 	nn.publishReplica(event.ReplicaAdd, b, node, true)
+	nn.journalMaybeCheckpoint()
 	return nil
 }
 
@@ -406,11 +428,16 @@ func (nn *NameNode) RemoveDynamicReplica(b BlockID, node topology.NodeID) error 
 	if k != Dynamic {
 		return fmt.Errorf("dfs: refusing to remove primary replica of block %d at node %d", b, node)
 	}
+	if nn.down {
+		return fmt.Errorf("dfs: evict replica of block %d: %w", b, ErrMasterDown)
+	}
 	nn.clearCorrupt(b, node)
 	delete(sh.locations[b], node)
 	delete(nn.perNode[node], b)
 	nn.dynamicBytes[node] -= sh.blocks[b].Size
+	nn.journalAdd(journalRecord{op: opRemoveReplica, block: b, node: node})
 	nn.publishReplica(event.ReplicaRemove, b, node, true)
+	nn.journalMaybeCheckpoint()
 	return nil
 }
 

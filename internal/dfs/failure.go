@@ -34,11 +34,25 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 	if int(node) < 0 || int(node) >= nn.topo.N() || nn.failed[node] {
 		return rep
 	}
+	if nn.down {
+		// Defensive: with the master down, nobody is there to declare the
+		// node dead — the tracker defers the declaration until recovery.
+		return rep
+	}
 	if nn.failed == nil {
 		nn.failed = make(map[topology.NodeID]bool)
 	}
 	nn.failed[node] = true
 	nn.churned = true
+	nn.journalAdd(journalRecord{op: opNodeFail, node: node})
+	if nn.warming[node] {
+		// The node died before delivering its post-recovery block report;
+		// stop waiting for it and drop the crash-time capture of its disk.
+		delete(nn.warming, node)
+		if int(node) < len(nn.diskTruth) {
+			nn.diskTruth[node] = nil
+		}
+	}
 
 	blocks := make([]BlockID, 0, len(nn.perNode[node]))
 	for b := range nn.perNode[node] {
@@ -62,6 +76,7 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 		if len(sh.locations[b]) == 0 {
 			rep.UnavailableBlocks = append(rep.UnavailableBlocks, b)
 		}
+		nn.journalAdd(journalRecord{op: opRemoveReplica, block: b, node: node})
 		nn.publishReplica(event.ReplicaRemove, b, node, kind == Dynamic)
 	}
 	if nn.bus != nil {
@@ -70,6 +85,11 @@ func (nn *NameNode) FailNode(node topology.NodeID) FailureReport {
 		ev.Rack = int32(nn.topo.Rack(node))
 		ev.Aux = int64(len(rep.LostPrimaries) + len(rep.LostDynamic))
 		nn.bus.Publish(ev)
+	}
+	if nn.warming != nil && len(nn.warming) == 0 {
+		nn.finishWarming()
+	} else {
+		nn.journalMaybeCheckpoint()
 	}
 	return rep
 }
@@ -119,6 +139,9 @@ func (nn *NameNode) AddPrimaryReplica(b BlockID, node topology.NodeID) error {
 	if int(node) < 0 || int(node) >= nn.topo.N() {
 		return fmt.Errorf("dfs: invalid node %d", node)
 	}
+	if nn.down {
+		return fmt.Errorf("dfs: repair block %d: %w", b, ErrMasterDown)
+	}
 	if nn.failed[node] {
 		return fmt.Errorf("dfs: node %d: %w", node, ErrNodeDown)
 	}
@@ -128,7 +151,9 @@ func (nn *NameNode) AddPrimaryReplica(b BlockID, node topology.NodeID) error {
 	sh.locations[b][node] = Primary
 	nn.perNode[node][b] = Primary
 	nn.primaryBytes[node] += blk.Size
+	nn.journalAdd(journalRecord{op: opAddReplica, block: b, node: node, kind: Primary})
 	nn.publishReplica(event.ReplicaRepair, b, node, false)
+	nn.journalMaybeCheckpoint()
 	return nil
 }
 

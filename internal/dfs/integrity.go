@@ -39,6 +39,22 @@ func (nn *NameNode) MarkCorrupt(b BlockID, node topology.NodeID) error {
 		sh.corrupt[b] = make(map[topology.NodeID]bool)
 	}
 	sh.corrupt[b][node] = true
+	// Corruption is disk truth, not a master RPC: it lands even while the
+	// master is down. Journal it so a journal-mode recovery reproduces the
+	// marks, and mirror it into the crash-time disk capture so a report-mode
+	// recovery re-learns it from the node's block report.
+	nn.journalAdd(journalRecord{op: opMarkCorrupt, block: b, node: node})
+	if nn.down && int(node) < len(nn.diskTruth) {
+		for i := range nn.diskTruth[node] {
+			if nn.diskTruth[node][i].block == b {
+				nn.diskTruth[node][i].corrupt = true
+				break
+			}
+		}
+	}
+	if !nn.down {
+		nn.journalMaybeCheckpoint()
+	}
 	return nil
 }
 
@@ -84,7 +100,14 @@ func (nn *NameNode) QuarantineReplica(b BlockID, node topology.NodeID) error {
 	if !ok {
 		return fmt.Errorf("dfs: node %d holds no replica of block %d to quarantine", node, b)
 	}
+	if nn.down {
+		// Detection is a reader-to-master report; with the master gone it
+		// must be retried after recovery (the tracker's retry machinery
+		// handles this).
+		return fmt.Errorf("dfs: quarantine replica of block %d: %w", b, ErrMasterDown)
+	}
 	nn.churned = true
+	nn.journalAdd(journalRecord{op: opChurn})
 	nn.publishReplica(event.ReplicaCorrupt, b, node, kind == Dynamic)
 	nn.clearCorrupt(b, node)
 	delete(sh.locations[b], node)
@@ -94,7 +117,9 @@ func (nn *NameNode) QuarantineReplica(b BlockID, node topology.NodeID) error {
 	} else {
 		nn.dynamicBytes[node] -= sh.blocks[b].Size
 	}
+	nn.journalAdd(journalRecord{op: opRemoveReplica, block: b, node: node})
 	nn.publishReplica(event.ReplicaRemove, b, node, kind == Dynamic)
+	nn.journalMaybeCheckpoint()
 	return nil
 }
 
@@ -118,7 +143,20 @@ func (nn *NameNode) ReRegisterNode(node topology.NodeID, stale []StaleReplica) (
 	if !nn.failed[node] {
 		return 0, fmt.Errorf("dfs: node %d is not failed", node)
 	}
+	if nn.down {
+		return 0, fmt.Errorf("dfs: node %d cannot register: %w", node, ErrMasterDown)
+	}
 	delete(nn.failed, node)
+	nn.journalAdd(journalRecord{op: opNodeJoin, node: node})
+	// A node registering with a warming master IS its block report: what it
+	// carries (the stale list) is everything its disk holds, so the master
+	// stops waiting for a separate report from it.
+	if nn.warming[node] {
+		delete(nn.warming, node)
+		if int(node) < len(nn.diskTruth) {
+			nn.diskTruth[node] = nil
+		}
+	}
 	restored := 0
 	for _, s := range stale {
 		sh := nn.shard(s.Block)
@@ -139,6 +177,7 @@ func (nn *NameNode) ReRegisterNode(node topology.NodeID, stale []StaleReplica) (
 		} else {
 			nn.dynamicBytes[node] += blk.Size
 		}
+		nn.journalAdd(journalRecord{op: opAddReplica, block: s.Block, node: node, kind: s.Kind})
 		nn.publishReplica(event.ReplicaAdd, s.Block, node, s.Kind == Dynamic)
 		restored++
 	}
@@ -148,6 +187,11 @@ func (nn *NameNode) ReRegisterNode(node topology.NodeID, stale []StaleReplica) (
 		ev.Rack = int32(nn.topo.Rack(node))
 		ev.Aux = int64(restored)
 		nn.bus.Publish(ev)
+	}
+	if nn.warming != nil && len(nn.warming) == 0 {
+		nn.finishWarming()
+	} else {
+		nn.journalMaybeCheckpoint()
 	}
 	return restored, nil
 }

@@ -1,0 +1,601 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dare/internal/event"
+	"dare/internal/topology"
+)
+
+// Control-plane fault tolerance: the name node's metadata can be journaled
+// (an in-memory FsImage/EditLog pair) and the whole master can crash and
+// recover. Journaling records every registry mutation as a primitive
+// operation; a checkpoint folds the accumulated records into a snapshot
+// so recovery replays only the tail. Recovery rebuilds the block registry
+// either from checkpoint + journal replay ("journal" mode) or — as HDFS
+// actually does for block *locations* — from per-node block reports that
+// arrive over the following heartbeat intervals ("report" mode), during
+// which the master's view of the data warms from empty.
+//
+// Everything here is inert by default: with the journal disabled, every
+// hook is a single predictable branch and no events, allocations, or RNG
+// draws happen, so committed goldens are byte-identical.
+
+// ErrMasterDown marks metadata operations attempted while the name node
+// is crashed; callers (tracker heartbeats, DARE announces, repair rounds)
+// detect it with errors.Is and fail fast, retrying after recovery.
+var ErrMasterDown = errors.New("master is down")
+
+// RecoveryMode selects how a crashed name node rebuilds its registry.
+type RecoveryMode uint8
+
+const (
+	// RecoverJournal rebuilds the registry from the last checkpoint plus
+	// journal replay: recovery is instant and the post-recovery registry
+	// is bit-identical to the pre-crash one.
+	RecoverJournal RecoveryMode = iota
+	// RecoverReport rebuilds the namespace (files, blocks) from the
+	// journal but discards all replica locations: each live data node
+	// re-reports its disk contents on its next heartbeat, so the block map
+	// warms progressively and availability recovers node by node.
+	RecoverReport
+)
+
+// String returns the CLI spelling of the mode.
+func (m RecoveryMode) String() string {
+	if m == RecoverReport {
+		return "report"
+	}
+	return "journal"
+}
+
+// RecoveryModeFromString parses "journal" or "report".
+func RecoveryModeFromString(s string) (RecoveryMode, error) {
+	switch s {
+	case "journal", "":
+		return RecoverJournal, nil
+	case "report":
+		return RecoverReport, nil
+	}
+	return 0, fmt.Errorf("dfs: unknown recovery mode %q (want journal|report)", s)
+}
+
+// journalOp enumerates the primitive registry mutations. Every public
+// mutation decomposes into these: CreateFile is opNewFile + opNewBlock +
+// opAddReplica per placement, FailNode is opNodeFail + opRemoveReplica
+// per scrubbed replica, ReRegisterNode is opNodeJoin + opAddReplica per
+// reconciled stale replica, QuarantineReplica is opChurn + opRemoveReplica,
+// a balancer move is opRemoveReplica + opAddReplica (+ opMarkCorrupt when
+// the bit travels with the replica).
+type journalOp uint8
+
+const (
+	opNewFile journalOp = iota
+	opNewBlock
+	opAddReplica
+	opRemoveReplica
+	opMarkCorrupt
+	opNodeFail
+	opNodeJoin
+	opChurn
+)
+
+// journalRecord is one primitive mutation. Unused fields stay zero.
+type journalRecord struct {
+	op      journalOp
+	file    FileID
+	block   BlockID
+	node    topology.NodeID
+	kind    ReplicaKind
+	index   int
+	size    int64
+	name    string
+	created float64
+}
+
+// registrySnapshot is a checkpoint: a deep copy of the registry state
+// that, together with the journal records appended after it, fully
+// determines the name node's metadata. Derived structures (perNode,
+// byte accounting, numBlocks) are rebuilt on restore rather than stored.
+type registrySnapshot struct {
+	files     map[FileID]*File
+	blocks    map[BlockID]*Block
+	locations map[BlockID]map[topology.NodeID]ReplicaKind
+	corrupt   map[BlockID]map[topology.NodeID]bool
+	failed    map[topology.NodeID]bool
+	churned   bool
+	nextFile  FileID
+	nextBlock BlockID
+}
+
+// metaJournal is the name node's write-ahead metadata journal plus its
+// rolling checkpoint.
+type metaJournal struct {
+	enabled bool
+	// every triggers an automatic checkpoint once this many records have
+	// accumulated since the last one (0 = checkpoint only on recovery).
+	every   int
+	records []journalRecord
+	snap    *registrySnapshot
+	// folded counts records absorbed into checkpoints; checkpoints counts
+	// the rolls. Both feed observability only.
+	folded      uint64
+	checkpoints int
+}
+
+// diskReplica is one replica as a data node's disk holds it — captured at
+// crash time so report-mode recovery can synthesize the block reports the
+// (simulated) data nodes would send.
+type diskReplica struct {
+	block   BlockID
+	kind    ReplicaKind
+	corrupt bool
+}
+
+// EnableJournal turns on metadata journaling and takes an immediate
+// checkpoint of the current registry, so recovery always has a base image
+// regardless of when journaling started. checkpointEvery > 0 also rolls a
+// checkpoint automatically each time that many records accumulate. Call
+// once; enabling twice panics (it would silently discard the journal).
+func (nn *NameNode) EnableJournal(checkpointEvery int) {
+	if nn.journal.enabled {
+		panic("dfs: metadata journal already enabled")
+	}
+	nn.journal.enabled = true
+	nn.journal.every = checkpointEvery
+	nn.journal.snap = nn.snapshot()
+}
+
+// JournalEnabled reports whether metadata journaling is on.
+func (nn *NameNode) JournalEnabled() bool { return nn.journal.enabled }
+
+// JournalRecords reports the records accumulated since the last
+// checkpoint.
+func (nn *NameNode) JournalRecords() int { return len(nn.journal.records) }
+
+// JournalCheckpoints reports how many checkpoints have been rolled
+// since journaling was enabled (the initial image taken by
+// EnableJournal is the base, not a roll, and is not counted).
+func (nn *NameNode) JournalCheckpoints() int { return nn.journal.checkpoints }
+
+// Down reports whether the master is crashed.
+func (nn *NameNode) Down() bool { return nn.down }
+
+// Warming reports whether a report-mode recovery is still waiting for
+// block reports.
+func (nn *NameNode) Warming() bool { return len(nn.warming) > 0 }
+
+// WarmingNodes reports how many data nodes have not yet delivered their
+// post-recovery block report.
+func (nn *NameNode) WarmingNodes() int { return len(nn.warming) }
+
+// NeedsBlockReport reports whether a warming master is still waiting for
+// this node's block report.
+func (nn *NameNode) NeedsBlockReport(node topology.NodeID) bool { return nn.warming[node] }
+
+// journalAdd appends one record. It never checkpoints inline: a public
+// mutation may emit several records, and a checkpoint taken mid-operation
+// would snapshot a state the remaining records then double-apply onto.
+// Callers invoke journalMaybeCheckpoint at operation boundaries instead.
+func (nn *NameNode) journalAdd(rec journalRecord) {
+	if !nn.journal.enabled {
+		return
+	}
+	nn.journal.records = append(nn.journal.records, rec)
+}
+
+// journalMaybeCheckpoint rolls an automatic checkpoint once the record
+// threshold is reached. Public mutations call it after they have fully
+// applied, so the snapshot always reflects every folded record exactly
+// once.
+func (nn *NameNode) journalMaybeCheckpoint() {
+	if !nn.journal.enabled || nn.journal.every <= 0 || len(nn.journal.records) < nn.journal.every {
+		return
+	}
+	nn.rollCheckpoint()
+}
+
+// rollCheckpoint folds the journal into a fresh snapshot and publishes
+// JournalCheckpoint (Aux: records folded).
+func (nn *NameNode) rollCheckpoint() {
+	folded := len(nn.journal.records)
+	nn.journal.snap = nn.snapshot()
+	nn.journal.folded += uint64(folded)
+	nn.journal.records = nn.journal.records[:0]
+	nn.journal.checkpoints++
+	if nn.bus != nil {
+		ev := event.New(event.JournalCheckpoint)
+		ev.Aux = int64(folded)
+		nn.bus.Publish(ev)
+	}
+}
+
+// snapshot deep-copies the registry's authoritative state. Block
+// descriptors are immutable after creation and are shared, not copied;
+// File structs are copied because their Blocks slice grows during
+// CreateFile.
+func (nn *NameNode) snapshot() *registrySnapshot {
+	s := &registrySnapshot{
+		files:     make(map[FileID]*File, len(nn.files)),
+		blocks:    make(map[BlockID]*Block, nn.numBlocks),
+		locations: make(map[BlockID]map[topology.NodeID]ReplicaKind, nn.numBlocks),
+		failed:    make(map[topology.NodeID]bool, len(nn.failed)),
+		churned:   nn.churned,
+		nextFile:  nn.nextFile,
+		nextBlock: nn.nextBlock,
+	}
+	for id, f := range nn.files {
+		cp := *f
+		cp.Blocks = append([]BlockID(nil), f.Blocks...)
+		s.files[id] = &cp
+	}
+	for si := range nn.shards {
+		sh := &nn.shards[si]
+		for id, blk := range sh.blocks {
+			s.blocks[id] = blk
+		}
+		for id, locs := range sh.locations {
+			cp := make(map[topology.NodeID]ReplicaKind, len(locs))
+			for n, k := range locs {
+				cp[n] = k
+			}
+			s.locations[id] = cp
+		}
+		for id, nodes := range sh.corrupt {
+			if len(nodes) == 0 {
+				continue
+			}
+			if s.corrupt == nil {
+				s.corrupt = make(map[BlockID]map[topology.NodeID]bool)
+			}
+			cp := make(map[topology.NodeID]bool, len(nodes))
+			for n := range nodes {
+				cp[n] = true
+			}
+			s.corrupt[id] = cp
+		}
+	}
+	for n := range nn.failed {
+		s.failed[n] = true
+	}
+	return s
+}
+
+// restoreSnapshot replaces the registry with a deep copy of s and rebuilds
+// every derived structure (per-node mirrors, byte accounting, block
+// count). The snapshot itself is never aliased: a later crash can restore
+// from it again.
+func (nn *NameNode) restoreSnapshot(s *registrySnapshot) {
+	n := nn.topo.N()
+	nn.files = make(map[FileID]*File, len(s.files))
+	for id, f := range s.files {
+		cp := *f
+		cp.Blocks = append([]BlockID(nil), f.Blocks...)
+		nn.files[id] = &cp
+	}
+	for si := range nn.shards {
+		nn.shards[si].blocks = make(map[BlockID]*Block)
+		nn.shards[si].locations = make(map[BlockID]map[topology.NodeID]ReplicaKind)
+		nn.shards[si].corrupt = nil
+	}
+	nn.numBlocks = 0
+	for id, blk := range s.blocks {
+		nn.shard(id).blocks[id] = blk
+		nn.numBlocks++
+	}
+	nn.perNode = make([]map[BlockID]ReplicaKind, n)
+	for i := range nn.perNode {
+		nn.perNode[i] = make(map[BlockID]ReplicaKind)
+	}
+	nn.primaryBytes = make([]int64, n)
+	nn.dynamicBytes = make([]int64, n)
+	for id, locs := range s.locations {
+		cp := make(map[topology.NodeID]ReplicaKind, len(locs))
+		size := s.blocks[id].Size
+		for node, kind := range locs {
+			cp[node] = kind
+			nn.perNode[node][id] = kind
+			if kind == Primary {
+				nn.primaryBytes[node] += size
+			} else {
+				nn.dynamicBytes[node] += size
+			}
+		}
+		nn.shard(id).locations[id] = cp
+	}
+	for id, nodes := range s.corrupt {
+		sh := nn.shard(id)
+		if sh.corrupt == nil {
+			sh.corrupt = make(map[BlockID]map[topology.NodeID]bool)
+		}
+		cp := make(map[topology.NodeID]bool, len(nodes))
+		for node := range nodes {
+			cp[node] = true
+		}
+		sh.corrupt[id] = cp
+	}
+	nn.failed = make(map[topology.NodeID]bool, len(s.failed))
+	for node := range s.failed {
+		nn.failed[node] = true
+	}
+	nn.churned = s.churned
+	nn.nextFile = s.nextFile
+	nn.nextBlock = s.nextBlock
+}
+
+// replayJournal applies journal records to the registry with raw
+// mutations: no events, no validation, no journaling — replay of a valid
+// journal reconstructs exactly the state the records describe. A record
+// whose referent is missing (a truncated journal) is skipped rather than
+// trusted: replay is best-effort on damaged input, and the invariant
+// checker judges the result.
+func (nn *NameNode) replayJournal(records []journalRecord) {
+	for _, r := range records {
+		switch r.op {
+		case opNewFile:
+			if nn.files[r.file] == nil {
+				nn.files[r.file] = &File{ID: r.file, Name: r.name, Created: r.created}
+			}
+			if r.file >= nn.nextFile {
+				nn.nextFile = r.file + 1
+			}
+		case opNewBlock:
+			f := nn.files[r.file]
+			if f == nil {
+				continue // truncated journal: the opNewFile record is gone
+			}
+			sh := nn.shard(r.block)
+			if _, dup := sh.blocks[r.block]; !dup {
+				sh.blocks[r.block] = &Block{ID: r.block, File: r.file, Index: r.index, Size: r.size}
+				nn.numBlocks++
+				f.Blocks = append(f.Blocks, r.block)
+			}
+			if r.block >= nn.nextBlock {
+				nn.nextBlock = r.block + 1
+			}
+		case opAddReplica:
+			sh := nn.shard(r.block)
+			blk := sh.blocks[r.block]
+			if blk == nil {
+				continue
+			}
+			if _, dup := sh.locations[r.block][r.node]; dup {
+				continue
+			}
+			if sh.locations[r.block] == nil {
+				sh.locations[r.block] = make(map[topology.NodeID]ReplicaKind)
+			}
+			sh.locations[r.block][r.node] = r.kind
+			nn.perNode[r.node][r.block] = r.kind
+			if r.kind == Primary {
+				nn.primaryBytes[r.node] += blk.Size
+			} else {
+				nn.dynamicBytes[r.node] += blk.Size
+			}
+		case opRemoveReplica:
+			sh := nn.shard(r.block)
+			kind, ok := sh.locations[r.block][r.node]
+			if !ok {
+				continue
+			}
+			nn.clearCorrupt(r.block, r.node)
+			delete(sh.locations[r.block], r.node)
+			delete(nn.perNode[r.node], r.block)
+			if kind == Primary {
+				nn.primaryBytes[r.node] -= sh.blocks[r.block].Size
+			} else {
+				nn.dynamicBytes[r.node] -= sh.blocks[r.block].Size
+			}
+		case opMarkCorrupt:
+			sh := nn.shard(r.block)
+			if _, ok := sh.locations[r.block][r.node]; !ok {
+				continue
+			}
+			if sh.corrupt == nil {
+				sh.corrupt = make(map[BlockID]map[topology.NodeID]bool)
+			}
+			if sh.corrupt[r.block] == nil {
+				sh.corrupt[r.block] = make(map[topology.NodeID]bool)
+			}
+			sh.corrupt[r.block][r.node] = true
+		case opNodeFail:
+			nn.failed[r.node] = true
+			nn.churned = true
+		case opNodeJoin:
+			delete(nn.failed, r.node)
+		case opChurn:
+			nn.churned = true
+		}
+	}
+}
+
+// Crash takes the master down. Every metadata mutation (and the
+// registration paths) returns ErrMasterDown until Recover. The journal
+// must be enabled first — it is the FsImage the restarted master boots
+// from. Crash also captures each data node's disk contents, so a
+// report-mode recovery can synthesize the block reports the nodes would
+// send (their disks outlive the master process).
+func (nn *NameNode) Crash() error {
+	if !nn.journal.enabled {
+		return fmt.Errorf("dfs: cannot crash a master without a metadata journal (EnableJournal first)")
+	}
+	if nn.down {
+		return fmt.Errorf("dfs: master already down")
+	}
+	nn.down = true
+	nn.diskTruth = make([][]diskReplica, nn.topo.N())
+	for node := range nn.perNode {
+		blocks := make([]BlockID, 0, len(nn.perNode[node]))
+		for b := range nn.perNode[node] {
+			blocks = append(blocks, b)
+		}
+		sortBlockIDs(blocks)
+		disk := make([]diskReplica, 0, len(blocks))
+		for _, b := range blocks {
+			disk = append(disk, diskReplica{
+				block:   b,
+				kind:    nn.perNode[node][b],
+				corrupt: nn.IsCorrupt(b, topology.NodeID(node)),
+			})
+		}
+		nn.diskTruth[node] = disk
+	}
+	return nil
+}
+
+// Recover brings a crashed master back.
+//
+// In journal mode the registry is rebuilt from the last checkpoint plus
+// journal replay — the derived structures are reconstructed from scratch,
+// so the rebuild is a genuine recovery path, not a no-op — and a fresh
+// checkpoint is rolled. The rebuilt state is bit-identical to the
+// pre-crash state (nothing can mutate while down); the differential fuzz
+// tests pin this.
+//
+// In report mode only the namespace survives: every replica location is
+// discarded (with ReplicaRemove events in sorted order, so locality
+// indices and policies coherently unlearn them) and each live node joins
+// the warming set. DeliverBlockReport then restores locations node by
+// node; the churned latch is set because blocks legitimately have zero
+// known replicas until their holders report.
+func (nn *NameNode) Recover(mode RecoveryMode) error {
+	if !nn.down {
+		return fmt.Errorf("dfs: master is not down")
+	}
+	// Rebuild from durable state in both modes: checkpoint + replay.
+	nn.restoreSnapshot(nn.journal.snap)
+	nn.replayJournal(nn.journal.records)
+	nn.down = false
+	if mode == RecoverJournal {
+		nn.diskTruth = nil
+		nn.rollCheckpoint()
+		return nil
+	}
+	// Report mode: the block map did not survive; drop every location and
+	// wait for the data nodes to re-report. Collect first, then publish in
+	// sorted (block, node) order for a deterministic trace.
+	type loc struct {
+		block BlockID
+		node  topology.NodeID
+		kind  ReplicaKind
+	}
+	var dropped []loc
+	for si := range nn.shards {
+		sh := &nn.shards[si]
+		for b, locs := range sh.locations {
+			for node, kind := range locs {
+				dropped = append(dropped, loc{b, node, kind})
+			}
+		}
+	}
+	sort.Slice(dropped, func(i, j int) bool {
+		if dropped[i].block != dropped[j].block {
+			return dropped[i].block < dropped[j].block
+		}
+		return dropped[i].node < dropped[j].node
+	})
+	for _, l := range dropped {
+		sh := nn.shard(l.block)
+		nn.clearCorrupt(l.block, l.node)
+		delete(sh.locations[l.block], l.node)
+		delete(nn.perNode[l.node], l.block)
+		if l.kind == Primary {
+			nn.primaryBytes[l.node] -= sh.blocks[l.block].Size
+		} else {
+			nn.dynamicBytes[l.node] -= sh.blocks[l.block].Size
+		}
+		nn.journalAdd(journalRecord{op: opRemoveReplica, block: l.block, node: l.node})
+		nn.publishReplica(event.ReplicaRemove, l.block, l.node, l.kind == Dynamic)
+	}
+	nn.churned = true
+	nn.journalAdd(journalRecord{op: opChurn})
+	nn.warming = make(map[topology.NodeID]bool)
+	for i := 0; i < nn.topo.N(); i++ {
+		if !nn.failed[topology.NodeID(i)] {
+			nn.warming[topology.NodeID(i)] = true
+		}
+	}
+	if len(nn.warming) == 0 {
+		nn.finishWarming()
+	}
+	return nil
+}
+
+// DeliverBlockReport applies one data node's block report to a warming
+// master: every replica the node's disk holds (captured at crash time) is
+// registered, corruption marks included, with the usual ReplicaAdd events
+// so locality indices and policies re-learn the copies. It publishes
+// BlockReport (Aux: replicas reported) and, when the last expected node
+// has reported, rolls a post-recovery checkpoint. Reports from nodes the
+// master is not waiting on are rejected.
+func (nn *NameNode) DeliverBlockReport(node topology.NodeID) (int, error) {
+	if nn.down {
+		return 0, fmt.Errorf("dfs: node %d block report: %w", node, ErrMasterDown)
+	}
+	if !nn.warming[node] {
+		return 0, fmt.Errorf("dfs: master is not expecting a block report from node %d", node)
+	}
+	var disk []diskReplica
+	if int(node) < len(nn.diskTruth) {
+		disk = nn.diskTruth[node]
+	}
+	reported := 0
+	for _, d := range disk {
+		sh := nn.shard(d.block)
+		blk := sh.blocks[d.block]
+		if blk == nil {
+			continue // namespace dropped the block meanwhile
+		}
+		if _, exists := sh.locations[d.block][node]; exists {
+			continue
+		}
+		if sh.locations[d.block] == nil {
+			sh.locations[d.block] = make(map[topology.NodeID]ReplicaKind)
+		}
+		sh.locations[d.block][node] = d.kind
+		nn.perNode[node][d.block] = d.kind
+		if d.kind == Primary {
+			nn.primaryBytes[node] += blk.Size
+		} else {
+			nn.dynamicBytes[node] += blk.Size
+		}
+		nn.journalAdd(journalRecord{op: opAddReplica, block: d.block, node: node, kind: d.kind})
+		nn.publishReplica(event.ReplicaAdd, d.block, node, d.kind == Dynamic)
+		if d.corrupt {
+			// The bad bytes are still on disk; the restarted master just
+			// does not know yet — the mark models the disk, and re-applying
+			// it keeps detection-on-read working across the failover.
+			if sh.corrupt == nil {
+				sh.corrupt = make(map[BlockID]map[topology.NodeID]bool)
+			}
+			if sh.corrupt[d.block] == nil {
+				sh.corrupt[d.block] = make(map[topology.NodeID]bool)
+			}
+			sh.corrupt[d.block][node] = true
+			nn.journalAdd(journalRecord{op: opMarkCorrupt, block: d.block, node: node})
+		}
+		reported++
+	}
+	delete(nn.warming, node)
+	if nn.bus != nil {
+		ev := event.New(event.BlockReport)
+		ev.Node = int32(node)
+		ev.Rack = int32(nn.topo.Rack(node))
+		ev.Aux = int64(reported)
+		nn.bus.Publish(ev)
+	}
+	if len(nn.warming) == 0 {
+		nn.finishWarming()
+	}
+	return reported, nil
+}
+
+// finishWarming ends a report-mode recovery: the view is as warm as it
+// will get, so fold the reported state into a fresh checkpoint.
+func (nn *NameNode) finishWarming() {
+	nn.warming = nil
+	nn.diskTruth = nil
+	nn.rollCheckpoint()
+}

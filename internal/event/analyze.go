@@ -23,6 +23,16 @@ type TraceStats struct {
 	// it at ~83% of all bus events before coalescing).
 	Heartbeats uint64
 
+	// MasterOutages pairs MasterCrash events with their recoveries;
+	// MasterDowntime sums the crash→recover spans (an outage the trace ends
+	// inside counts up to the last event). DeferredHeartbeats and
+	// DeferredReads are the work that piled up while the control plane was
+	// down, as carried on the MasterRecover events.
+	MasterOutages      uint64
+	MasterDowntime     float64
+	DeferredHeartbeats int64
+	DeferredReads      int64
+
 	// Unknown counts events whose kind this binary does not know (a trace
 	// from a newer simulator); they contribute to the span but to no
 	// per-kind tally.
@@ -34,6 +44,7 @@ type TraceStats struct {
 // than panicking, so old analyzers survive newer traces.
 func Summarize(events []Event) TraceStats {
 	var s TraceStats
+	downSince, down := 0.0, false
 	for i, ev := range events {
 		if int(ev.Kind) >= NumKinds {
 			s.Unknown++
@@ -44,12 +55,27 @@ func Summarize(events []Event) TraceStats {
 			s.Start = ev.Time
 		}
 		s.End = ev.Time
-		if ev.Kind == TaskLaunch && ev.Block >= 0 {
+		switch {
+		case ev.Kind == TaskLaunch && ev.Block >= 0:
 			s.MapLaunches++
 			if ev.Flag {
 				s.LocalMapLaunches++
 			}
+		case ev.Kind == MasterCrash:
+			s.MasterOutages++
+			downSince, down = ev.Time, true
+		case ev.Kind == MasterRecover:
+			if down {
+				s.MasterDowntime += ev.Time - downSince
+				down = false
+			}
+			s.DeferredHeartbeats += ev.Aux
+			s.DeferredReads += ev.Block
 		}
+	}
+	if down {
+		// The trace ends mid-outage: count the observed part of it.
+		s.MasterDowntime += s.End - downSince
 	}
 	s.ReplicasAdded = s.Counts[ReplicaAdd]
 	s.ReplicasRemoved = s.Counts[ReplicaRemove]
@@ -78,6 +104,14 @@ func RenderTraceStats(s TraceStats) string {
 	}
 	fmt.Fprintf(&b, "replicas    +%d added, -%d removed (net %+d)\n",
 		s.ReplicasAdded, s.ReplicasRemoved, int64(s.ReplicasAdded)-int64(s.ReplicasRemoved))
+	if s.MasterOutages > 0 {
+		line := fmt.Sprintf("master      %d outages, %.1f sim seconds unavailable", s.MasterOutages, s.MasterDowntime)
+		if span := s.End - s.Start; span > 0 {
+			line += fmt.Sprintf(" (%.1f%%)", 100*s.MasterDowntime/span)
+		}
+		line += fmt.Sprintf(", %d heartbeats and %d reads deferred", s.DeferredHeartbeats, s.DeferredReads)
+		fmt.Fprintf(&b, "%s\n", line)
+	}
 	if s.Unknown > 0 {
 		fmt.Fprintf(&b, "unknown     %d events of kinds this binary does not know\n", s.Unknown)
 	}

@@ -61,6 +61,13 @@ const (
 	ReadRetry      // a map attempt fell back to another replica after a corrupt read (Aux: retry ordinal, 1-based)
 	HedgedRead     // a slow remote read launched a backup fetch (Aux: hedge source node; Flag: the hedge won)
 
+	// Control-plane fault-tolerance layer (published by dfs.NameNode and
+	// mapreduce.Tracker; see DESIGN.md §4h).
+	MasterCrash       // the control plane went down (Aux: journaled records at crash; Flag: report-mode recovery selected)
+	MasterRecover     // the control plane came back (Aux: heartbeats deferred during the outage; Block: reads deferred; Flag: report-mode recovery)
+	BlockReport       // a datanode delivered its block report to a warming master (Aux: replicas reported)
+	JournalCheckpoint // the metadata journal rolled into a checkpoint (Aux: journal records folded in)
+
 	numKinds
 )
 
@@ -87,6 +94,11 @@ var kindNames = [NumKinds]string{
 	ReplicaCorrupt: "replica-corrupt",
 	ReadRetry:      "read-retry",
 	HedgedRead:     "hedged-read",
+
+	MasterCrash:       "master-crash",
+	MasterRecover:     "master-recover",
+	BlockReport:       "block-report",
+	JournalCheckpoint: "journal-checkpoint",
 }
 
 // String returns the stable wire name of the kind (used in JSONL traces).

@@ -65,3 +65,39 @@ func TestSummarizeToleratesSyntheticKind(t *testing.T) {
 		t.Error("RenderTraceStats does not surface the unknown-event count")
 	}
 }
+
+func TestSummarizeMasterDowntime(t *testing.T) {
+	evs := []Event{
+		{Kind: JobArrive, Time: 0},
+		{Kind: MasterCrash, Time: 10, Aux: 120},
+		{Kind: MasterRecover, Time: 25, Aux: 40, Block: 3},
+		{Kind: MasterCrash, Time: 60},
+		{Kind: MasterRecover, Time: 70, Aux: 11, Block: 0},
+		{Kind: JobFinish, Time: 100},
+	}
+	s := Summarize(evs)
+	if s.MasterOutages != 2 {
+		t.Errorf("outages = %d, want 2", s.MasterOutages)
+	}
+	if s.MasterDowntime != 25 {
+		t.Errorf("downtime = %g, want 25", s.MasterDowntime)
+	}
+	if s.DeferredHeartbeats != 51 || s.DeferredReads != 3 {
+		t.Errorf("deferred = %d hb / %d reads, want 51/3", s.DeferredHeartbeats, s.DeferredReads)
+	}
+	out := RenderTraceStats(s)
+	if !strings.Contains(out, "master      2 outages, 25.0 sim seconds unavailable (25.0%), 51 heartbeats and 3 reads deferred") {
+		t.Errorf("downtime line missing or wrong:\n%s", out)
+	}
+
+	// A trace that ends mid-outage counts the observed tail, and a trace
+	// with no master events prints no master line at all.
+	cut := Summarize(evs[:4])
+	if cut.MasterDowntime != 15 {
+		t.Errorf("mid-outage downtime = %g, want 15 (crash at 60, trace ends at 60)", cut.MasterDowntime)
+	}
+	quiet := Summarize(evs[:1])
+	if strings.Contains(RenderTraceStats(quiet), "master ") {
+		t.Error("master line printed for a trace with no outages")
+	}
+}

@@ -194,6 +194,15 @@ func (t *Tracker) failNode(node *Node) {
 	if !node.Up {
 		return
 	}
+	if t.master.down {
+		// Data plane only: the node really dies — its tasks are lost and
+		// its heartbeats stop — but no master is there to declare it dead,
+		// so the metadata scrub and repair wait for recovery.
+		t.killNodeDataPlane(node)
+		t.master.pending = append(t.master.pending, pendingNodeEvent{node: node.ID})
+		t.master.unobserved[node.ID] = true
+		return
+	}
 	t.killNode(node, -1)
 	if !t.repairDisabled {
 		t.scheduleRepairs()
@@ -217,12 +226,27 @@ func (t *Tracker) failRack(rack int) {
 // re-queue (with attempt accounting), metadata is scrubbed, and the event
 // is recorded. rack tags rack-correlated failures (-1 for independent).
 func (t *Tracker) killNode(node *Node, rack int) {
+	ev := FailureEvent{Time: t.c.Eng.Now(), Node: node.ID, Rack: rack}
+	ev.KilledMaps, ev.KilledReduces = t.killNodeDataPlane(node)
+
+	// Metadata impact + availability snapshot.
+	ev.Report = t.c.NN.FailNode(node.ID)
+	ev.AvailableBlocks, ev.TotalBlocks = t.c.NN.Availability()
+	ev.WeightedAvailability = t.c.NN.WeightedAvailability(t.blockWeights())
+	ev.Backlog = len(t.c.NN.UnderReplicated())
+	t.failureEvents = append(t.failureEvents, ev)
+}
+
+// killNodeDataPlane takes the node's process down — heartbeats stop, its
+// in-flight attempts die and re-queue — without touching the name node.
+// killNode layers the metadata scrub and snapshot on top; during a master
+// outage the scrub is deferred until the master recovers (failNode queues a
+// pending event instead). Returns the killed task counts.
+func (t *Tracker) killNodeDataPlane(node *Node) (killedMaps, killedReduces int) {
 	node.Up = false
 	// Stop the node's heartbeat: no new tasks land there. The driver is
 	// nil before Run and its Stop is a no-op then.
 	t.hb.Stop(node.ID)
-
-	ev := FailureEvent{Time: t.c.Eng.Now(), Node: node.ID, Rack: rack}
 
 	// Kill in-flight tasks and requeue their work.
 	recs := t.inflight[node]
@@ -260,22 +284,16 @@ func (t *Tracker) killNode(node *Node, rack int) {
 			if !r.group.done && len(r.group.recs) == 0 {
 				fe.Aux = 1
 			}
-			ev.KilledMaps++
+			killedMaps++
 		} else {
 			r.job.runningReduces--
 			r.job.pendingReduces++
-			ev.KilledReduces++
+			killedReduces++
 		}
 		t.bus.Publish(fe)
 	}
 	delete(t.inflight, node)
-
-	// Metadata impact + availability snapshot.
-	ev.Report = t.c.NN.FailNode(node.ID)
-	ev.AvailableBlocks, ev.TotalBlocks = t.c.NN.Availability()
-	ev.WeightedAvailability = t.c.NN.WeightedAvailability(t.blockWeights())
-	ev.Backlog = len(t.c.NN.UnderReplicated())
-	t.failureEvents = append(t.failureEvents, ev)
+	return killedMaps, killedReduces
 }
 
 // recoverNode executes one scheduled rejoin: HDFS-style re-registration.
@@ -285,6 +303,21 @@ func (t *Tracker) killNode(node *Node, rack int) {
 // can both enable repairs that had no target and raise the replication
 // floor min(replication, up nodes).
 func (t *Tracker) recoverNode(node *Node) {
+	if t.master.down {
+		if node.Up {
+			return
+		}
+		// The node boots and idles: slots and heartbeats return, but the
+		// master registration waits for recovery.
+		node.Up = true
+		node.FreeMapSlots = t.c.Profile.MapSlotsPerNode
+		node.FreeReduceSlots = t.c.Profile.ReduceSlotsPerNode
+		node.SlowFactor, node.DiskFactor = 1, 1
+		t.hb.Resume(node.ID)
+		t.master.pending = append(t.master.pending, pendingNodeEvent{node: node.ID, recover: true})
+		t.master.unobserved[node.ID] = true
+		return
+	}
 	if node.Up || !t.c.NN.NodeFailed(node.ID) {
 		return // up, or tracker and name node views diverged (invariant check will flag it)
 	}
@@ -359,14 +392,25 @@ func (t *Tracker) deferRepair(b dfs.BlockID, delay float64) {
 	if at := t.c.Eng.Now() + delay; at > t.lastRepairAt {
 		t.lastRepairAt = at
 	}
-	t.c.Eng.Defer(delay, func() { t.repairBlock(b) })
+	t.c.Eng.Defer(delay, func() { t.repairBlock(b, 0) })
 }
 
 // repairBlock copies one replica of b onto a fresh node, if b still needs
 // it. A block short by more than one replica (rack failure) chains another
-// copy rather than waiting for a future failure's repair round.
-func (t *Tracker) repairBlock(b dfs.BlockID) {
+// copy rather than waiting for a future failure's repair round. If the
+// master is down when the copy would register, the stream retries with
+// capped exponential backoff (outageRetry counts consecutive retries).
+func (t *Tracker) repairBlock(b dfs.BlockID, outageRetry int) {
 	delete(t.repairInFlight, b)
+	if t.master.down {
+		t.repairInFlight[b] = true
+		delay := t.masterRetryDelay(outageRetry)
+		if at := t.c.Eng.Now() + delay; at > t.lastRepairAt {
+			t.lastRepairAt = at
+		}
+		t.c.Eng.Defer(delay, func() { t.repairBlock(b, outageRetry+1) })
+		return
+	}
 	if !t.c.NN.IsUnderReplicated(b) {
 		return // repaired by a concurrent stream, or lost entirely
 	}

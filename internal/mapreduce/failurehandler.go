@@ -112,11 +112,15 @@ func (h *failureHandler) failJob(j *Job) {
 // blacklists it at the threshold — unless that would leave the scheduler
 // no usable node at all.
 func (h *failureHandler) noteNodeTaskFailure(node *Node) {
-	if h.blacklistAfter <= 0 || node.Blacklisted || !node.Up {
+	if h.blacklistAfter <= 0 || !node.Up {
 		return
 	}
+	// Count the failure even on an already-blacklisted node (its in-flight
+	// attempts can still fail after the verdict): the counter must match
+	// the journaled blame ledger record for record, and NodeRecover resets
+	// both together.
 	h.nodeTaskFailures[node.ID]++
-	if h.nodeTaskFailures[node.ID] < h.blacklistAfter {
+	if node.Blacklisted || h.nodeTaskFailures[node.ID] < h.blacklistAfter {
 		return
 	}
 	usable := 0

@@ -1,10 +1,12 @@
 package mapreduce
 
 import (
+	"errors"
 	"fmt"
 
 	"dare/internal/dfs"
 	"dare/internal/event"
+	"dare/internal/retry"
 	"dare/internal/stats"
 	"dare/internal/topology"
 )
@@ -262,6 +264,12 @@ func (t *Tracker) flapNode(node *Node, downFor float64) {
 	if !node.Up {
 		return
 	}
+	if t.master.down {
+		// A flap IS a master decision — the false-dead declaration comes
+		// from the master's heartbeat timeout. No master, no declaration:
+		// the episode simply does not happen.
+		return
+	}
 	t.killNode(node, -1)
 	fe := &t.failureEvents[len(t.failureEvents)-1]
 	fe.Flap = true
@@ -373,11 +381,7 @@ func (t *Tracker) grayRead(j *Job, node *Node, b dfs.BlockID, size int64) float6
 				excluded = make(map[topology.NodeID]bool, 2)
 			}
 			excluded[src] = true
-			backoff := g.retryBase * float64(int64(1)<<uint(attempt))
-			if backoff > g.retryCap || backoff <= 0 {
-				backoff = g.retryCap
-			}
-			elapsed += backoff
+			elapsed += retry.Backoff{Base: g.retryBase, Cap: g.retryCap}.Delay(attempt)
 			g.stats.ReadRetries++
 			rev := event.New(event.ReadRetry)
 			rev.Job = int32(j.Spec.ID)
@@ -417,18 +421,34 @@ func (t *Tracker) chooseGraySource(node *Node, b dfs.BlockID, size int64, exclud
 // concurrent reader may have already quarantined it; re-check at fire
 // time.
 func (t *Tracker) deferQuarantine(offset float64, b dfs.BlockID, src topology.NodeID) {
-	t.c.Eng.Defer(offset, func() {
-		if !t.c.NN.IsCorrupt(b, src) {
-			return // already quarantined by an earlier reader
+	t.c.Eng.Defer(offset, func() { t.quarantineNow(b, src, 0) })
+}
+
+// quarantineNow performs the checksum-failure report. When the master is
+// down the reader holds its verdict and re-reports with capped exponential
+// backoff (outageRetry counts consecutive retries); any other error means
+// the replica vanished meanwhile (failure, eviction) and the report drops.
+func (t *Tracker) quarantineNow(b dfs.BlockID, src topology.NodeID, outageRetry int) {
+	if !t.c.NN.IsCorrupt(b, src) {
+		return // already quarantined by an earlier reader
+	}
+	if err := t.c.NN.QuarantineReplica(b, src); err != nil {
+		if errors.Is(err, dfs.ErrMasterDown) {
+			if outageRetry == 0 {
+				// Count the held verdict once, not once per retry tick.
+				t.master.outageReads++
+				t.master.stats.DeferredReads++
+			}
+			t.c.Eng.Defer(t.masterRetryDelay(outageRetry), func() {
+				t.quarantineNow(b, src, outageRetry+1)
+			})
 		}
-		if err := t.c.NN.QuarantineReplica(b, src); err != nil {
-			return // replica vanished meanwhile (failure, eviction)
-		}
-		t.gray.stats.CorruptionsDetected++
-		if !t.repairDisabled {
-			t.scheduleRepairs()
-		}
-	})
+		return
+	}
+	t.gray.stats.CorruptionsDetected++
+	if !t.repairDisabled {
+		t.scheduleRepairs()
+	}
 }
 
 // trackRemoteRead accounts one winning remote fetch against the

@@ -52,6 +52,9 @@ type Tracker struct {
 	// Gray-failure injection state (see gray.go).
 	gray grayState
 
+	// Control-plane failover state (see master.go).
+	master masterState
+
 	// weights caches the access-weight map backing per-event weighted
 	// availability snapshots; built lazily from the workload.
 	weights map[dfs.BlockID]float64
@@ -157,6 +160,9 @@ func (t *Tracker) Run() ([]Result, error) {
 	if err := t.scheduleInjectedGray(); err != nil {
 		return nil, err
 	}
+	if err := t.scheduleInjectedMaster(); err != nil {
+		return nil, err
+	}
 	// De-synchronized heartbeats, like real clusters: one coalesced event
 	// per cohort per interval (or one ticker per node in the equivalence-
 	// testing mode).
@@ -174,6 +180,9 @@ func (t *Tracker) Run() ([]Result, error) {
 	}
 	if t.checker.err != nil {
 		return nil, t.checker.err
+	}
+	if t.master.err != nil {
+		return nil, t.master.err
 	}
 	if t.completed != t.totalJobs {
 		return nil, fmt.Errorf("mapreduce: only %d/%d jobs completed by horizon %g", t.completed, t.totalJobs, horizon)
@@ -207,6 +216,18 @@ func (t *Tracker) arrive(spec workload.Job) {
 // heartbeat offers node's free slots to the scheduler, Hadoop-style: the
 // task tracker reports in, the job tracker hands back tasks.
 func (t *Tracker) heartbeat(node *Node) {
+	if t.master.down {
+		// Nobody answers: the task tracker retries next interval. No
+		// Heartbeat event fires, so the speculator stays silent too.
+		t.master.outageHeartbeats++
+		t.master.stats.DeferredHeartbeats++
+		return
+	}
+	if t.master.enabled && t.c.NN.NeedsBlockReport(node.ID) {
+		// First contact with a warming master delivers the node's block
+		// report before any scheduling (even a blacklisted node reports).
+		t.deliverReport(node)
+	}
 	if node.Blacklisted {
 		return // reports in, gets no work (Hadoop blacklist semantics)
 	}

@@ -7,6 +7,7 @@ import (
 	"dare/internal/chaos"
 	"dare/internal/config"
 	"dare/internal/core"
+	"dare/internal/dfs"
 	"dare/internal/mapreduce"
 	"dare/internal/stats"
 	"dare/internal/topology"
@@ -34,6 +35,16 @@ type ChaosSpec struct {
 	// second fetch; 0 uses 3x the heartbeat interval, negative disables
 	// hedging.
 	HedgeTimeout float64
+	// MasterWeight sets the master-crash class frequency. Unlike the node
+	// classes it defaults to 0 — chaos never takes the control plane down
+	// unless explicitly asked (existing scenarios stay byte-identical).
+	MasterWeight float64
+	// MasterDown is the mean control-plane outage length; 0 defaults to a
+	// sixteenth of the span when MasterWeight > 0.
+	MasterDown float64
+	// MasterRecovery selects the rebuild mode for chaos-driven outages:
+	// "journal" (default) or "report".
+	MasterRecovery string
 }
 
 // DefaultChaosSpec scales a chaos scenario to an arrival span: 16
@@ -91,6 +102,14 @@ func (s ChaosSpec) resolve(span float64) ChaosSpec {
 	if s.FlapDown <= 0 {
 		s.FlapDown = def.FlapDown
 	}
+	// MasterWeight deliberately skips the zero-fills-default pattern: its
+	// default IS zero (disabled), so only the negative sentinel maps down.
+	if s.MasterWeight < 0 {
+		s.MasterWeight = 0
+	}
+	if s.MasterWeight > 0 && s.MasterDown <= 0 {
+		s.MasterDown = span / 16
+	}
 	return s
 }
 
@@ -117,6 +136,12 @@ func wireChaos(tracker *mapreduce.Tracker, opts Options) error {
 		SlowMean:      cs.SlowMean,
 		SlowFactorMax: cs.SlowFactorMax,
 		FlapDown:      cs.FlapDown,
+		MasterWeight:  cs.MasterWeight,
+		MasterDown:    cs.MasterDown,
+	}
+	masterMode, err := dfs.RecoveryModeFromString(cs.MasterRecovery)
+	if err != nil {
+		return err
 	}
 	actions, err := chaos.Generate(opts.Profile.Slaves, spec, stats.NewRNG(opts.Seed).Split(0xCA05))
 	if err != nil {
@@ -142,6 +167,8 @@ func wireChaos(tracker *mapreduce.Tracker, opts Options) error {
 			tracker.ScheduleRandomCorruption(a.At)
 		case chaos.Flap:
 			tracker.ScheduleNodeFlap(topology.NodeID(a.Node), a.At, a.Down)
+		case chaos.MasterCrash:
+			tracker.ScheduleMasterOutage(a.At, a.Down, masterMode)
 		}
 	}
 	return nil

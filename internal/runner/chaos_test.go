@@ -75,6 +75,41 @@ func TestChaosStudyDeterministic(t *testing.T) {
 	}
 }
 
+// A positive MasterWeight folds control-plane outages into the chaos mix:
+// the master crashes at least once and every job still completes under the
+// invariant checker.
+func TestChaosWithMasterWeight(t *testing.T) {
+	profile := config.CCT()
+	profile.RackSize = 5
+	profile.ReplicationFactor = 2
+	wl := truncate(workload.WL1(5), 80)
+	out, err := Run(Options{
+		Profile:   profile,
+		Workload:  wl,
+		Scheduler: "fifo",
+		Policy:    PolicyFor(core.ElephantTrapPolicy),
+		Seed:      5,
+		Chaos: &ChaosSpec{
+			Events:         24,
+			MasterWeight:   3,
+			MasterRecovery: "report",
+		},
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Master.Outages == 0 {
+		t.Fatal("MasterWeight=3 over 24 draws never crashed the master")
+	}
+	if out.Master.BlockReports == 0 {
+		t.Fatal("report-mode chaos recovery delivered no block reports")
+	}
+	if len(out.Results) != 80 {
+		t.Fatalf("results %d", len(out.Results))
+	}
+}
+
 // Disabling every class but corruption must produce a corruption-only
 // scenario (negative weights disable; the resolver maps them to zero).
 func TestChaosSpecClassDisable(t *testing.T) {

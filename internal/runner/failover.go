@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/mapreduce"
+	"dare/internal/workload"
+)
+
+// Experiment A17: control-plane failover. The master (name node + job
+// tracker) crashes twice mid-workload and recovers either by journal
+// replay (checkpoint + edit log, instant full view) or by block reports
+// (cold registry progressively warmed by per-node reports over the next
+// heartbeat interval). Every arm sees the identical outage schedule; the
+// comparison shows what each recovery mode costs in control-plane
+// availability and turnaround, and whether DARE's popularity-skewed extra
+// replicas change the warming curve (hot blocks come back with the first
+// reports because more nodes hold them).
+
+// FailoverRow summarizes one policy×recovery-mode arm under an identical
+// master-outage schedule.
+type FailoverRow struct {
+	Policy string
+	// Mode is the recovery mode: "journal" or "report".
+	Mode string
+	// Outages counts master crashes; Downtime sums crash→recover spans;
+	// WarmupTime sums recover→fully-warm spans (0 in journal mode).
+	Outages    int
+	Downtime   float64
+	WarmupTime float64
+	// BlockReports counts per-node reports delivered to warming masters.
+	BlockReports int
+	// DeferredHeartbeats and DeferredReads count the work that piled up
+	// while the master was down (unanswered heartbeats; map reads killed
+	// at crashes plus quarantines that had to wait).
+	DeferredHeartbeats int64
+	DeferredReads      int64
+	// KilledTasks counts in-flight attempts lost to crashes and requeued.
+	KilledTasks int
+	// Checkpoints counts metadata-journal checkpoints rolled.
+	Checkpoints int
+	// MasterAvailability is the time-averaged access-weighted availability
+	// of the master's block view over the run: zero while down, the
+	// warming curve's value while reports arrive, the true availability
+	// otherwise.
+	MasterAvailability float64
+	// GMTT and FailedJobs are the workload-impact metrics.
+	GMTT       float64
+	FailedJobs int
+}
+
+// FailoverStudy runs wl1 under two identically-scheduled master outages
+// (at 25% and 60% of the arrival span, each a sixteenth of the span long)
+// for fifo × {vanilla, ElephantTrap} × {journal, report} on the multi-rack
+// CCT layout the churn and chaos studies use (racks of 5, replication
+// factor 2). check enables the full invariant checker after every
+// node-lifecycle and master-recovery event.
+func FailoverStudy(jobs int, seed uint64, check bool) ([]FailoverRow, error) {
+	if jobs <= 0 {
+		jobs = 300
+	}
+	wl := truncate(workload.WL1(seed), jobs)
+	span := 0.0
+	if n := len(wl.Jobs); n > 0 {
+		span = wl.Jobs[n-1].Arrival
+	}
+
+	profile := config.CCT()
+	profile.RackSize = 5
+	profile.ReplicationFactor = 2
+
+	outages := func(mode string) []MasterOutage {
+		return []MasterOutage{
+			{At: 0.25 * span, Down: span / 16, Mode: mode},
+			{At: 0.60 * span, Down: span / 16, Mode: mode},
+		}
+	}
+
+	type arm struct {
+		kind core.PolicyKind
+		mode string
+	}
+	var arms []arm
+	for _, kind := range []core.PolicyKind{core.NonePolicy, core.ElephantTrapPolicy} {
+		for _, mode := range []string{"journal", "report"} {
+			arms = append(arms, arm{kind, mode})
+		}
+	}
+	rows := make([]FailoverRow, len(arms))
+	err := forEachIndex(len(arms), func(i int) error {
+		out, err := Run(Options{
+			Profile:         profile,
+			Workload:        wl,
+			Scheduler:       "fifo",
+			Policy:          PolicyFor(arms[i].kind),
+			Seed:            seed,
+			MasterOutages:   outages(arms[i].mode),
+			CheckInvariants: check,
+		})
+		if err != nil {
+			return fmt.Errorf("runner: failover/%s/%s: %w", arms[i].kind, arms[i].mode, err)
+		}
+		m := out.Master
+		rows[i] = FailoverRow{
+			Policy:             arms[i].kind.String(),
+			Mode:               arms[i].mode,
+			Outages:            m.Outages,
+			Downtime:           m.Downtime,
+			WarmupTime:         m.WarmupTime,
+			BlockReports:       m.BlockReports,
+			DeferredHeartbeats: m.DeferredHeartbeats,
+			DeferredReads:      m.DeferredReads,
+			KilledTasks:        m.KilledMaps + m.KilledReduces,
+			Checkpoints:        m.JournalCheckpoints,
+			MasterAvailability: masterAvailability(out.MasterEvents, out.Summary.Makespan),
+			GMTT:               out.Summary.GMTT,
+			FailedJobs:         out.Summary.FailedJobs,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// masterAvailability integrates the master's access-weighted availability
+// samples into a time average over [0, makespan]: full knowledge (1.0)
+// until the first event, zero while down, and the sampled warming-curve
+// value after each recovery or block report.
+func masterAvailability(events []mapreduce.MasterEvent, makespan float64) float64 {
+	if makespan <= 0 {
+		return 1
+	}
+	cur, last, acc := 1.0, 0.0, 0.0
+	for _, e := range events {
+		t := e.Time
+		if t > makespan {
+			t = makespan
+		}
+		if t > last {
+			acc += cur * (t - last)
+			last = t
+		}
+		switch e.Kind {
+		case mapreduce.MasterWentDown:
+			cur = 0
+		case mapreduce.MasterCameBack, mapreduce.MasterGotReport:
+			cur = e.WeightedAvailability
+		}
+	}
+	if makespan > last {
+		acc += cur * (makespan - last)
+	}
+	return acc / makespan
+}
+
+// RenderFailover prints the failover comparison.
+func RenderFailover(rows []FailoverRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-8s %7s %9s %7s %8s %8s %7s %7s %6s %12s %8s %7s\n",
+		"policy", "mode", "outages", "downtime", "warmup", "reports", "hb-defer", "rd-defer",
+		"killed", "ckpts", "master-avail", "gmtt", "failed")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-8s %7d %9.2f %7.2f %8d %8d %7d %7d %6d %12.4f %8.2f %7d\n",
+			r.Policy, r.Mode, r.Outages, r.Downtime, r.WarmupTime, r.BlockReports,
+			r.DeferredHeartbeats, r.DeferredReads, r.KilledTasks, r.Checkpoints,
+			r.MasterAvailability, r.GMTT, r.FailedJobs)
+	}
+	b.WriteString("(identical master-outage schedule per arm: crashes at 25% and 60% of the arrival span, each span/16 long;\n journal = checkpoint+replay recovery, report = cold start warmed by per-node block reports;\n racks of 5, replication factor 2, fifo)\n")
+	return b.String()
+}

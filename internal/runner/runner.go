@@ -12,6 +12,7 @@ import (
 	"dare/internal/churn"
 	"dare/internal/config"
 	"dare/internal/core"
+	"dare/internal/dfs"
 	"dare/internal/event"
 	"dare/internal/mapreduce"
 	"dare/internal/metrics"
@@ -52,6 +53,13 @@ type Options struct {
 	// (checksum verification, retry with backoff, hedged slow reads). Its
 	// horizon defaults to the workload's arrival span.
 	Chaos *ChaosSpec
+	// MasterOutages schedules control-plane crash/recovery pairs; a
+	// non-empty list arms the failover machinery (metadata journaling,
+	// journaled job ledger, block-report recovery).
+	MasterOutages []MasterOutage
+	// MasterCheckpointEvery is the metadata-journal checkpoint cadence in
+	// records (<= 0 checkpoints only at recovery boundaries).
+	MasterCheckpointEvery int
 	// DisableRepair turns off the post-failure HDFS-style re-replication.
 	DisableRepair bool
 	// MaxTaskAttempts caps failed attempts per map input before the job
@@ -111,6 +119,15 @@ type RackFailure struct {
 	At   float64
 }
 
+// MasterOutage takes the control plane down at At for Down seconds of
+// simulated time. Mode selects how the recovered name node rebuilds its
+// registry: "journal" (checkpoint + journal replay; the default) or
+// "report" (cold start, progressively warmed by per-node block reports).
+type MasterOutage struct {
+	At, Down float64
+	Mode     string
+}
+
 // ChurnSpec configures the stochastic churn generator (internal/churn):
 // per-node exponential up-times with mean MTTF, exponential down-times
 // with mean MTTR, and a RackFailProb chance that a failure takes a whole
@@ -149,6 +166,13 @@ type Output struct {
 	// reconciliation); zero unless Options.Chaos or explicit gray
 	// injection was used.
 	Gray mapreduce.GrayStats
+	// Master tallies control-plane outages (crash counts, downtime,
+	// deferred heartbeats/reads, journal activity); zero unless
+	// MasterOutages or a chaos master weight was set. MasterEvents samples
+	// the master's access-weighted availability timeline at each crash,
+	// recovery, and block report.
+	Master       mapreduce.MasterStats
+	MasterEvents []mapreduce.MasterEvent
 	// SchedulerName and PolicyName echo what ran.
 	SchedulerName, PolicyName string
 	// EventsProcessed is the number of simulation events this run executed
@@ -255,6 +279,16 @@ func Run(opts Options) (*Output, error) {
 			}
 		}
 	}
+	if len(opts.MasterOutages) > 0 || (opts.Chaos != nil && opts.Chaos.MasterWeight > 0) {
+		tracker.EnableMasterRecovery(opts.MasterCheckpointEvery)
+	}
+	for _, mo := range opts.MasterOutages {
+		mode, err := dfs.RecoveryModeFromString(mo.Mode)
+		if err != nil {
+			return nil, err
+		}
+		tracker.ScheduleMasterOutage(mo.At, mo.Down, mode)
+	}
 	if opts.Chaos != nil {
 		if err := wireChaos(tracker, opts); err != nil {
 			return nil, err
@@ -358,6 +392,8 @@ func Run(opts Options) (*Output, error) {
 		RecoveryEvents:      tracker.RecoveryEvents(),
 		RepairsDone:         tracker.RepairsDone(),
 		Gray:                tracker.Gray(),
+		Master:              tracker.MasterStats(),
+		MasterEvents:        tracker.MasterEvents(),
 		SchedulerName:       sel.Name(),
 		PolicyName:          polName,
 		EventsProcessed:     cluster.Eng.Processed(),
