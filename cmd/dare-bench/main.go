@@ -40,6 +40,7 @@ var (
 	churnRackProb = flag.Float64("rack-fail-prob", 0, "churn: probability a failure takes a whole rack (0 = default)")
 	churnCheck    = flag.Bool("check", false, "churn/chaos: run the invariant checker after every injected event")
 	chaosEvents   = flag.Int("chaos-events", 0, "chaos: number of injections to draw (0 = default 16)")
+	policyFiles   = flag.String("policy-file", "", "policy: comma-separated policy config files (JSON PolicySpec) added as extra sweep arms")
 )
 
 func experiments() []experiment {
@@ -266,6 +267,24 @@ func experiments() []experiment {
 			scaleRows = rows
 			return dare.RenderScale(rows), nil
 		}},
+		{"policy", "Policy arms: every built-in policy plus -policy-file config arms on one bench (A18)", func(jobs int, seed uint64) (string, error) {
+			var extra []*dare.PolicySet
+			if *policyFiles != "" {
+				for _, path := range strings.Split(*policyFiles, ",") {
+					set, err := dare.LoadPolicy(strings.TrimSpace(path))
+					if err != nil {
+						return "", err
+					}
+					extra = append(extra, set)
+				}
+			}
+			rows, err := dare.PolicySweep(jobs, seed, extra)
+			if err != nil {
+				return "", err
+			}
+			policyRows = rows
+			return dare.RenderPolicySweep(rows), nil
+		}},
 	}
 }
 
@@ -280,6 +299,10 @@ var scaleRows []dare.ScaleRow
 // failoverRows holds the failover experiment's per-arm measurements for
 // BENCH_failover.json.
 var failoverRows []dare.FailoverRow
+
+// policyRows holds the policy sweep's per-arm measurements for
+// BENCH_policy.json.
+var policyRows []dare.PolicyArmRow
 
 func main() {
 	var (
@@ -424,6 +447,9 @@ type benchRecord struct {
 	// experiment is the control-plane failover study (journal-vs-report
 	// record).
 	Failover []dare.FailoverRow `json:"failover,omitempty"`
+	// Policy carries the per-arm results when the experiment is the
+	// policy-file sweep.
+	Policy []dare.PolicyArmRow `json:"policy,omitempty"`
 }
 
 // writeBenchJSON records one experiment's perf numbers as BENCH_<exp>.json.
@@ -446,6 +472,9 @@ func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed tim
 	}
 	if e.id == "failover" {
 		rec.Failover = failoverRows
+	}
+	if e.id == "policy" {
+		rec.Policy = policyRows
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		rec.EventsPerSec = float64(events) / s

@@ -50,6 +50,7 @@ import (
 	"dare/internal/mapreduce"
 	"dare/internal/metrics"
 	"dare/internal/netprobe"
+	"dare/internal/policy"
 	"dare/internal/runner"
 	"dare/internal/stats"
 	"dare/internal/trace"
@@ -114,6 +115,55 @@ func PolicyFor(kind PolicyKind) PolicyConfig { return runner.PolicyFor(kind) }
 // ParsePolicyKind converts a CLI spelling ("vanilla", "lru",
 // "elephanttrap") into a PolicyKind.
 func ParsePolicyKind(s string) (PolicyKind, error) { return core.ParsePolicyKind(s) }
+
+// PolicyNameList renders the accepted policy spellings ("vanilla|lru|...")
+// from the shared name registry, for CLI usage strings.
+func PolicyNameList() string { return policy.PolicyNameList() }
+
+// RenderPolicyNames renders the policy-name registry as a markdown table
+// (canonical name, aliases, behavior) — the source of README's table.
+func RenderPolicyNames() string { return policy.RenderPolicyNameTable() }
+
+// ---------------------------------------------------------------------------
+// Policy config files (-policy-file)
+
+// PolicySpec is the JSON form of a policy configuration: a policy kind
+// with scalar knobs plus optional declarative rule overrides for
+// replication admission/eviction, repair-target ranking, speculation,
+// blacklisting, and the job-fail gate. PolicySet is the built, validated
+// form that plugs into Options.PolicySet. RuleSpec is one node of a rule
+// tree; RuleTable/RunRuleTable give rule specs an `opa test`-style table
+// harness.
+type (
+	PolicySpec = config.PolicySpec
+	PolicySet  = config.PolicySet
+	RuleSpec   = policy.RuleSpec
+	RuleTable  = policy.Table
+)
+
+// LoadPolicy reads and validates a policy config file (-policy-file).
+func LoadPolicy(path string) (*PolicySet, error) { return config.LoadPolicy(path) }
+
+// ReadPolicy decodes and validates a policy config from r.
+func ReadPolicy(r io.Reader) (*PolicySet, error) { return config.ReadPolicy(r) }
+
+// BuiltinPolicy builds the named built-in arm — the config-file arm whose
+// run is byte-identical to the equivalent -policy flag run.
+func BuiltinPolicy(name string) (*PolicySet, error) { return config.BuiltinPolicy(name) }
+
+// RunRuleTable evaluates one declarative rule table (rows in order, so
+// stateful rules see a sequence).
+func RunRuleTable(tb *RuleTable) *policy.TableResult { return policy.RunTable(tb) }
+
+// PolicyArmRow carries one arm of a policy-file sweep.
+type PolicyArmRow = runner.PolicyArmRow
+
+// PolicySweep runs every built-in policy arm plus any extra config-file
+// arms (e.g. the ε-greedy bandit in configs/bandit.json) on the standard
+// CCT/wl1/FIFO bench.
+func PolicySweep(jobs int, seed uint64, extra []*PolicySet) ([]PolicyArmRow, error) {
+	return runner.PolicySweep(jobs, seed, extra)
+}
 
 // ---------------------------------------------------------------------------
 // Workloads (§V-A)
@@ -504,6 +554,7 @@ var (
 	RenderChurn        = runner.RenderChurn
 	RenderChaos        = runner.RenderChaos
 	RenderFailover     = runner.RenderFailover
+	RenderPolicySweep  = runner.RenderPolicySweep
 )
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,236 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dare/internal/policy"
+	"dare/internal/stats"
+)
+
+// PolicySpec is the JSON form of a complete policy configuration — the
+// -policy-file front end. It selects a replication policy kind with its
+// scalar knobs, and may override any of the simulator's declarative
+// decision points with policy.RuleSpec trees:
+//
+//	{
+//	  "name": "bandit",
+//	  "kind": "elephanttrap",
+//	  "budget": 0.2,
+//	  "replication": {"admit": {"rule": "epsilongreedy", ...}},
+//	  "repair": [{"key": "rack_fresh", "weight": 1}, ...],
+//	  "speculation": {"rule": "all", ...},
+//	  "blacklist": {"rule": "threshold", ...},
+//	  "failJob": {"rule": "threshold", ...}
+//	}
+//
+// Omitted sections keep the built-in behavior, which reproduces the
+// hard-coded decisions byte for byte. Unknown fields are load errors.
+type PolicySpec struct {
+	// Name labels the arm in sweep tables and sim output; defaults to the
+	// canonical kind name.
+	Name string `json:"name,omitempty"`
+	// Kind is a policy name or alias from the shared registry.
+	Kind string `json:"kind"`
+
+	// Scalar knobs (zero values take the built-in defaults noted).
+	P                  float64 `json:"p,omitempty"`         // ET sampling probability (0.3)
+	Threshold          int64   `json:"threshold,omitempty"` // ET aging threshold (1)
+	Budget             float64 `json:"budget,omitempty"`    // budget fraction (0.2)
+	AnnounceDelay      float64 `json:"announceDelay,omitempty"`
+	LazyDeleteDelay    float64 `json:"lazyDeleteDelay,omitempty"`
+	Epoch              float64 `json:"epoch,omitempty"`              // Scarlett epoch seconds
+	AccessesPerReplica float64 `json:"accessesPerReplica,omitempty"` // Scarlett quota
+	MaxExtraReplicas   int     `json:"maxExtraReplicas,omitempty"`   // Scarlett cap
+
+	// Replication overrides the kind's admission/eviction rules.
+	Replication *policy.RuleSet `json:"replication,omitempty"`
+	// Repair overrides the dfs repair-target ranking terms.
+	Repair []policy.Term `json:"repair,omitempty"`
+	// Speculation overrides the straggler-qualification rule.
+	Speculation *policy.RuleSpec `json:"speculation,omitempty"`
+	// Blacklist overrides the node-blacklist gate.
+	Blacklist *policy.RuleSpec `json:"blacklist,omitempty"`
+	// FailJob overrides the attempt-limit job-fail gate.
+	FailJob *policy.RuleSpec `json:"failJob,omitempty"`
+}
+
+// PolicySet is a built PolicySpec, ready to wire into runner.Options.
+// It deliberately does not reference internal/core (core sits above
+// config in the package graph — topology imports config): Kind is the
+// canonical registry name and the scalars mirror core.Config field for
+// field; the runner assembles the core.Config from them.
+type PolicySet struct {
+	Name string
+	Kind string // canonical registry name, e.g. "elephanttrap"
+	Spec PolicySpec
+
+	// Replication-policy scalars, post-default (mirror core.Config).
+	P                  float64
+	Threshold          int64
+	Budget             float64
+	AnnounceDelay      float64
+	LazyDeleteDelay    float64
+	Epoch              float64
+	AccessesPerReplica float64
+	MaxExtraReplicas   int
+
+	// Rule overrides; nil sections keep the built-ins.
+	Replication *policy.RuleSet
+	Repair      []policy.Term
+	Speculation *policy.RuleSpec
+	Blacklist   *policy.RuleSpec
+	FailJob     *policy.RuleSpec
+}
+
+// Build validates the spec and constructs the PolicySet. Every rule tree
+// is compiled once against a scratch seed stream so malformed configs
+// fail at load time, not mid-run.
+func (s PolicySpec) Build() (*PolicySet, error) {
+	kindName, ok := policy.CanonicalPolicyName(s.Kind)
+	if !ok {
+		return nil, policy.ErrUnknownPolicy(s.Kind)
+	}
+
+	if s.Replication != nil {
+		if kindName == "vanilla" {
+			return nil, fmt.Errorf("config: policy kind vanilla does not take replication rules (a vanilla arm that replicates is not vanilla)")
+		}
+		if kindName == "scarlett" && (s.Replication.Victim != nil || s.Replication.Aged != nil) {
+			return nil, fmt.Errorf("config: scarlett takes only a replication.admit rule (the epoch grow gate); victim/aged do not apply")
+		}
+		if _, err := s.Replication.CompileWith(stats.NewRNG(0)); err != nil {
+			return nil, fmt.Errorf("config: replication rules: %w", err)
+		}
+	}
+	for _, t := range s.Repair {
+		if t.Key == "" {
+			return nil, fmt.Errorf("config: repair term needs a key")
+		}
+		if t.Weight == 0 {
+			return nil, fmt.Errorf("config: repair term %q needs a non-zero weight (sign sets the direction)", t.Key)
+		}
+	}
+	for _, r := range []struct {
+		name string
+		spec *policy.RuleSpec
+	}{{"speculation", s.Speculation}, {"blacklist", s.Blacklist}, {"failJob", s.FailJob}} {
+		if r.spec == nil {
+			continue
+		}
+		if _, err := r.spec.Compile(0); err != nil {
+			return nil, fmt.Errorf("config: %s rule: %w", r.name, err)
+		}
+	}
+
+	set := &PolicySet{
+		Name:               s.Name,
+		Kind:               kindName,
+		Spec:               s,
+		P:                  s.P,
+		Threshold:          s.Threshold,
+		Budget:             s.Budget,
+		AnnounceDelay:      s.AnnounceDelay,
+		LazyDeleteDelay:    s.LazyDeleteDelay,
+		Epoch:              s.Epoch,
+		AccessesPerReplica: s.AccessesPerReplica,
+		MaxExtraReplicas:   s.MaxExtraReplicas,
+		Replication:        s.Replication,
+		Repair:             s.Repair,
+		Speculation:        s.Speculation,
+		Blacklist:          s.Blacklist,
+		FailJob:            s.FailJob,
+	}
+	// Zero scalars take the paper defaults, mirroring the CLI flag
+	// defaults so a minimal file behaves like the equivalent -policy run.
+	if set.P == 0 {
+		set.P = 0.3
+	}
+	if set.Threshold == 0 {
+		set.Threshold = 1
+	}
+	if set.Budget == 0 {
+		set.Budget = 0.2
+	}
+	if set.Name == "" {
+		set.Name = kindName
+	}
+	return set, nil
+}
+
+// ReadPolicy decodes and builds a policy config from JSON.
+func ReadPolicy(r io.Reader) (*PolicySet, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec PolicySpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("config: decode policy: %w", err)
+	}
+	return spec.Build()
+}
+
+// LoadPolicy reads a policy config file (the -policy-file flag).
+func LoadPolicy(path string) (*PolicySet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := ReadPolicy(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return set, nil
+}
+
+// Render writes the spec in canonical indented JSON — the fingerprint
+// FuzzPolicyConfig holds fixed across parse→render round trips, and the
+// exact bytes of the committed configs/*.json built-ins.
+func (s PolicySpec) Render() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// BuiltinPolicySpec returns the spec equivalent to the -policy CLI flag
+// for a registered policy name: the named kind with the paper-default
+// scalars spelled out and no rule overrides. Running one of these through
+// a -policy-file is byte-identical to the plain -policy run — the
+// equivalence the CI policy-determinism job pins.
+func BuiltinPolicySpec(name string) (PolicySpec, error) {
+	kindName, ok := policy.CanonicalPolicyName(name)
+	if !ok {
+		return PolicySpec{}, policy.ErrUnknownPolicy(name)
+	}
+	spec := PolicySpec{Name: kindName, Kind: kindName}
+	switch kindName {
+	case "lru", "lfu":
+		spec.Budget = 0.2
+	case "elephanttrap":
+		spec.P = 0.3
+		spec.Threshold = 1
+		spec.Budget = 0.2
+	case "scarlett":
+		spec.Budget = 0.2
+		spec.Epoch = 15
+		spec.AccessesPerReplica = 4
+		spec.MaxExtraReplicas = 16
+	}
+	return spec, nil
+}
+
+// BuiltinPolicy builds the named built-in arm.
+func BuiltinPolicy(name string) (*PolicySet, error) {
+	spec, err := BuiltinPolicySpec(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build()
+}

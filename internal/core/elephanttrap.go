@@ -4,6 +4,7 @@ import (
 	"container/list"
 
 	"dare/internal/dfs"
+	"dare/internal/policy"
 	"dare/internal/stats"
 )
 
@@ -48,14 +49,22 @@ type ElephantTrap struct {
 	// evict is the eviction pointer into ring; nil means "at Front".
 	evict *list.Element
 
-	rng   *stats.RNG
+	// rules hold the declarative decisions: Admit is the sampling coin
+	// (built-in: probability p on this node's stream), Aged decides
+	// evict-now vs age-and-advance during the sweep (built-in:
+	// count < threshold), Victim is the final same-file guard. The
+	// circular list and the halving walk stay native.
+	rules policy.ReplicationRules
+	ctx   replCtx
+	now   clock
 	stats PolicyStats
 }
 
 // NewElephantTrap creates the Algorithm 2 policy. p is the sampling
 // probability (paper default 0.3), threshold the aging threshold (paper
 // default 1), budgetBytes the node's replication budget. rng must be a
-// dedicated sub-stream.
+// dedicated sub-stream: the compiled sampling rule owns it, drawing once
+// per observed task exactly as the pre-rule implementation did.
 func NewElephantTrap(p float64, threshold int64, budgetBytes int64, rng *stats.RNG) *ElephantTrap {
 	if p < 0 {
 		p = 0
@@ -66,13 +75,42 @@ func NewElephantTrap(p float64, threshold int64, budgetBytes int64, rng *stats.R
 	if threshold < 0 {
 		threshold = 0
 	}
+	return NewElephantTrapWith(p, threshold, budgetBytes,
+		compileBuiltinRules(ElephantTrapPolicy, p, threshold, rng), nil)
+}
+
+// NewElephantTrapWith creates the policy with compiled decision rules;
+// nil rule fields fall back to the built-ins for (p, threshold).
+func NewElephantTrapWith(p float64, threshold int64, budgetBytes int64, rules policy.ReplicationRules, now clock) *ElephantTrap {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if threshold < 0 {
+		threshold = 0
+	}
+	if rules.Admit == nil || rules.Victim == nil || rules.Aged == nil {
+		builtin := compileBuiltinRules(ElephantTrapPolicy, p, threshold, nil)
+		if rules.Admit == nil {
+			rules.Admit = builtin.Admit
+		}
+		if rules.Victim == nil {
+			rules.Victim = builtin.Victim
+		}
+		if rules.Aged == nil {
+			rules.Aged = builtin.Aged
+		}
+	}
 	return &ElephantTrap{
 		p:         p,
 		threshold: threshold,
 		budget:    budgetBytes,
 		ring:      list.New(),
 		index:     make(map[dfs.BlockID]*list.Element),
-		rng:       rng,
+		rules:     rules,
+		now:       now,
 	}
 }
 
@@ -109,9 +147,12 @@ func (t *ElephantTrap) Count(b dfs.BlockID) (int64, bool) {
 
 // OnMapTask implements NodePolicy (Algorithm 2).
 func (t *ElephantTrap) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local bool) Decision {
-	// The coin decides both whether to replicate and whether to update the
-	// access-tracking structures.
-	if !t.rng.Bool(t.p) {
+	// The admission rule — the sampling coin by default — runs before any
+	// tracking: it decides both whether to replicate and whether to update
+	// the access-tracking structures. This is also the hook a config-file
+	// rule (e.g. the ε-greedy bandit over sampling rates) replaces.
+	t.ctx.admit(local, size, t.used, t.budget, t.now.read())
+	if !t.rules.Admit.Eval(&t.ctx) {
 		if !local {
 			t.stats.RemoteSkipped++
 		}
@@ -125,9 +166,11 @@ func (t *ElephantTrap) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local 
 		return Decision{}
 	}
 	if t.Contains(b) {
-		// Remote read of a block we already track: count it as an access.
+		// Remote read of a block we already track: count it as an access,
+		// and as a remote read not captured as a new replica.
 		t.index[b].Value.(*etEntry).count++
 		t.stats.Refreshes++
+		t.stats.RemoteSkipped++
 		return Decision{}
 	}
 
@@ -162,9 +205,11 @@ func (t *ElephantTrap) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local 
 }
 
 // markBlockForDeletion walks the circular list from the eviction pointer,
-// halving access counts, until an entry drops below threshold or the
-// whole list has been visited. The found victim is evicted unless it
-// belongs to evictingFile. Returns nil when no victim can be evicted.
+// halving access counts, until the Aged rule accepts an entry (built-in:
+// its count dropped below threshold) or the whole list has been visited.
+// The found victim is evicted only if the Victim rule accepts it
+// (built-in: it does not belong to evictingFile). Returns nil when no
+// victim can be evicted.
 func (t *ElephantTrap) markBlockForDeletion(evictingFile dfs.FileID) *etEntry {
 	n := t.ring.Len()
 	if n == 0 {
@@ -176,7 +221,8 @@ func (t *ElephantTrap) markBlockForDeletion(evictingFile dfs.FileID) *etEntry {
 	var victim *list.Element
 	for i := 0; i < n; i++ {
 		e := t.evict.Value.(*etEntry)
-		if e.count < t.threshold {
+		t.ctx.candidate(e.count, true)
+		if t.rules.Aged.Eval(&t.ctx) {
 			victim = t.evict
 			break
 		}
@@ -188,7 +234,9 @@ func (t *ElephantTrap) markBlockForDeletion(evictingFile dfs.FileID) *etEntry {
 		return nil
 	}
 	e := victim.Value.(*etEntry)
-	if e.file == evictingFile {
+	t.ctx.candidate(e.count, true)
+	t.ctx.sameFileIs(e.file == evictingFile)
+	if !t.rules.Victim.Eval(&t.ctx) {
 		// Same file ⇒ same popularity as the incoming block; evicting it
 		// would be self-defeating. Abandon (Algorithm 2 returns null).
 		return nil

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"dare/internal/dfs"
+	"dare/internal/policy"
 )
 
 // GreedyLFU is the least-frequently-used variant of the greedy approach.
@@ -20,7 +21,12 @@ type GreedyLFU struct {
 	pq     lfuHeap
 	index  map[dfs.BlockID]*lfuEntry
 	seq    uint64
-	stats  PolicyStats
+	// rules hold the declarative decisions (see GreedyLRU); the frequency
+	// ranking itself stays in the native heap.
+	rules policy.ReplicationRules
+	ctx   replCtx
+	now   clock
+	stats PolicyStats
 }
 
 // lfuEntry is one tracked dynamic replica with its access frequency.
@@ -33,9 +39,28 @@ type lfuEntry struct {
 	pos   int    // heap index
 }
 
-// NewGreedyLFU creates the LFU policy with the given budget in bytes.
+// NewGreedyLFU creates the LFU policy with the given budget in bytes and
+// the built-in rule set.
 func NewGreedyLFU(budgetBytes int64) *GreedyLFU {
-	return &GreedyLFU{budget: budgetBytes, index: make(map[dfs.BlockID]*lfuEntry)}
+	return NewGreedyLFUWith(budgetBytes, compileBuiltinRules(GreedyLFUPolicy, 0, 0, nil), nil)
+}
+
+// NewGreedyLFUWith creates the policy with compiled decision rules; nil
+// rule fields fall back to the built-ins.
+func NewGreedyLFUWith(budgetBytes int64, rules policy.ReplicationRules, now clock) *GreedyLFU {
+	builtin := compileBuiltinRules(GreedyLFUPolicy, 0, 0, nil)
+	if rules.Admit == nil {
+		rules.Admit = builtin.Admit
+	}
+	if rules.Victim == nil {
+		rules.Victim = builtin.Victim
+	}
+	return &GreedyLFU{
+		budget: budgetBytes,
+		index:  make(map[dfs.BlockID]*lfuEntry),
+		rules:  rules,
+		now:    now,
+	}
 }
 
 // Kind implements NodePolicy.
@@ -71,13 +96,22 @@ func (p *GreedyLFU) Count(b dfs.BlockID) (int64, bool) {
 // OnMapTask implements NodePolicy.
 func (p *GreedyLFU) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local bool) Decision {
 	if e, ok := p.index[b]; ok {
-		// Any read of a tracked replica bumps its frequency.
+		// Any read of a tracked replica bumps its frequency; a remote one
+		// additionally counts as an uncaptured remote read.
 		e.count++
 		heap.Fix(&p.pq, e.pos)
 		p.stats.Refreshes++
+		if !local {
+			p.stats.RemoteSkipped++
+		}
 		return Decision{}
 	}
 	if local {
+		return Decision{}
+	}
+	p.ctx.admit(local, size, p.used, p.budget, p.now.read())
+	if !p.rules.Admit.Eval(&p.ctx) {
+		p.stats.RemoteSkipped++
 		return Decision{}
 	}
 	var evict []dfs.BlockID
@@ -101,15 +135,17 @@ func (p *GreedyLFU) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local boo
 	return Decision{Replicate: true, Evict: evict}
 }
 
-// popVictim removes the least-frequently-used entry whose file differs
-// from evictingFile. Same-file entries are temporarily set aside and
-// restored, preserving their counts.
+// popVictim removes the least-frequently-used entry the Victim rule
+// accepts (built-in: any file but evictingFile). Rejected entries are
+// temporarily set aside and restored, preserving their counts.
 func (p *GreedyLFU) popVictim(evictingFile dfs.FileID) *lfuEntry {
 	var setAside []*lfuEntry
 	var victim *lfuEntry
 	for len(p.pq) > 0 {
 		e := heap.Pop(&p.pq).(*lfuEntry)
-		if e.file == evictingFile {
+		p.ctx.candidate(e.count, true)
+		p.ctx.sameFileIs(e.file == evictingFile)
+		if !p.rules.Victim.Eval(&p.ctx) {
 			setAside = append(setAside, e)
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 
 	"dare/internal/dfs"
+	"dare/internal/policy"
 )
 
 // lruEntry is one dynamically replicated block in LRU order.
@@ -26,17 +27,40 @@ type GreedyLRU struct {
 	// order holds *lruEntry with the LRU victim at the front.
 	order *list.List
 	index map[dfs.BlockID]*list.Element
+	// rules hold the declarative decisions: Admit gates capturing an
+	// untracked remote read (built-in: allow), Victim gates each eviction
+	// candidate (built-in: same_file == 0). The LRU ordering itself stays
+	// in the native list.
+	rules policy.ReplicationRules
+	ctx   replCtx
+	now   clock
 	stats PolicyStats
 }
 
 // NewGreedyLRU creates the Algorithm 1 policy with the given budget in
-// bytes. A non-positive budget disables replication entirely (every
-// insertion would overflow it).
+// bytes and the built-in rule set. A non-positive budget disables
+// replication entirely (every insertion would overflow it).
 func NewGreedyLRU(budgetBytes int64) *GreedyLRU {
+	return NewGreedyLRUWith(budgetBytes, compileBuiltinRules(GreedyLRUPolicy, 0, 0, nil), nil)
+}
+
+// NewGreedyLRUWith creates the policy with compiled decision rules; nil
+// rule fields fall back to the built-ins. now supplies the simulated
+// clock to time-aware rules (nil reads as 0).
+func NewGreedyLRUWith(budgetBytes int64, rules policy.ReplicationRules, now clock) *GreedyLRU {
+	builtin := compileBuiltinRules(GreedyLRUPolicy, 0, 0, nil)
+	if rules.Admit == nil {
+		rules.Admit = builtin.Admit
+	}
+	if rules.Victim == nil {
+		rules.Victim = builtin.Victim
+	}
 	return &GreedyLRU{
 		budget: budgetBytes,
 		order:  list.New(),
 		index:  make(map[dfs.BlockID]*list.Element),
+		rules:  rules,
+		now:    now,
 	}
 }
 
@@ -73,13 +97,21 @@ func (p *GreedyLRU) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local boo
 	}
 	if p.Contains(b) {
 		// Already replicated here but the task read remotely anyway (e.g.
-		// the local copy is still being written); just refresh.
+		// the local copy is still being written): refresh, and count the
+		// remote read that was not captured as a new replica.
 		p.order.MoveToBack(p.index[b])
 		p.stats.Refreshes++
+		p.stats.RemoteSkipped++
 		return Decision{}
 	}
-	// Greedy: always try to capture the remote read, evicting LRU victims
+	// The admission rule decides whether to capture this remote read
+	// (built-in: always — the greedy in GreedyLRU), evicting victims
 	// until the budget accommodates the incoming block.
+	p.ctx.admit(local, size, p.used, p.budget, p.now.read())
+	if !p.rules.Admit.Eval(&p.ctx) {
+		p.stats.RemoteSkipped++
+		return Decision{}
+	}
 	var evict []dfs.BlockID
 	for p.used+size > p.budget {
 		victim := p.popVictim(f)
@@ -102,14 +134,17 @@ func (p *GreedyLRU) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local boo
 	return Decision{Replicate: true, Evict: evict}
 }
 
-// popVictim removes and returns the least recently used entry whose file
-// differs from evictingFile, or nil when none exists. Same-file entries
-// are skipped in place, preserving their relative order (Algorithm 1's
-// "continue" without removal).
+// popVictim removes and returns the least recently used entry the Victim
+// rule accepts, or nil when none exists. Rejected entries (built-in:
+// those sharing evictingFile — same file ⇒ same popularity, evicting
+// would thrash) are skipped in place, preserving their relative order
+// (Algorithm 1's "continue" without removal).
 func (p *GreedyLRU) popVictim(evictingFile dfs.FileID) *lruEntry {
 	for el := p.order.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*lruEntry)
-		if e.file == evictingFile {
+		p.ctx.candidate(0, false)
+		p.ctx.sameFileIs(e.file == evictingFile)
+		if !p.rules.Victim.Eval(&p.ctx) {
 			continue
 		}
 		p.order.Remove(el)

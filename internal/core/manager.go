@@ -6,6 +6,7 @@ import (
 
 	"dare/internal/dfs"
 	"dare/internal/event"
+	"dare/internal/policy"
 	"dare/internal/stats"
 	"dare/internal/topology"
 )
@@ -38,6 +39,14 @@ type Config struct {
 	Epoch              float64
 	AccessesPerReplica float64
 	MaxExtraReplicas   int
+
+	// Rules optionally overrides the kind's built-in decision rules
+	// (loaded from a -policy-file config). Non-nil fields replace the
+	// corresponding built-in: Admit gates replication admission (for
+	// Scarlett, the epoch grow gate), Victim and Aged gate eviction
+	// candidates. Nil means the kind's historical hard-coded behavior,
+	// which the built-in rule sets reproduce decision for decision.
+	Rules *policy.RuleSet
 }
 
 // DefaultConfig returns the paper's headline DARE configuration.
@@ -80,6 +89,7 @@ type Manager struct {
 	policies []NodePolicy
 	deferFn  DeferFunc
 	pending  []map[dfs.BlockID]*pendingAdd
+	now      func() float64
 	// errs records unexpected metadata failures; a correct run has none.
 	errs []error
 }
@@ -87,7 +97,11 @@ type Manager struct {
 // NewManager builds per-node policies for every data node in store. The
 // per-node budget is BudgetFraction × (total primary bytes / nodes),
 // computed from the store's current contents — create the input files
-// before the manager. rng seeds the per-node probabilistic policies.
+// before the manager. rng seeds the per-node probabilistic policies:
+// node i's rule set compiles against rng.Split(i+1), and the first
+// stateful rule in the set (ElephantTrap's sampling coin) consumes that
+// stream directly — the same stream, same draws, as the pre-rule
+// implementation.
 func NewManager(cfg Config, store MetaStore, rng *stats.RNG, deferFn DeferFunc) *Manager {
 	n := store.N()
 	m := &Manager{
@@ -98,20 +112,44 @@ func NewManager(cfg Config, store MetaStore, rng *stats.RNG, deferFn DeferFunc) 
 		pending:  make([]map[dfs.BlockID]*pendingAdd, n),
 	}
 	budget := int64(cfg.BudgetFraction * float64(store.TotalPrimaryBytes()) / float64(n))
+	merged := mergedRuleSet(cfg.Kind, cfg.P, cfg.Threshold, cfg.Rules)
 	for i := 0; i < n; i++ {
 		m.pending[i] = make(map[dfs.BlockID]*pendingAdd)
+		rules, err := merged.CompileWith(rng.Split(uint64(i) + 1))
+		if err != nil {
+			// Config rules are validated at load time, so this is
+			// defensive: record once and fall back to the built-ins.
+			if i == 0 {
+				m.errs = append(m.errs, fmt.Errorf("core: compile policy rules: %w", err))
+			}
+			rules = policy.ReplicationRules{}
+		}
 		switch cfg.Kind {
 		case GreedyLRUPolicy:
-			m.policies[i] = NewGreedyLRU(budget)
+			m.policies[i] = NewGreedyLRUWith(budget, rules, m.nowFn)
 		case GreedyLFUPolicy:
-			m.policies[i] = NewGreedyLFU(budget)
+			m.policies[i] = NewGreedyLFUWith(budget, rules, m.nowFn)
 		case ElephantTrapPolicy:
-			m.policies[i] = NewElephantTrap(cfg.P, cfg.Threshold, budget, rng.Split(uint64(i)+1))
+			m.policies[i] = NewElephantTrapWith(cfg.P, cfg.Threshold, budget, rules, m.nowFn)
 		default:
 			m.policies[i] = NewNonePolicy()
 		}
 	}
 	return m
+}
+
+// SetNow supplies the simulated clock to time-aware policy rules (the
+// rate-window and bandit combinators). Decisions made before any SetNow
+// read time 0.
+func (m *Manager) SetNow(now func() float64) { m.now = now }
+
+// nowFn is the clock handed to per-node policies; it indirects through
+// m.now so SetNow works after construction.
+func (m *Manager) nowFn() float64 {
+	if m.now == nil {
+		return 0
+	}
+	return m.now()
 }
 
 // Policy exposes the per-node policy (testing, introspection).

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"dare/internal/dfs"
+	"dare/internal/policy"
 )
 
 // PolicyKind enumerates the replication policies under evaluation.
@@ -62,21 +63,28 @@ func (k PolicyKind) String() string {
 	}
 }
 
-// ParsePolicyKind converts a CLI spelling into a PolicyKind.
+// ParsePolicyKind converts a CLI/config spelling into a PolicyKind. The
+// accepted spellings (and the one unknown-policy error) come from the
+// shared registry in internal/policy, so every parse site — this
+// function, config files, both CLIs — agrees on names and aliases.
 func ParsePolicyKind(s string) (PolicyKind, error) {
-	switch s {
-	case "vanilla", "none", "off":
+	name, ok := policy.CanonicalPolicyName(s)
+	if !ok {
+		return 0, policy.ErrUnknownPolicy(s)
+	}
+	switch name {
+	case "vanilla":
 		return NonePolicy, nil
-	case "lru", "greedy":
+	case "lru":
 		return GreedyLRUPolicy, nil
-	case "elephanttrap", "et", "probabilistic":
-		return ElephantTrapPolicy, nil
-	case "scarlett", "epoch":
-		return ScarlettPolicy, nil
 	case "lfu":
 		return GreedyLFUPolicy, nil
+	case "elephanttrap":
+		return ElephantTrapPolicy, nil
+	case "scarlett":
+		return ScarlettPolicy, nil
 	}
-	return 0, fmt.Errorf("core: unknown policy %q (want vanilla|lru|lfu|elephanttrap|scarlett)", s)
+	return 0, policy.ErrUnknownPolicy(s)
 }
 
 // Decision is a node policy's reaction to one scheduled map task.
@@ -93,14 +101,32 @@ type Decision struct {
 // created (each insertion writes one block to local disk) and is the
 // quantity behind the paper's "ElephantTrap needs only 50% of the disk
 // writes of greedy LRU" claim (§I).
+//
+// The counter semantics are uniform across all five policies; no policy
+// gets a private interpretation:
+//
+//   - ReplicasCreated: dynamic replicas this policy inserted (one disk
+//     write each).
+//   - Evictions: tracked replicas marked for (lazy) deletion.
+//   - RemoteSkipped: every observed non-local read that did not create a
+//     new replica here — sampling misses, no evictable victim, reads of
+//     blocks already tracked on this node, and policies whose inline path
+//     never replicates (vanilla; Scarlett replicates only at epoch
+//     boundaries).
+//   - Refreshes: every observed read that updated an existing tracked
+//     entry — LRU recency moves, LFU/ElephantTrap count bumps, and
+//     Scarlett's repeat tally of a file already seen this epoch. Vanilla
+//     tracks nothing, so its Refreshes stays 0 by this same rule rather
+//     than by exception.
+//
+// A remote read of an already-tracked block therefore counts BOTH a
+// Refresh (the entry was updated) and a RemoteSkipped (the remote read
+// was not captured as a new replica).
 type PolicyStats struct {
 	ReplicasCreated int64
 	Evictions       int64
-	// RemoteSkipped counts remote reads that were NOT captured (sampling
-	// miss or no evictable victim).
-	RemoteSkipped int64
-	// Refreshes counts access-recency/count updates from local reads.
-	Refreshes int64
+	RemoteSkipped   int64
+	Refreshes       int64
 }
 
 // DiskWrites reports block writes caused by dynamic replication.
@@ -127,14 +153,23 @@ type NodePolicy interface {
 	Kind() PolicyKind
 }
 
-// nonePolicy ignores everything; vanilla Hadoop behaviour.
-type nonePolicy struct{ stats PolicyStats }
+// nonePolicy is vanilla Hadoop behaviour: its admission rule is the
+// constant Deny, so no read is ever captured. It carries the compiled
+// rule anyway so that all five policies share one decision shape (the
+// config layer rejects overriding vanilla's rules — a vanilla arm that
+// replicates would not be vanilla).
+type nonePolicy struct {
+	admit policy.Rule
+	ctx   replCtx
+	stats PolicyStats
+}
 
 // NewNonePolicy returns the do-nothing policy used for baselines.
-func NewNonePolicy() NodePolicy { return &nonePolicy{} }
+func NewNonePolicy() NodePolicy { return &nonePolicy{admit: policy.Deny()} }
 
 func (p *nonePolicy) OnMapTask(b dfs.BlockID, f dfs.FileID, size int64, local bool) Decision {
-	if !local {
+	p.ctx.admit(local, size, 0, 0, 0)
+	if !p.admit.Eval(&p.ctx) && !local {
 		p.stats.RemoteSkipped++
 	}
 	return Decision{}

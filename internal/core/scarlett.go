@@ -6,6 +6,8 @@ import (
 
 	"dare/internal/dfs"
 	"dare/internal/event"
+	"dare/internal/policy"
+	"dare/internal/stats"
 	"dare/internal/topology"
 )
 
@@ -39,6 +41,14 @@ type Scarlett struct {
 	// placed records the dynamic replicas this controller currently owns:
 	// block -> nodes.
 	placed map[dfs.BlockID]map[topology.NodeID]bool
+
+	// grow is the epoch gate deciding whether a file's popularity earns
+	// it extra replicas (built-in: accesses >= AccessesPerReplica). A
+	// config file overrides it via Config.Rules.Admit. The replica-count
+	// arithmetic, budget check and least-loaded placement stay native.
+	grow    policy.Rule
+	growCtx growCtx
+	now     clock
 
 	stats PolicyStats
 	// ExtraNetworkBytes is the proactive-copy traffic DARE avoids.
@@ -84,9 +94,42 @@ func NewScarlett(cfg Config, store ScarlettStore, deferFn DeferFunc) *Scarlett {
 		accesses: make(map[dfs.FileID]int64),
 		placed:   make(map[dfs.BlockID]map[topology.NodeID]bool),
 	}
+	// Compile the grow gate. The controller is centralized (one decision
+	// stream), so a custom stateful rule gets one fixed-seed stream; the
+	// built-in gate is stateless and never draws.
+	spec := policy.DefaultScarlettGrow(cfg.AccessesPerReplica)
+	if cfg.Rules != nil && cfg.Rules.Admit != nil {
+		spec = cfg.Rules.Admit
+	}
+	grow, err := spec.CompileWith(stats.NewRNG(0x5CA21E77))
+	if err != nil {
+		s.errs = append(s.errs, fmt.Errorf("core: scarlett grow rule: %w", err))
+		grow, _ = policy.DefaultScarlettGrow(cfg.AccessesPerReplica).Compile(0)
+	}
+	s.grow = grow
 	s.scheduleEpoch()
 	return s
 }
+
+// growCtx is the policy.Context for the epoch grow gate.
+type growCtx struct {
+	accesses float64
+	now      float64
+}
+
+// Val implements policy.Context.
+func (c *growCtx) Val(key string) (float64, bool) {
+	switch key {
+	case "accesses":
+		return c.accesses, true
+	case "now":
+		return c.now, true
+	}
+	return 0, false
+}
+
+// SetNow supplies the simulated clock to time-aware grow rules.
+func (s *Scarlett) SetNow(now func() float64) { s.now = now }
 
 func (s *Scarlett) scheduleEpoch() {
 	if s.sched == nil {
@@ -116,6 +159,12 @@ func (s *Scarlett) HandleEvent(ev event.Event) {
 // OnMapTask records a map-task launch: Scarlett only *observes* accesses
 // inline; all replication happens at epoch boundaries.
 func (s *Scarlett) OnMapTask(node topology.NodeID, b dfs.BlockID, f dfs.FileID, size int64, local bool) {
+	// Uniform counter semantics: a repeat access to a file already
+	// tallied this epoch refreshes an existing tracked entry; every
+	// remote read is uncaptured inline (replication waits for the epoch).
+	if s.accesses[f] > 0 {
+		s.stats.Refreshes++
+	}
 	s.accesses[f]++
 	if !local {
 		s.stats.RemoteSkipped++
@@ -156,9 +205,18 @@ func (s *Scarlett) Rebalance() {
 		return pops[i].id < pops[j].id
 	})
 
-	// Desired extra replicas per block of each observed file.
+	// Desired extra replicas per block of each observed file. The grow
+	// rule gates whether a file's popularity earns extras at all; the
+	// count arithmetic stays native. For the built-in gate
+	// (accesses >= AccessesPerReplica) the two tests agree exactly on
+	// integer tallies — the rule is the declarative spelling of extra >= 1.
 	desired := make(map[dfs.BlockID]int)
+	s.growCtx.now = s.now.read()
 	for _, fp := range pops {
+		s.growCtx.accesses = float64(fp.acc)
+		if !s.grow.Eval(&s.growCtx) {
+			continue
+		}
 		extra := int(float64(fp.acc) / s.cfg.AccessesPerReplica)
 		if extra > s.cfg.MaxExtraReplicas {
 			extra = s.cfg.MaxExtraReplicas

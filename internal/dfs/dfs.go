@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"dare/internal/event"
+	"dare/internal/policy"
 	"dare/internal/stats"
 	"dare/internal/topology"
 )
@@ -114,6 +115,13 @@ type NameNode struct {
 	down      bool
 	warming   map[topology.NodeID]bool
 	diskTruth [][]diskReplica
+
+	// repairTerms ranks repair-target candidates lexicographically (see
+	// RepairTarget); the two score buffers are reused across candidates so
+	// ranking allocates nothing per repair.
+	repairTerms []policy.Term
+	repairScore []float64
+	repairBest  []float64
 }
 
 // registryShard is one hash-partition of the block registry.
@@ -168,6 +176,7 @@ func NewNameNode(topo topology.Topology, replication int, rng *stats.RNG) *NameN
 		perNode:      make([]map[BlockID]ReplicaKind, n),
 		primaryBytes: make([]int64, n),
 		dynamicBytes: make([]int64, n),
+		repairTerms:  policy.DefaultRepairTerms(),
 	}
 	nn.shardMask = uint64(len(nn.shards) - 1)
 	for i := range nn.shards {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dare/internal/event"
+	"dare/internal/policy"
 	"dare/internal/topology"
 )
 
@@ -209,29 +210,66 @@ func (nn *NameNode) IsUnderReplicated(b BlockID) bool {
 	return primaries < want
 }
 
-// RepairTarget picks a live node that does not hold b. Rack-aware like
-// HDFS's replicator: nodes in racks holding no replica of b are preferred
-// (a rack failure then can't take out every copy), with fewest primary
-// bytes (space balancing) and then lowest ID as tie-breaks. ok is false
-// when every live node already holds b.
+// repairCtx is the policy.Context a repair-target candidate exposes to
+// the ranking terms: "rack_fresh" (1 when the candidate's rack holds no
+// replica of the block) and "load" (the candidate's primary bytes).
+type repairCtx struct {
+	rackFresh float64
+	load      float64
+}
+
+// Val implements policy.Context.
+func (c *repairCtx) Val(key string) (float64, bool) {
+	switch key {
+	case "rack_fresh":
+		return c.rackFresh, true
+	case "load":
+		return c.load, true
+	}
+	return 0, false
+}
+
+// SetRepairTerms replaces the repair-target ranking terms (from a
+// -policy-file config); nil restores the built-in rack-aware default.
+func (nn *NameNode) SetRepairTerms(terms []policy.Term) {
+	if terms == nil {
+		terms = policy.DefaultRepairTerms()
+	}
+	nn.repairTerms = terms
+}
+
+// RepairTarget picks a live node that does not hold b, ranking candidates
+// lexicographically by the configured terms. The built-in terms are
+// rack-aware like HDFS's replicator: nodes in racks holding no replica of
+// b are preferred (a rack failure then can't take out every copy), with
+// fewest primary bytes (space balancing) and then lowest ID as
+// tie-breaks — the last because UpNodes iterates in ID order and equal
+// score vectors keep the first-seen candidate. Loads are int64 bytes far
+// below 2^53, so the float64 scores compare exactly. ok is false when
+// every live node already holds b.
 func (nn *NameNode) RepairTarget(b BlockID) (topology.NodeID, bool) {
 	locs := nn.locs(b)
 	coveredRacks := make(map[int]bool, len(locs))
 	for node := range locs {
 		coveredRacks[nn.topo.Rack(node)] = true
 	}
+	ranker := policy.Ranker{Terms: nn.repairTerms}
 	best := topology.NodeID(-1)
-	bestFresh := false
-	var bestLoad int64
+	var ctx repairCtx
 	for _, node := range nn.UpNodes() {
 		if nn.HasReplica(b, node) {
 			continue
 		}
-		fresh := !coveredRacks[nn.topo.Rack(node)]
-		load := nn.primaryBytes[node]
-		if best < 0 || (fresh && !bestFresh) ||
-			(fresh == bestFresh && load < bestLoad) {
-			best, bestFresh, bestLoad = node, fresh, load
+		if !coveredRacks[nn.topo.Rack(node)] {
+			ctx.rackFresh = 1
+		} else {
+			ctx.rackFresh = 0
+		}
+		ctx.load = float64(nn.primaryBytes[node])
+		nn.repairScore = ranker.ScoreInto(nn.repairScore, &ctx)
+		if best < 0 || policy.LexBetter(nn.repairScore, nn.repairBest) {
+			best = node
+			nn.repairBest = append(nn.repairBest[:0], nn.repairScore...)
 		}
 	}
 	return best, best >= 0

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"dare/internal/dfs"
 	"dare/internal/event"
+	"dare/internal/policy"
 	"dare/internal/stats"
 )
 
@@ -27,6 +28,44 @@ type failureHandler struct {
 	nodeTaskFailures []int
 	taskFailProb     float64
 	taskFailG        *stats.RNG
+
+	// Declarative gates. Both compile lazily: the built-in blacklist gate
+	// is node_failures >= blacklistAfter and the built-in job-fail gate is
+	// attempts >= maxTaskAttempts, so the rules always reflect the latest
+	// Set{BlacklistAfter,MaxTaskAttempts} values. A config-file blacklist
+	// spec compiles once per node (stateful rules like ratewindow must not
+	// share their burst history across nodes), seeded from blacklistRNG.
+	blacklistSpec  *policy.RuleSpec
+	blacklistRNG   *stats.RNG
+	blacklistRules []policy.Rule
+	failRule       policy.Rule
+	failRuleCustom bool
+	ctx            faultCtx
+}
+
+// faultCtx exposes failure-accounting signals to the gates:
+// "node_failures" (failed attempts blamed on the node since its last
+// recovery), "attempts" (attempts burned by the task input), and "now".
+type faultCtx struct {
+	failures float64
+	attempts float64
+	now      float64
+
+	hasFailures bool
+	hasAttempts bool
+}
+
+// Val implements policy.Context.
+func (c *faultCtx) Val(key string) (float64, bool) {
+	switch key {
+	case "node_failures":
+		return c.failures, c.hasFailures
+	case "attempts":
+		return c.attempts, c.hasAttempts
+	case "now":
+		return c.now, true
+	}
+	return 0, false
 }
 
 func newFailureHandler(t *Tracker) *failureHandler {
@@ -82,9 +121,14 @@ func (h *failureHandler) requeueOrFail(j *Job, b dfs.BlockID) {
 	}
 	j.attempts[b]++
 	n := j.attempts[b]
-	if h.maxTaskAttempts > 0 && n >= h.maxTaskAttempts {
-		h.failJob(j)
-		return
+	if h.maxTaskAttempts > 0 {
+		h.ctx.failures, h.ctx.hasFailures = 0, false
+		h.ctx.attempts, h.ctx.hasAttempts = float64(n), true
+		h.ctx.now = h.t.c.Eng.Now()
+		if h.failJobRule().Eval(&h.ctx) {
+			h.failJob(j)
+			return
+		}
 	}
 	// Exponential backoff in heartbeat units: 1, 2, 4, ... intervals. The
 	// first retry waits one interval — the killed attempt's slot report
@@ -109,8 +153,8 @@ func (h *failureHandler) failJob(j *Job) {
 }
 
 // noteNodeTaskFailure counts one failed attempt against node and
-// blacklists it at the threshold — unless that would leave the scheduler
-// no usable node at all.
+// blacklists it when the gate fires — unless that would leave the
+// scheduler no usable node at all.
 func (h *failureHandler) noteNodeTaskFailure(node *Node) {
 	if h.blacklistAfter <= 0 || !node.Up {
 		return
@@ -120,7 +164,13 @@ func (h *failureHandler) noteNodeTaskFailure(node *Node) {
 	// the journaled blame ledger record for record, and NodeRecover resets
 	// both together.
 	h.nodeTaskFailures[node.ID]++
-	if node.Blacklisted || h.nodeTaskFailures[node.ID] < h.blacklistAfter {
+	// The gate is evaluated even for blacklisted nodes so stateful rules
+	// (e.g. a failure-burst ratewindow) observe every failure.
+	h.ctx.failures, h.ctx.hasFailures = float64(h.nodeTaskFailures[node.ID]), true
+	h.ctx.attempts, h.ctx.hasAttempts = 0, false
+	h.ctx.now = h.t.c.Eng.Now()
+	fired := h.blacklistRule(int(node.ID)).Eval(&h.ctx)
+	if node.Blacklisted || !fired {
 		return
 	}
 	usable := 0
@@ -135,13 +185,77 @@ func (h *failureHandler) noteNodeTaskFailure(node *Node) {
 	node.Blacklisted = true
 }
 
+// failJobRule returns the job-fail gate, compiling the built-in from the
+// current maxTaskAttempts when no custom rule is set.
+func (h *failureHandler) failJobRule() policy.Rule {
+	if h.failRule == nil {
+		rule, err := policy.DefaultFailJob(h.maxTaskAttempts).Compile(0)
+		if err != nil {
+			panic("mapreduce: built-in fail-job rule: " + err.Error())
+		}
+		h.failRule = rule
+	}
+	return h.failRule
+}
+
+// blacklistRule returns node's blacklist gate, compiling it on first use.
+func (h *failureHandler) blacklistRule(node int) policy.Rule {
+	if h.blacklistRules == nil {
+		h.blacklistRules = make([]policy.Rule, len(h.nodeTaskFailures))
+	}
+	if h.blacklistRules[node] == nil {
+		spec := h.blacklistSpec
+		if spec == nil {
+			spec = policy.DefaultBlacklist(h.blacklistAfter)
+		}
+		rng := stats.NewRNG(0)
+		if h.blacklistRNG != nil {
+			rng = h.blacklistRNG.Split(uint64(node) + 1)
+		}
+		rule, err := spec.CompileWith(rng)
+		if err != nil {
+			// Config specs are validated at load time; fall back defensively.
+			rule, _ = policy.DefaultBlacklist(h.blacklistAfter).Compile(0)
+		}
+		h.blacklistRules[node] = rule
+	}
+	return h.blacklistRules[node]
+}
+
 // SetMaxTaskAttempts overrides the per-task attempt limit (<= 0 retries
 // forever). Call before Run.
-func (t *Tracker) SetMaxTaskAttempts(n int) { t.faults.maxTaskAttempts = n }
+func (t *Tracker) SetMaxTaskAttempts(n int) {
+	t.faults.maxTaskAttempts = n
+	if !t.faults.failRuleCustom {
+		t.faults.failRule = nil // recompile the built-in from the new limit
+	}
+}
 
 // SetBlacklistAfter overrides the per-node failed-attempt threshold for
 // blacklisting (<= 0 disables blacklisting). Call before Run.
-func (t *Tracker) SetBlacklistAfter(k int) { t.faults.blacklistAfter = k }
+func (t *Tracker) SetBlacklistAfter(k int) {
+	t.faults.blacklistAfter = k
+	if t.faults.blacklistSpec == nil {
+		t.faults.blacklistRules = nil // recompile built-ins from the new threshold
+	}
+}
+
+// SetBlacklistRuleSpec replaces the node-blacklist gate with a config
+// rule. The spec compiles once per node (stateful rules keep per-node
+// state), seeded from rng substreams. Call before Run.
+func (t *Tracker) SetBlacklistRuleSpec(spec *policy.RuleSpec, rng *stats.RNG) {
+	t.faults.blacklistSpec = spec
+	t.faults.blacklistRNG = rng
+	t.faults.blacklistRules = nil
+}
+
+// SetFailJobRule replaces the attempt-limit job-fail gate with a
+// compiled config rule. The native maxTaskAttempts > 0 guard still
+// applies: <= 0 disables job failing entirely. Call before Run.
+func (t *Tracker) SetFailJobRule(r policy.Rule) {
+	t.faults.failRule = r
+	t.faults.failRuleCustom = r != nil
+}
 
 // SetTaskFailureInjection makes each map attempt fail on completion with
 // probability p, drawn from rng — the deterministic stand-in for flaky

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dare/internal/event"
+	"dare/internal/policy"
 )
 
 // speculator owns speculative execution: it watches task groups, and on
@@ -17,7 +18,48 @@ type speculator struct {
 	// determinism; findStraggler compacts finished ones as it scans.
 	groups   []*taskGroup
 	launched int
+	// qualify is the declarative straggler gate, lazily compiled from the
+	// profile's speculative factor (or replaced via SetSpeculationRule).
+	// The built-in is: completed_maps >= 3 AND attempts == 1 AND
+	// elapsed > factor × mean_map — the exact historical test.
+	qualify policy.Rule
+	ctx     specCtx
 }
+
+// specCtx exposes one candidate group's signals to the qualify rule:
+// "completed_maps" (the job's finished maps, the duration-estimate
+// sample), "attempts" (running attempts in the group), "elapsed" (seconds
+// since the group started), "mean_map" (the job's mean map duration,
+// absent until a map completes), and "now".
+type specCtx struct {
+	j   *Job
+	g   *taskGroup
+	now float64
+}
+
+// Val implements policy.Context.
+func (c *specCtx) Val(key string) (float64, bool) {
+	switch key {
+	case "completed_maps":
+		return float64(c.j.completedMaps), true
+	case "attempts":
+		return float64(len(c.g.recs)), true
+	case "elapsed":
+		return c.now - c.g.started, true
+	case "mean_map":
+		if c.j.completedMaps == 0 {
+			return 0, false
+		}
+		return c.j.mapTimeSum / float64(c.j.completedMaps), true
+	case "now":
+		return c.now, true
+	}
+	return 0, false
+}
+
+// SetSpeculationRule replaces the straggler-qualification rule (from a
+// -policy-file config). Call before Run.
+func (t *Tracker) SetSpeculationRule(r policy.Rule) { t.spec.qualify = r }
 
 // observe registers a new attempt group for straggler tracking. It is a
 // direct call from launchMap, not an event reaction: groups are live
@@ -55,11 +97,14 @@ func (s *speculator) HandleEvent(ev event.Event) {
 // for a speculative backup on node, compacting finished groups as it
 // scans.
 func (s *speculator) findStraggler(node *Node) *taskGroup {
-	factor := s.t.c.Profile.SpeculativeFactor
-	if factor <= 1 {
-		factor = 1.5
+	if s.qualify == nil {
+		rule, err := policy.DefaultSpeculation(s.t.c.Profile.SpeculativeFactor).Compile(0)
+		if err != nil {
+			panic("mapreduce: built-in speculation rule: " + err.Error())
+		}
+		s.qualify = rule
 	}
-	now := s.t.c.Eng.Now()
+	s.ctx.now = s.t.c.Eng.Now()
 	kept := s.groups[:0]
 	var found *taskGroup
 	for _, g := range s.groups {
@@ -70,12 +115,8 @@ func (s *speculator) findStraggler(node *Node) *taskGroup {
 		if found != nil {
 			continue
 		}
-		j := g.job
-		if j.completedMaps < 3 || len(g.recs) != 1 {
-			continue // need a duration estimate; one backup max
-		}
-		mean := j.mapTimeSum / float64(j.completedMaps)
-		if now-g.started <= factor*mean {
+		s.ctx.j, s.ctx.g = g.job, g
+		if !s.qualify.Eval(&s.ctx) {
 			continue
 		}
 		onThisNode := false

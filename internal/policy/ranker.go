@@ -1,0 +1,55 @@
+package policy
+
+// Term is one weighted signal in a score or ranking: Weight × ctx[Key].
+// In a Ranker the sign of Weight sets the direction (+1 prefers larger
+// values, −1 prefers smaller); the magnitude is ignored by lexicographic
+// comparison but meaningful in WeightedScore.
+type Term struct {
+	Key    string  `json:"key"`
+	Weight float64 `json:"weight"`
+}
+
+// Ranker scores candidates for lexicographic selection: the first term is
+// the primary criterion, later terms break ties. The dfs repair-target
+// chooser uses [{rack_fresh,+1},{load,-1}] — prefer a rack with no
+// replica of the block, then the node with the least primary data.
+type Ranker struct {
+	Terms []Term
+}
+
+// ScoreInto writes the candidate's score vector into dst (reused across
+// candidates to avoid per-candidate allocation) and returns it. Each
+// component is Weight × ctx[Key] so that "larger is better" holds
+// uniformly; a missing key scores as the worst possible value for its
+// direction — the candidate cannot win on a signal it does not supply.
+func (r *Ranker) ScoreInto(dst []float64, ctx Context) []float64 {
+	dst = dst[:0]
+	for _, t := range r.Terms {
+		v, ok := ctx.Val(t.Key)
+		if !ok {
+			dst = append(dst, negInf)
+			continue
+		}
+		dst = append(dst, t.Weight*v)
+	}
+	return dst
+}
+
+const negInf = -1.797693134862315708145274237317043567981e308 // -math.MaxFloat64
+
+// LexBetter reports whether score vector a beats b lexicographically:
+// the first index where they differ decides, larger wins. Equal vectors
+// return false, so callers iterating candidates in a deterministic order
+// keep the first-seen candidate on ties — preserving the historical
+// lowest-ID tie-break of the repair chooser.
+func LexBetter(a, b []float64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return true
+		}
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NameInfo describes one registered replication policy: its canonical
+// name, the accepted CLI/config aliases, and a one-line summary. The
+// registry is the single source of truth for policy-name parsing — core,
+// config, both CLIs, and the README table all derive from it.
+type NameInfo struct {
+	Canonical string
+	Aliases   []string
+	Summary   string
+}
+
+// Names lists the registered policies in display order.
+var Names = []NameInfo{
+	{
+		Canonical: "vanilla",
+		Aliases:   []string{"none", "off"},
+		Summary:   "Static HDFS replication; never replicates on read.",
+	},
+	{
+		Canonical: "lru",
+		Aliases:   []string{"greedy"},
+		Summary:   "Greedy admission with least-recently-used eviction.",
+	},
+	{
+		Canonical: "lfu",
+		Aliases:   nil,
+		Summary:   "Greedy admission with least-frequently-used eviction.",
+	},
+	{
+		Canonical: "elephanttrap",
+		Aliases:   []string{"et", "probabilistic"},
+		Summary:   "Probabilistic sampling (p) with competitive aging (DARE §IV).",
+	},
+	{
+		Canonical: "scarlett",
+		Aliases:   []string{"epoch"},
+		Summary:   "Epoch-based rebalancing toward observed file popularity.",
+	},
+}
+
+// CanonicalPolicyName resolves a user-facing spelling (canonical name or
+// alias, case-insensitive) to the canonical name. ok is false for
+// unknown spellings.
+func CanonicalPolicyName(s string) (string, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	for _, n := range Names {
+		if s == n.Canonical {
+			return n.Canonical, true
+		}
+		for _, a := range n.Aliases {
+			if s == a {
+				return n.Canonical, true
+			}
+		}
+	}
+	return "", false
+}
+
+// PolicyNameList renders the canonical names pipe-separated for help
+// strings and error messages: "vanilla|lru|lfu|elephanttrap|scarlett".
+func PolicyNameList() string {
+	parts := make([]string, len(Names))
+	for i, n := range Names {
+		parts[i] = n.Canonical
+	}
+	return strings.Join(parts, "|")
+}
+
+// ErrUnknownPolicy is the one error every policy-name parse site
+// returns, so users see a single spelling of the complaint.
+func ErrUnknownPolicy(s string) error {
+	return fmt.Errorf("policy: unknown policy %q (want %s)", s, PolicyNameList())
+}
+
+// RenderPolicyNameTable renders the registry as the markdown table
+// embedded in the README (regenerated, never hand-edited).
+func RenderPolicyNameTable() string {
+	var b strings.Builder
+	b.WriteString("| Policy | Aliases | Behavior |\n")
+	b.WriteString("|--------|---------|----------|\n")
+	for _, n := range Names {
+		aliases := strings.Join(n.Aliases, ", ")
+		if aliases == "" {
+			aliases = "—"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", n.Canonical, aliases, n.Summary)
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTestdataTables is the `opa test testdata/` equivalent: every table
+// under testdata/ must compile and every row must match.
+func TestTestdataTables(t *testing.T) {
+	tables, err := LoadTables("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 10 {
+		t.Fatalf("expected at least 10 tables in testdata, got %d", len(tables))
+	}
+	for _, res := range RunTables(tables) {
+		if res.Err != nil {
+			t.Errorf("table %s: compile: %v", res.Table, res.Err)
+			continue
+		}
+		for _, rr := range res.Rows {
+			if !rr.Pass {
+				t.Errorf("table %s row %s: got %v want %v (given %v)",
+					res.Table, rr.Row.Name, rr.Got, rr.Row.Want, rr.Row.Given)
+			}
+		}
+	}
+}
+
+func TestRunTableReportsFailures(t *testing.T) {
+	tab := &Table{
+		Name: "fails",
+		Rule: &RuleSpec{Rule: "allow"},
+		Rows: []TableRow{
+			{Name: "wrong", Given: map[string]float64{}, Want: false},
+			{Name: "right", Given: map[string]float64{}, Want: true},
+		},
+	}
+	res := RunTable(tab)
+	if res.Pass() || res.Failed != 1 {
+		t.Fatalf("expected exactly one failing row, got %+v", res)
+	}
+}
+
+func TestRunTableCompileError(t *testing.T) {
+	res := RunTable(&Table{Name: "bad", Rule: &RuleSpec{Rule: "bogus"}})
+	if res.Pass() || res.Err == nil {
+		t.Fatal("compile error should fail the table")
+	}
+}
+
+func TestReadTablesValidates(t *testing.T) {
+	if _, err := ReadTables(strings.NewReader(`[{"rule":{"rule":"allow"}}]`)); err == nil {
+		t.Fatal("unnamed table should be rejected")
+	}
+	if _, err := ReadTables(strings.NewReader(`[{"name":"x"}]`)); err == nil {
+		t.Fatal("ruleless table should be rejected")
+	}
+	if _, err := ReadTables(strings.NewReader(`[{"name":"x","rule":{"rule":"allow"},"bogus":1}]`)); err == nil {
+		t.Fatal("unknown fields should be rejected")
+	}
+}

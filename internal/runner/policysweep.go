@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"dare/internal/config"
+	"dare/internal/policy"
+)
+
+// PolicyArmRow is one arm of a policy-file sweep: a named PolicySet run
+// on the standard CCT/wl1/FIFO bench, reported with the headline locality
+// and replication-activity metrics.
+type PolicyArmRow struct {
+	Arm        string
+	Locality   float64
+	GMTT       float64
+	Slowdown   float64
+	Replicas   int64
+	DiskWrites int64
+	Evictions  int64
+}
+
+// PolicySweep runs every built-in policy arm plus any extra config-file
+// arms on wl1 under FIFO on the CCT profile — the harness behind
+// dare-bench -exp policy. The five built-ins reproduce the corresponding
+// -policy runs exactly; extras (e.g. configs/bandit.json) compete on the
+// same workload, scheduler, and seed, so every row is comparable.
+func PolicySweep(jobs int, seed uint64, extra []*config.PolicySet) ([]PolicyArmRow, error) {
+	var sets []*config.PolicySet
+	for _, info := range policy.Names {
+		set, err := config.BuiltinPolicy(info.Canonical)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, set)
+	}
+	sets = append(sets, extra...)
+
+	wl, err := WorkloadByName("wl1", seed)
+	if err != nil {
+		return nil, err
+	}
+	wl = truncate(wl, jobs)
+	opts := make([]Options, len(sets))
+	for i, set := range sets {
+		opts[i] = Options{
+			Profile:   config.CCT(),
+			Workload:  wl,
+			Scheduler: "fifo",
+			PolicySet: set,
+			Seed:      seed,
+		}
+	}
+	outs, err := runAllLabeled(opts, func(i int) string {
+		return fmt.Sprintf("runner: policy/%s", sets[i].Name)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PolicyArmRow, len(outs))
+	for i, out := range outs {
+		rows[i] = PolicyArmRow{
+			Arm:        sets[i].Name,
+			Locality:   out.Summary.JobLocality,
+			GMTT:       out.Summary.GMTT,
+			Slowdown:   out.Summary.MeanSlowdown,
+			Replicas:   out.Summary.ReplicasCreated,
+			DiskWrites: out.Summary.DiskWrites,
+			Evictions:  out.Summary.Evictions,
+		}
+	}
+	return rows, nil
+}
+
+// RenderPolicySweep prints the policy-arm comparison table.
+func RenderPolicySweep(rows []PolicyArmRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %9s %9s %9s %9s %8s %10s\n",
+		"arm", "locality", "gmtt(s)", "slowdown", "replicas", "writes", "evictions")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %9.3f %9.2f %9.2f %9d %8d %10d\n",
+			r.Arm, r.Locality, r.GMTT, r.Slowdown, r.Replicas, r.DiskWrites, r.Evictions)
+	}
+	b.WriteString("(wl1, FIFO, CCT profile; extra arms come from -policy-file configs)\n")
+	return b.String()
+}

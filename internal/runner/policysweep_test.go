@@ -1,0 +1,153 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+)
+
+// TestPolicyFileMatchesBuiltinFlag pins the central -policy-file
+// guarantee: running a built-in arm through the config-file path is
+// exactly the run the -policy flag path produces — same summary, same
+// policy counters, same label.
+func TestPolicyFileMatchesBuiltinFlag(t *testing.T) {
+	for _, kind := range []core.PolicyKind{
+		core.NonePolicy, core.GreedyLRUPolicy, core.GreedyLFUPolicy,
+		core.ElephantTrapPolicy, core.ScarlettPolicy,
+	} {
+		name := kind.String()
+		wl, err := WorkloadByName("wl1", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl = truncate(wl, 25)
+		base := Options{Profile: config.CCT(), Workload: wl, Scheduler: "fifo", Seed: 7}
+
+		// Build the flag-path config exactly as the dare-sim CLI does: the
+		// flag defaults for every kind, with Scarlett's epoch knobs from
+		// PolicyFor (delays stay zero and default to the heartbeat interval
+		// inside Run, on both paths).
+		flagOpts := base
+		if kind == core.ScarlettPolicy {
+			flagOpts.Policy = PolicyFor(kind)
+			flagOpts.Policy.BudgetFraction = 0.2
+		} else {
+			flagOpts.Policy = core.Config{Kind: kind, P: 0.3, Threshold: 1, BudgetFraction: 0.2}
+		}
+		want, err := Run(flagOpts)
+		if err != nil {
+			t.Fatalf("%s flag run: %v", name, err)
+		}
+
+		set, err := config.BuiltinPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fileOpts := base
+		fileOpts.PolicySet = set
+		got, err := Run(fileOpts)
+		if err != nil {
+			t.Fatalf("%s file run: %v", name, err)
+		}
+
+		if got.Summary != want.Summary {
+			t.Errorf("%s: summary diverged\nflag: %+v\nfile: %+v", name, want.Summary, got.Summary)
+		}
+		if got.PolicyStats != want.PolicyStats {
+			t.Errorf("%s: policy stats diverged: flag %+v file %+v", name, want.PolicyStats, got.PolicyStats)
+		}
+		if got.PolicyName != want.PolicyName {
+			t.Errorf("%s: policy name %q vs %q", name, got.PolicyName, want.PolicyName)
+		}
+		if got.ExtraNetworkBytes != want.ExtraNetworkBytes {
+			t.Errorf("%s: extra network bytes %d vs %d", name, got.ExtraNetworkBytes, want.ExtraNetworkBytes)
+		}
+	}
+}
+
+// TestPolicyFileOverridesApply proves a config arm actually changes
+// behavior (the overrides are not dead wiring): an always-admit LRU arm
+// must create at least as many replicas as one that never admits.
+func TestPolicyFileOverridesApply(t *testing.T) {
+	run := func(admit string) *Output {
+		t.Helper()
+		set, err := config.ReadPolicy(strings.NewReader(
+			`{"kind": "lru", "replication": {"admit": {"rule": "` + admit + `"}}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl, err := WorkloadByName("wl1", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Run(Options{Profile: config.CCT(), Workload: truncate(wl, 25),
+			Scheduler: "fifo", PolicySet: set, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	allow, deny := run("allow"), run("deny")
+	if deny.PolicyStats.ReplicasCreated != 0 {
+		t.Errorf("deny-admit arm created %d replicas", deny.PolicyStats.ReplicasCreated)
+	}
+	if allow.PolicyStats.ReplicasCreated == 0 {
+		t.Error("allow-admit arm created no replicas; admit override is not wired")
+	}
+}
+
+// TestPolicySweepWithBanditArm runs the ε-greedy bandit arm end to end in
+// a sweep next to the built-ins — the config-only experiment the policy
+// layer exists for: an adaptive replication-factor arm with zero edits to
+// internal/core.
+func TestPolicySweepWithBanditArm(t *testing.T) {
+	bandit, err := config.ReadPolicy(strings.NewReader(`{
+	  "name": "bandit",
+	  "kind": "elephanttrap",
+	  "replication": {"admit": {"rule": "epsilongreedy", "epsilon": 0.1, "window": 30,
+	    "rewardKey": "local",
+	    "arms": [
+	      {"rule": "probability", "p": 0.1},
+	      {"rule": "probability", "p": 0.3},
+	      {"rule": "probability", "p": 1}
+	    ]}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := PolicySweep(20, 11, []*config.PolicySet{bandit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 5 built-ins + bandit, got %d rows", len(rows))
+	}
+	var banditRow *PolicyArmRow
+	for i := range rows {
+		if rows[i].Arm == "bandit" {
+			banditRow = &rows[i]
+		}
+	}
+	if banditRow == nil {
+		t.Fatalf("bandit arm missing from %+v", rows)
+	}
+	if banditRow.Replicas == 0 {
+		t.Error("bandit arm never replicated; the ε-greedy admit gate is not live")
+	}
+	// Determinism: the sweep is a pure function of (jobs, seed, arms).
+	rows2, err := PolicySweep(20, 11, []*config.PolicySet{bandit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderPolicySweep(rows) != RenderPolicySweep(rows2) {
+		t.Error("policy sweep not deterministic across replays")
+	}
+	out := RenderPolicySweep(rows)
+	for _, arm := range []string{"vanilla", "lru", "lfu", "elephanttrap", "scarlett", "bandit"} {
+		if !strings.Contains(out, arm) {
+			t.Errorf("rendered sweep missing arm %s:\n%s", arm, out)
+		}
+	}
+}

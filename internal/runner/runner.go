@@ -35,6 +35,12 @@ type Options struct {
 	FairSkips int
 	// Policy configures DARE; Kind == core.NonePolicy runs vanilla.
 	Policy core.Config
+	// PolicySet, when non-nil, takes precedence over Policy: the run uses
+	// the config-file arm's kind, scalars, and rule overrides
+	// (replication admit/victim/aged, repair ranking, speculation,
+	// blacklist, job-fail). Built-in arms (config.BuiltinPolicy) reproduce
+	// the equivalent -policy run byte for byte.
+	PolicySet *config.PolicySet
 	// Seed drives every random stream of the run.
 	Seed uint64
 	// Failures schedules node kills during the run (failure injection).
@@ -319,16 +325,64 @@ func Run(opts Options) (*Output, error) {
 		tracker.SetHeartbeatCohortSize(opts.hbCohortSize)
 	}
 
+	// A -policy-file arm overrides the flag-built Policy and installs its
+	// scheduler-side rule overrides. Each override family compiles from its
+	// own substream of one dedicated seed branch, so adding a stateful rule
+	// to one family never shifts another family's draws.
+	pol := opts.Policy
+	polNameOverride := ""
+	if set := opts.PolicySet; set != nil {
+		kind, err := core.ParsePolicyKind(set.Kind)
+		if err != nil {
+			return nil, err
+		}
+		pol = core.Config{
+			Kind:               kind,
+			P:                  set.P,
+			Threshold:          set.Threshold,
+			BudgetFraction:     set.Budget,
+			AnnounceDelay:      set.AnnounceDelay,
+			LazyDeleteDelay:    set.LazyDeleteDelay,
+			Epoch:              set.Epoch,
+			AccessesPerReplica: set.AccessesPerReplica,
+			MaxExtraReplicas:   set.MaxExtraReplicas,
+			Rules:              set.Replication,
+		}
+		polNameOverride = set.Name
+		if set.Repair != nil {
+			cluster.NN.SetRepairTerms(set.Repair)
+		}
+		base := stats.NewRNG(opts.Seed).Split(0x9071C7)
+		if set.Speculation != nil {
+			rule, err := set.Speculation.CompileWith(base.Split(1))
+			if err != nil {
+				return nil, fmt.Errorf("runner: speculation rule: %w", err)
+			}
+			tracker.SetSpeculationRule(rule)
+		}
+		if set.Blacklist != nil {
+			tracker.SetBlacklistRuleSpec(set.Blacklist, base.Split(2))
+		}
+		if set.FailJob != nil {
+			rule, err := set.FailJob.CompileWith(base.Split(3))
+			if err != nil {
+				return nil, fmt.Errorf("runner: failJob rule: %w", err)
+			}
+			tracker.SetFailJobRule(rule)
+		}
+	}
+
 	var mgr *core.Manager
 	var scar *core.Scarlett
-	switch opts.Policy.Kind {
+	switch pol.Kind {
 	case core.NonePolicy:
 		// vanilla: no replication policy on the bus
 	case core.ScarlettPolicy:
-		scar = core.NewScarlett(opts.Policy, cluster.NN, cluster.Eng.Defer)
+		scar = core.NewScarlett(pol, cluster.NN, cluster.Eng.Defer)
+		scar.SetNow(cluster.Eng.Now)
 		cluster.Bus.Subscribe(scar)
 	default:
-		pcfg := opts.Policy
+		pcfg := pol
 		if pcfg.AnnounceDelay == 0 {
 			pcfg.AnnounceDelay = opts.Profile.HeartbeatInterval
 		}
@@ -336,6 +390,7 @@ func Run(opts Options) (*Output, error) {
 			pcfg.LazyDeleteDelay = opts.Profile.HeartbeatInterval
 		}
 		mgr = core.NewManager(pcfg, cluster.NN, stats.NewRNG(opts.Seed).Split(0xDA2E), cluster.Eng.Defer)
+		mgr.SetNow(cluster.Eng.Now)
 		cluster.Bus.Subscribe(mgr)
 	}
 
@@ -366,7 +421,7 @@ func Run(opts Options) (*Output, error) {
 	polName := core.NonePolicy.String()
 	if mgr != nil {
 		polStats = mgr.TotalStats()
-		polName = opts.Policy.Kind.String()
+		polName = pol.Kind.String()
 		if errs := mgr.Errors(); len(errs) > 0 {
 			return nil, fmt.Errorf("runner: DARE manager errors (%d), first: %w", len(errs), errs[0])
 		}
@@ -375,10 +430,15 @@ func Run(opts Options) (*Output, error) {
 		scar.Stop()
 		polStats = scar.TotalStats()
 		extraNet = scar.ExtraNetworkBytes()
-		polName = opts.Policy.Kind.String()
+		polName = pol.Kind.String()
 		if errs := scar.Errors(); len(errs) > 0 {
 			return nil, fmt.Errorf("runner: scarlett errors (%d), first: %w", len(errs), errs[0])
 		}
+	}
+	if polNameOverride != "" {
+		// Built-in arms are named after their kind, so this only changes
+		// the label for genuinely custom arms.
+		polName = polNameOverride
 	}
 	return &Output{
 		Summary:             metrics.Summarize(results, polStats),

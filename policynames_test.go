@@ -1,0 +1,33 @@
+package dare_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"dare"
+)
+
+// TestReadmePolicyTableMatchesRegistry pins README's replication-policy
+// table to the shared name registry: the docs are generated from the
+// same source every parse site uses, so they cannot drift.
+func TestReadmePolicyTableMatchesRegistry(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := dare.RenderPolicyNames()
+	if !strings.Contains(string(readme), strings.TrimSpace(table)) {
+		t.Errorf("README.md does not contain the registry-rendered policy table; regenerate it from dare.RenderPolicyNames():\n%s", table)
+	}
+	if !strings.Contains(string(readme), "-policy-file") {
+		t.Error("README.md does not document the -policy-file flag")
+	}
+}
+
+// TestPolicyNameListShape pins the usage-string spelling both CLIs embed.
+func TestPolicyNameListShape(t *testing.T) {
+	if got := dare.PolicyNameList(); got != "vanilla|lru|lfu|elephanttrap|scarlett" {
+		t.Errorf("PolicyNameList() = %q", got)
+	}
+}
