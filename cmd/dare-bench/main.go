@@ -17,10 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dare"
@@ -267,6 +270,14 @@ func experiments() []experiment {
 			scaleRows = rows
 			return dare.RenderScale(rows), nil
 		}},
+		{"checkpoint", "Checkpoint: durable-run overhead and crash-recovery replay cost (A19)", func(jobs int, seed uint64) (string, error) {
+			rows, err := dare.CheckpointStudy(jobs, seed)
+			if err != nil {
+				return "", err
+			}
+			checkpointRows = rows
+			return dare.RenderCheckpoint(rows), nil
+		}},
 		{"policy", "Policy arms: every built-in policy plus -policy-file config arms on one bench (A18)", func(jobs int, seed uint64) (string, error) {
 			var extra []*dare.PolicySet
 			if *policyFiles != "" {
@@ -303,6 +314,10 @@ var failoverRows []dare.FailoverRow
 // policyRows holds the policy sweep's per-arm measurements for
 // BENCH_policy.json.
 var policyRows []dare.PolicyArmRow
+
+// checkpointRows holds the checkpoint study's per-arm measurements for
+// BENCH_checkpoint.json.
+var checkpointRows []dare.CheckpointRow
 
 func main() {
 	var (
@@ -390,7 +405,25 @@ func main() {
 		}
 	}
 
+	// One SIGINT/SIGTERM finishes the experiment in flight, writes its
+	// -json record, and runs the deferred profile writers; a second one
+	// exits immediately.
+	var stop atomic.Bool
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		stop.Store(true)
+		fmt.Fprintln(os.Stderr, "dare-bench: interrupt received; finishing the current experiment (^C again to exit now)")
+		<-sigCh
+		os.Exit(1)
+	}()
+
 	for _, e := range selected {
+		if stop.Load() {
+			fmt.Fprintf(os.Stderr, "dare-bench: interrupted; skipping %s and later experiments\n", e.id)
+			break
+		}
 		fmt.Printf("=== %s — %s ===\n", e.id, e.title)
 		eventsBefore := dare.TotalEventsProcessed()
 		busBefore := dare.TotalBusEvents()
@@ -450,6 +483,9 @@ type benchRecord struct {
 	// Policy carries the per-arm results when the experiment is the
 	// policy-file sweep.
 	Policy []dare.PolicyArmRow `json:"policy,omitempty"`
+	// Checkpoint carries the per-arm results when the experiment is the
+	// checkpoint-overhead study.
+	Checkpoint []dare.CheckpointRow `json:"checkpoint,omitempty"`
 }
 
 // writeBenchJSON records one experiment's perf numbers as BENCH_<exp>.json.
@@ -475,6 +511,9 @@ func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed tim
 	}
 	if e.id == "policy" {
 		rec.Policy = policyRows
+	}
+	if e.id == "checkpoint" {
+		rec.Checkpoint = checkpointRows
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		rec.EventsPerSec = float64(events) / s

@@ -12,11 +12,16 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"sync/atomic"
+	"syscall"
 
 	"dare"
 )
@@ -59,6 +64,16 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		seeds       = flag.Int("seeds", 1, "replicate the run over N consecutive seeds and print a per-seed table")
 		eventsPath  = flag.String("events", "", "write the run's full cluster event trace to this JSONL file")
+		ckptPath    = flag.String("checkpoint", "", "write durable checkpoints of the full run state to this file (atomically rotated; .prev keeps the previous generation)")
+		ckptEvery   = flag.Uint64("checkpoint-every", 0, "checkpoint cadence in processed simulation events (0 = 200000)")
+		resumePath  = flag.String("resume", "", "resume a killed run from this checkpoint file (add -stream for service-mode checkpoints); sinks (-events, -stream-report) must match the original run's")
+		crashCkpts  = flag.Int("crash-after-checkpoints", 0, "test hook: hard-exit (as if SIGKILLed) right after the Nth durable checkpoint")
+		streamOn    = flag.Bool("stream", false, "service mode: open-ended job stream synthesized window by window (diurnal load), per-window JSONL metrics, run until -stream-horizon or SIGINT")
+		streamWin   = flag.Float64("stream-window", 60, "stream: generation/report window in simulated seconds")
+		streamHor   = flag.Float64("stream-horizon", 0, "stream: stop generating at this simulated time and drain (0 = run until interrupted)")
+		streamRep   = flag.String("stream-report", "-", "stream: write per-window JSONL metrics here (- = stdout, empty = disabled)")
+		streamAmp   = flag.Float64("stream-diurnal", 0.5, "stream: diurnal arrival-rate amplitude in [0,1) (0 = stationary)")
+		streamPer   = flag.Float64("stream-period", 0, "stream: diurnal period in simulated seconds (0 = 24h)")
 	)
 	flag.Parse()
 	dare.SetParallelism(*parallel)
@@ -101,6 +116,73 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	if *seeds > 1 && (*ckptPath != "" || *resumePath != "" || *streamOn || *crashCkpts > 0) {
+		fatal(fmt.Errorf("-checkpoint/-resume/-stream drive one run; they cannot be combined with -seeds %d", *seeds))
+	}
+
+	// One SIGINT/SIGTERM requests a clean stop at the next event boundary —
+	// the event log is flushed and, when -checkpoint is armed, a final
+	// checkpoint is written first. A second signal exits immediately.
+	var interrupt atomic.Bool
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		interrupt.Store(true)
+		fmt.Fprintln(os.Stderr, "dare-sim: interrupt received; stopping at the next event boundary (^C again to exit now)")
+		<-sigCh
+		os.Exit(1)
+	}()
+
+	ck := dare.CheckpointSpec{Path: *ckptPath, Every: *ckptEvery, Interrupt: &interrupt}
+	if *crashCkpts > 0 {
+		if *ckptPath == "" && *resumePath == "" {
+			fatal(fmt.Errorf("-crash-after-checkpoints needs -checkpoint or -resume"))
+		}
+		n := *crashCkpts
+		ck.AfterCheckpoint = func(done int) error {
+			if done >= n {
+				// Die without flushing anything: the whole point is to
+				// leave exactly what a SIGKILL at this boundary would.
+				fmt.Fprintf(os.Stderr, "dare-sim: simulated crash after checkpoint %d\n", done)
+				os.Exit(137)
+			}
+			return nil
+		}
+	}
+
+	if *resumePath != "" {
+		runResumed(*resumePath, *streamOn, *eventsPath, *streamRep, ck)
+		return
+	}
+	if *streamOn {
+		scfg := dare.StreamRunSpec{
+			DiurnalAmplitude: *streamAmp,
+			DiurnalPeriod:    *streamPer,
+			Window:           *streamWin,
+			Horizon:          *streamHor,
+		}
+		switch *wlName {
+		case "wl1":
+			scfg.Gen = dare.WorkloadConfig{Name: "wl1", Seed: *seed}
+		case "wl2":
+			scfg.Gen = dare.WorkloadConfig{Name: "wl2", Seed: *seed, LargeEvery: 10, MeanInterarrival: 0.6}
+		default:
+			fatal(fmt.Errorf("unknown workload %q (want wl1|wl2)", *wlName))
+		}
+		opts := dare.Options{
+			Profile:         profile,
+			Scheduler:       *schedName,
+			FairSkips:       *fairSkips,
+			Policy:          policy,
+			PolicySet:       policySet,
+			Seed:            *seed,
+			CheckInvariants: *check,
+		}
+		runStreaming(opts, scfg, *eventsPath, *streamRep, ck)
+		return
 	}
 
 	// optionsFor assembles one run's options for a seed; the workload and
@@ -194,7 +276,10 @@ func main() {
 		}
 		opts.EventLog = eventsFile
 	}
-	out, err := dare.Run(opts)
+	out, err := dare.RunCheckpointed(opts, ck)
+	if errors.Is(err, dare.ErrInterrupted) {
+		exitInterrupted(ck.Path, eventsFile, nil)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -212,83 +297,7 @@ func main() {
 	}
 	fmt.Printf("policy        %s (p=%.2f threshold=%d budget=%.2f)\n", out.PolicyName, pp, pthr, pbud)
 	fmt.Println()
-	fmt.Printf("job locality       %.3f   (node-local fraction, mean per job)\n", s.JobLocality)
-	fmt.Printf("task locality      %.3f   (rack %.3f, remote %.3f)\n", s.TaskLocality, s.RackFraction, s.RemoteFraction)
-	fmt.Printf("GMTT               %.2f s\n", s.GMTT)
-	fmt.Printf("mean slowdown      %.2f\n", s.MeanSlowdown)
-	fmt.Printf("mean map time      %.2f s\n", s.MeanMapTime)
-	fmt.Printf("makespan           %.1f s\n", s.Makespan)
-	fmt.Printf("replicas created   %d (%.2f per job), evictions %d, disk writes %d\n",
-		s.ReplicasCreated, s.BlocksPerJob, s.Evictions, s.DiskWrites)
-	fmt.Printf("network (input)    %.1f GB moved by non-local reads\n", float64(s.NetworkBytes)/(1<<30))
-	fmt.Printf("placement cv       %.3f -> %.3f (popularity-index uniformity)\n", out.CVBefore, out.CVAfter)
-	tts := make([]float64, 0, len(out.Results))
-	for _, r := range out.Results {
-		tts = append(tts, r.Turnaround)
-	}
-	fmt.Printf("turnaround p50/p90/p99   %.2f / %.2f / %.2f s\n",
-		percentile(tts, 0.50), percentile(tts, 0.90), percentile(tts, 0.99))
-	if *speculative {
-		fmt.Printf("speculative backups %d\n", out.SpeculativeLaunches)
-	}
-	if *timeline > 0 {
-		fmt.Printf("locality timeline  ")
-		for _, v := range dare.LocalityTimeline(out.Results, *timeline) {
-			fmt.Printf("%.2f ", v)
-		}
-		fmt.Println()
-	}
-	if *chaosOn {
-		g := out.Gray
-		fmt.Printf("chaos: %d crashes, %d flaps, %d degradations, %d/%d corruptions detected, %d read retries, %d hedged reads (%d won), %d stale replicas restored\n",
-			len(out.FailureEvents)-g.Flaps, g.Flaps, g.Degrades,
-			g.CorruptionsDetected, g.CorruptionsInjected, g.ReadRetries,
-			g.HedgedReads, g.HedgeWins, g.ReplicasRestored)
-	}
-	if m := out.Master; m.Outages > 0 {
-		fmt.Printf("master: %d outages, %.1f s unavailable; %d heartbeats + %d reads deferred, %d maps + %d reduces killed and requeued\n",
-			m.Outages, m.Downtime, m.DeferredHeartbeats, m.DeferredReads, m.KilledMaps, m.KilledReduces)
-		fmt.Printf("master journal: %d checkpoints, %d records pending", m.JournalCheckpoints, m.JournalRecords)
-		if m.BlockReports > 0 {
-			fmt.Printf("; report-mode warmup %.1f s over %d block reports", m.WarmupTime, m.BlockReports)
-		}
-		fmt.Println()
-		for _, ev := range out.MasterEvents {
-			switch ev.Kind {
-			case "crash":
-				fmt.Printf("master  t=%.1fs crash (weighted availability was %.4f)\n", ev.Time, ev.WeightedAvailability)
-			case "recover":
-				fmt.Printf("master  t=%.1fs recover: weighted availability %.4f\n", ev.Time, ev.WeightedAvailability)
-			}
-		}
-	}
-	for _, ev := range out.FailureEvents {
-		tag := ""
-		if ev.Rack >= 0 {
-			tag = fmt.Sprintf(" (rack %d switch)", ev.Rack)
-		}
-		if ev.Flap {
-			tag = " (false-dead flap)"
-		}
-		fmt.Printf("failure t=%.1fs node %d%s: %d maps + %d reduces killed, %d replicas lost, availability %d/%d blocks (weighted %.4f), backlog %d\n",
-			ev.Time, ev.Node, tag, ev.KilledMaps, ev.KilledReduces,
-			len(ev.Report.LostPrimaries)+len(ev.Report.LostDynamic),
-			ev.AvailableBlocks, ev.TotalBlocks, ev.WeightedAvailability, ev.Backlog)
-	}
-	for _, ev := range out.RecoveryEvents {
-		how := "empty re-registration"
-		if ev.Restored > 0 {
-			how = fmt.Sprintf("re-registered with %d stale replicas", ev.Restored)
-		}
-		fmt.Printf("rejoin  t=%.1fs node %d: %s, backlog %d, weighted availability %.4f\n",
-			ev.Time, ev.Node, how, ev.Backlog, ev.WeightedAvailability)
-	}
-	if len(out.FailureEvents) > 0 {
-		fmt.Printf("repairs completed   %d block re-replications\n", out.RepairsDone)
-	}
-	if s.FailedJobs > 0 {
-		fmt.Printf("failed jobs         %d (task attempts exhausted)\n", s.FailedJobs)
-	}
+	printMetrics(out, *chaosOn, *speculative, *timeline)
 
 	if *verbose {
 		fmt.Println()
@@ -342,6 +351,205 @@ func multiSeed(base uint64, n int, optionsFor func(uint64) (*dare.Workload, dare
 	f := float64(n)
 	fmt.Printf("%8s %9.3f %9.2f %9.2f %10.1f\n", "mean", locality/f, gmtt/f, slowdown/f, makespan/f)
 	return nil
+}
+
+// printMetrics renders the evaluation block shared by batch, resumed, and
+// streaming runs.
+func printMetrics(out *dare.Output, chaos, speculative bool, timeline int) {
+	s := out.Summary
+	fmt.Printf("job locality       %.3f   (node-local fraction, mean per job)\n", s.JobLocality)
+	fmt.Printf("task locality      %.3f   (rack %.3f, remote %.3f)\n", s.TaskLocality, s.RackFraction, s.RemoteFraction)
+	fmt.Printf("GMTT               %.2f s\n", s.GMTT)
+	fmt.Printf("mean slowdown      %.2f\n", s.MeanSlowdown)
+	fmt.Printf("mean map time      %.2f s\n", s.MeanMapTime)
+	fmt.Printf("makespan           %.1f s\n", s.Makespan)
+	fmt.Printf("replicas created   %d (%.2f per job), evictions %d, disk writes %d\n",
+		s.ReplicasCreated, s.BlocksPerJob, s.Evictions, s.DiskWrites)
+	fmt.Printf("network (input)    %.1f GB moved by non-local reads\n", float64(s.NetworkBytes)/(1<<30))
+	fmt.Printf("placement cv       %.3f -> %.3f (popularity-index uniformity)\n", out.CVBefore, out.CVAfter)
+	tts := make([]float64, 0, len(out.Results))
+	for _, r := range out.Results {
+		tts = append(tts, r.Turnaround)
+	}
+	fmt.Printf("turnaround p50/p90/p99   %.2f / %.2f / %.2f s\n",
+		percentile(tts, 0.50), percentile(tts, 0.90), percentile(tts, 0.99))
+	if speculative {
+		fmt.Printf("speculative backups %d\n", out.SpeculativeLaunches)
+	}
+	if timeline > 0 {
+		fmt.Printf("locality timeline  ")
+		for _, v := range dare.LocalityTimeline(out.Results, timeline) {
+			fmt.Printf("%.2f ", v)
+		}
+		fmt.Println()
+	}
+	if chaos {
+		g := out.Gray
+		fmt.Printf("chaos: %d crashes, %d flaps, %d degradations, %d/%d corruptions detected, %d read retries, %d hedged reads (%d won), %d stale replicas restored\n",
+			len(out.FailureEvents)-g.Flaps, g.Flaps, g.Degrades,
+			g.CorruptionsDetected, g.CorruptionsInjected, g.ReadRetries,
+			g.HedgedReads, g.HedgeWins, g.ReplicasRestored)
+	}
+	if m := out.Master; m.Outages > 0 {
+		fmt.Printf("master: %d outages, %.1f s unavailable; %d heartbeats + %d reads deferred, %d maps + %d reduces killed and requeued\n",
+			m.Outages, m.Downtime, m.DeferredHeartbeats, m.DeferredReads, m.KilledMaps, m.KilledReduces)
+		fmt.Printf("master journal: %d checkpoints, %d records pending", m.JournalCheckpoints, m.JournalRecords)
+		if m.BlockReports > 0 {
+			fmt.Printf("; report-mode warmup %.1f s over %d block reports", m.WarmupTime, m.BlockReports)
+		}
+		fmt.Println()
+		for _, ev := range out.MasterEvents {
+			switch ev.Kind {
+			case "crash":
+				fmt.Printf("master  t=%.1fs crash (weighted availability was %.4f)\n", ev.Time, ev.WeightedAvailability)
+			case "recover":
+				fmt.Printf("master  t=%.1fs recover: weighted availability %.4f\n", ev.Time, ev.WeightedAvailability)
+			}
+		}
+	}
+	for _, ev := range out.FailureEvents {
+		tag := ""
+		if ev.Rack >= 0 {
+			tag = fmt.Sprintf(" (rack %d switch)", ev.Rack)
+		}
+		if ev.Flap {
+			tag = " (false-dead flap)"
+		}
+		fmt.Printf("failure t=%.1fs node %d%s: %d maps + %d reduces killed, %d replicas lost, availability %d/%d blocks (weighted %.4f), backlog %d\n",
+			ev.Time, ev.Node, tag, ev.KilledMaps, ev.KilledReduces,
+			len(ev.Report.LostPrimaries)+len(ev.Report.LostDynamic),
+			ev.AvailableBlocks, ev.TotalBlocks, ev.WeightedAvailability, ev.Backlog)
+	}
+	for _, ev := range out.RecoveryEvents {
+		how := "empty re-registration"
+		if ev.Restored > 0 {
+			how = fmt.Sprintf("re-registered with %d stale replicas", ev.Restored)
+		}
+		fmt.Printf("rejoin  t=%.1fs node %d: %s, backlog %d, weighted availability %.4f\n",
+			ev.Time, ev.Node, how, ev.Backlog, ev.WeightedAvailability)
+	}
+	if len(out.FailureEvents) > 0 {
+		fmt.Printf("repairs completed   %d block re-replications\n", out.RepairsDone)
+	}
+	if s.FailedJobs > 0 {
+		fmt.Printf("failed jobs         %d (task attempts exhausted)\n", s.FailedJobs)
+	}
+}
+
+// openSinks creates the event-trace and stream-report files the durable
+// modes write through. An empty events path disables the trace; the
+// report path accepts "-" for stdout and "" for disabled.
+func openSinks(eventsPath, reportPath string) (eventsFile, reportFile *os.File, eventLog, report io.Writer) {
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		eventsFile, eventLog = f, f
+	}
+	switch reportPath {
+	case "":
+	case "-":
+		report = os.Stdout
+	default:
+		f, err := os.Create(reportPath)
+		if err != nil {
+			fatal(err)
+		}
+		reportFile, report = f, f
+	}
+	return
+}
+
+// closeSinks flushes and closes whichever durable-mode sinks are open.
+func closeSinks(files ...*os.File) {
+	for _, f := range files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// exitInterrupted finishes a run stopped by SIGINT/SIGTERM: the event log
+// is already flushed to the sinks (and the final checkpoint written when
+// armed), so close everything and report where to pick the run back up.
+func exitInterrupted(ckPath string, files ...*os.File) {
+	closeSinks(files...)
+	if ckPath != "" {
+		fmt.Printf("interrupted: final checkpoint written to %s; continue with -resume %s\n", ckPath, ckPath)
+	} else {
+		fmt.Println("interrupted: stopped cleanly at an event boundary (no -checkpoint armed, nothing durable written)")
+	}
+	os.Exit(130)
+}
+
+// runStreaming executes service mode: an open-ended synthesized job
+// stream with per-window JSONL metrics, stopped by -stream-horizon or a
+// signal.
+func runStreaming(opts dare.Options, scfg dare.StreamRunSpec, eventsPath, reportPath string, ck dare.CheckpointSpec) {
+	if scfg.Horizon <= 0 && ck.Path == "" {
+		fmt.Fprintln(os.Stderr, "dare-sim: stream mode without -stream-horizon runs until ^C; arm -checkpoint to make the run durable")
+	}
+	eventsFile, reportFile, eventLog, report := openSinks(eventsPath, reportPath)
+	opts.EventLog = eventLog
+	out, err := dare.RunStream(opts, scfg, report, ck)
+	if errors.Is(err, dare.ErrInterrupted) {
+		exitInterrupted(ck.Path, eventsFile, reportFile)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stream        %s gen, window %.0fs, horizon %.0fs, diurnal amplitude %.2f\n",
+		scfg.Gen.Name, scfg.Window, scfg.Horizon, scfg.DiurnalAmplitude)
+	fmt.Printf("scheduler     %s\n", out.SchedulerName)
+	fmt.Printf("policy        %s\n", out.PolicyName)
+	fmt.Println()
+	printMetrics(out, false, false, 0)
+	closeSinks(eventsFile, reportFile)
+	if eventsFile != nil {
+		fmt.Printf("\nwrote event trace to %s (%d events: %s)\n", eventsPath, out.EventCounts.Total(), out.EventCounts)
+	}
+}
+
+// runResumed continues a killed run from its checkpoint file. The sinks
+// must be re-opened fresh (truncated): the replay re-emits both streams
+// from genesis, byte-identically to an uninterrupted run.
+func runResumed(path string, stream bool, eventsPath, reportPath string, ck dare.CheckpointSpec) {
+	if ck.Path == "" {
+		ck.Path = path // keep checkpointing where we resumed from
+	}
+	var (
+		out *dare.Output
+		err error
+	)
+	var eventsFile, reportFile *os.File
+	if stream {
+		var eventLog, report io.Writer
+		eventsFile, reportFile, eventLog, report = openSinks(eventsPath, reportPath)
+		out, err = dare.ResumeStream(path, eventLog, report, ck)
+	} else {
+		var eventLog io.Writer
+		eventsFile, _, eventLog, _ = openSinks(eventsPath, "")
+		out, err = dare.Resume(path, eventLog, ck)
+	}
+	if errors.Is(err, dare.ErrInterrupted) {
+		exitInterrupted(ck.Path, eventsFile, reportFile)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("resumed       %s\n", path)
+	fmt.Printf("scheduler     %s\n", out.SchedulerName)
+	fmt.Printf("policy        %s\n", out.PolicyName)
+	fmt.Println()
+	printMetrics(out, false, false, 0)
+	closeSinks(eventsFile, reportFile)
+	if eventsFile != nil {
+		fmt.Printf("\nwrote event trace to %s (%d events: %s)\n", eventsPath, out.EventCounts.Total(), out.EventCounts)
+	}
 }
 
 // writeResultsCSV dumps one row per job for external plotting.

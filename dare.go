@@ -225,6 +225,64 @@ func Parallelism() int { return runner.Parallelism() }
 // benchmarking (events/sec).
 func TotalEventsProcessed() uint64 { return runner.TotalEventsProcessed() }
 
+// ---------------------------------------------------------------------------
+// Durable runs (checkpoint/restore, crash-resume, service mode)
+
+// CheckpointSpec arms periodic checkpointing of a run (see DESIGN.md §4j):
+// Path names the snapshot file (atomically rotated with a .prev
+// generation), Every is the checkpoint cadence in processed engine events,
+// Interrupt requests a final checkpoint + clean stop when raised (the
+// SIGINT path), and AfterCheckpoint observes each durable write.
+// DivergenceError is the typed rejection when a resumed replay does not
+// reproduce the checkpointed state; ErrInterrupted reports a run stopped
+// by Interrupt after flushing its final checkpoint; ErrNotSnapshottable
+// marks Options that cannot be transcribed into a checkpoint spec.
+type (
+	CheckpointSpec  = runner.CheckpointSpec
+	DivergenceError = runner.DivergenceError
+)
+
+var (
+	ErrInterrupted      = runner.ErrInterrupted
+	ErrNotSnapshottable = runner.ErrNotSnapshottable
+)
+
+// RunCheckpointed is Run with durable checkpoints: the complete run state
+// is snapshotted every spec.Every events, so a process killed at any
+// checkpoint boundary can Resume and finish with byte-identical Output
+// and event trace. Checkpoint writes are pure observation — an armed
+// run's results are byte-identical to an unarmed Run.
+func RunCheckpointed(opts Options, ck CheckpointSpec) (*Output, error) {
+	return runner.RunCheckpointed(opts, ck)
+}
+
+// Resume continues a batch run from the checkpoint at path (falling back
+// to the previous generation if the primary is torn or corrupt). eventLog
+// must be a fresh sink when the original run had one — the replay
+// re-emits the full trace from genesis, byte-identically.
+func Resume(path string, eventLog io.Writer, ck CheckpointSpec) (*Output, error) {
+	return runner.Resume(path, eventLog, ck)
+}
+
+// StreamRunSpec configures service mode (`dare-sim -stream`): open-ended
+// window-by-window job synthesis with optional diurnal load modulation;
+// StreamReportLine is one JSONL record of its per-window metrics stream.
+type (
+	StreamRunSpec    = runner.StreamRunSpec
+	StreamReportLine = runner.StreamReportLine
+)
+
+// RunStream executes a service-mode run; ResumeStream continues one from
+// its checkpoint (see runner.RunStream / runner.ResumeStream).
+func RunStream(opts Options, scfg StreamRunSpec, report io.Writer, ck CheckpointSpec) (*Output, error) {
+	return runner.RunStream(opts, scfg, report, ck)
+}
+
+// ResumeStream continues a service-mode run from the checkpoint at path.
+func ResumeStream(path string, eventLog, report io.Writer, ck CheckpointSpec) (*Output, error) {
+	return runner.ResumeStream(path, eventLog, report, ck)
+}
+
 // EventCounts tallies cluster bus events per kind; Output.EventCounts
 // reports one run's tallies and TotalBusEvents the process-wide ones. Set
 // Options.EventLog to also capture the full JSONL trace (see ReadEventLog).
@@ -531,6 +589,16 @@ func ScaleStudy(jobs int, seed uint64) ([]ScaleRow, error) {
 // study runs on (CCT performance models, 40-node racks).
 func ScaleProfile(nodes int) *Profile { return runner.ScaleProfile(nodes) }
 
+// CheckpointRow carries one arm of the checkpoint-overhead study (A19).
+type CheckpointRow = runner.CheckpointRow
+
+// CheckpointStudy measures what durable checkpoints cost: run overhead at
+// two cadences plus the wall-clock price of crash-recovery by replay,
+// every arm verified byte-identical to the unarmed baseline.
+func CheckpointStudy(jobs int, seed uint64) ([]CheckpointRow, error) {
+	return runner.CheckpointStudy(jobs, seed)
+}
+
 // Renderers format experiment rows the way the paper's figures group them.
 var (
 	RenderPerf         = runner.RenderPerf
@@ -551,6 +619,7 @@ var (
 	RenderEngine       = runner.RenderEngine
 	RenderScale        = runner.RenderScale
 	RenderTraceStats   = event.RenderTraceStats
+	RenderCheckpoint   = runner.RenderCheckpoint
 	RenderChurn        = runner.RenderChurn
 	RenderChaos        = runner.RenderChaos
 	RenderFailover     = runner.RenderFailover

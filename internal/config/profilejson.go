@@ -1,0 +1,46 @@
+package config
+
+import (
+	"encoding/json"
+
+	"dare/internal/stats"
+)
+
+// profileAlias strips Profile's methods so the JSON codec below can reuse
+// the standard struct encoding without recursing into itself.
+type profileAlias Profile
+
+// profileWire shadows the three Dist-valued model fields with their exact
+// typed-union form (stats.DistJSON); everything else is plain data and
+// rides the default encoding.
+type profileWire struct {
+	profileAlias
+	DiskBW stats.DistJSON `json:"DiskBW"`
+	NetBW  stats.DistJSON `json:"NetBW"`
+	RTT    stats.DistJSON `json:"RTT"`
+}
+
+// MarshalJSON implements json.Marshaler. Profiles round-trip exactly —
+// the checkpoint spec (internal/runner) requires that a resumed run
+// rebuild the very same performance models, not refitted approximations.
+func (p Profile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(profileWire{
+		profileAlias: profileAlias(p),
+		DiskBW:       stats.DistJSON{Dist: p.DiskBW},
+		NetBW:        stats.DistJSON{Dist: p.NetBW},
+		RTT:          stats.DistJSON{Dist: p.RTT},
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Profile) UnmarshalJSON(b []byte) error {
+	var w profileWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*p = Profile(w.profileAlias)
+	p.DiskBW = w.DiskBW.Dist
+	p.NetBW = w.NetBW.Dist
+	p.RTT = w.RTT.Dist
+	return nil
+}

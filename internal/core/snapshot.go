@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sort"
+
+	"dare/internal/dfs"
+	"dare/internal/policy"
+	"dare/internal/snapshot"
+	"dare/internal/topology"
+)
+
+// addStats folds a policy's activity counters.
+func addStats(h *snapshot.Hash, s PolicyStats) {
+	h.I64(s.ReplicasCreated)
+	h.I64(s.Evictions)
+	h.I64(s.RemoteSkipped)
+	h.I64(s.Refreshes)
+}
+
+// addRules folds the mutable state of a compiled rule set (RNG positions,
+// window times, bandit arms) via policy.AddRuleState.
+func addRules(h *snapshot.Hash, r policy.ReplicationRules) {
+	for _, rule := range []policy.Rule{r.Admit, r.Victim, r.Aged} {
+		if rule == nil {
+			h.Str("nil")
+			continue
+		}
+		policy.AddRuleState(h, rule)
+	}
+}
+
+// addState folds one node policy's tracked-replica structure and rule
+// state. Each implementation folds its entries in its own native order —
+// LRU list order, ElephantTrap ring order with the eviction-pointer
+// offset, LFU heap-array order — because that order IS policy state: two
+// runs whose structures hold the same set in a different order make
+// different future decisions.
+func addPolicyState(h *snapshot.Hash, np NodePolicy) {
+	switch p := np.(type) {
+	case *nonePolicy:
+		h.Str("vanilla")
+		addStats(h, p.stats)
+	case *GreedyLRU:
+		h.Str("lru")
+		h.I64(p.budget)
+		h.I64(p.used)
+		for el := p.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*lruEntry)
+			h.I64(int64(e.block))
+			h.I64(int64(e.file))
+			h.I64(e.size)
+		}
+		addRules(h, p.rules)
+		addStats(h, p.stats)
+	case *GreedyLFU:
+		h.Str("lfu")
+		h.I64(p.budget)
+		h.I64(p.used)
+		h.U64(p.seq)
+		for _, e := range p.pq {
+			h.I64(int64(e.block))
+			h.I64(int64(e.file))
+			h.I64(e.size)
+			h.I64(e.count)
+			h.U64(e.seq)
+		}
+		addRules(h, p.rules)
+		addStats(h, p.stats)
+	case *ElephantTrap:
+		h.Str("elephanttrap")
+		h.I64(p.budget)
+		h.I64(p.used)
+		evictIdx := -1
+		i := 0
+		for el := p.ring.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*etEntry)
+			h.I64(int64(e.block))
+			h.I64(int64(e.file))
+			h.I64(e.size)
+			h.I64(e.count)
+			if el == p.evict {
+				evictIdx = i
+			}
+			i++
+		}
+		h.Int(evictIdx)
+		addRules(h, p.rules)
+		addStats(h, p.stats)
+	default:
+		h.Str("opaque")
+	}
+}
+
+// AddState folds the DARE manager into t: every node policy's tracked set
+// and rule state, plus the announce/evict operations still in flight
+// (pending adds not yet delivered by heartbeat).
+func (m *Manager) AddState(t *snapshot.StateTable) {
+	ph := snapshot.NewHash()
+	for _, p := range m.policies {
+		addPolicyState(ph, p)
+	}
+	t.Add("core.policies", ph.Sum())
+
+	qh := snapshot.NewHash()
+	var blocks []dfs.BlockID
+	for node, pend := range m.pending {
+		qh.Int(node)
+		blocks = blocks[:0]
+		for b := range pend {
+			blocks = append(blocks, b)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		qh.Int(len(blocks))
+		for _, b := range blocks {
+			qh.I64(int64(b))
+			qh.Bool(pend[b].canceled)
+		}
+	}
+	qh.Int(len(m.errs))
+	t.Add("core.pending", qh.Sum())
+}
+
+// AddState folds the Scarlett controller into t: epoch access tallies,
+// the placed-replica plan, budget position, and the grow gate's state.
+func (s *Scarlett) AddState(t *snapshot.StateTable) {
+	h := snapshot.NewHash()
+	h.I64(s.budget)
+	h.I64(s.used)
+	h.I64(s.extraNetworkBytes)
+	h.Bool(s.stopped)
+
+	files := make([]dfs.FileID, 0, len(s.accesses))
+	for f := range s.accesses {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	h.Int(len(files))
+	for _, f := range files {
+		h.I64(int64(f))
+		h.I64(s.accesses[f])
+	}
+
+	blocks := make([]dfs.BlockID, 0, len(s.placed))
+	for b := range s.placed {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	h.Int(len(blocks))
+	var nodes []topology.NodeID
+	for _, b := range blocks {
+		h.I64(int64(b))
+		nodes = nodes[:0]
+		for n := range s.placed[b] {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		h.Int(len(nodes))
+		for _, n := range nodes {
+			h.Int(int(n))
+		}
+	}
+
+	if s.grow != nil {
+		policy.AddRuleState(h, s.grow)
+	}
+	addStats(h, s.stats)
+	h.Int(len(s.errs))
+	t.Add("core.scarlett", h.Sum())
+}

@@ -1,0 +1,85 @@
+package dfs
+
+import (
+	"dare/internal/snapshot"
+	"dare/internal/topology"
+)
+
+// AddState folds the name node's complete metadata into t: every file,
+// every block's replica set (kinds and corruption marks included), failure
+// and churn state, the metadata journal's position, and the placement RNG's
+// stream coordinate. Files and blocks have dense sequential IDs and are
+// never deleted, so walking 0..next gives a canonical order without
+// sorting; per-block location maps are small (a handful of replicas), so
+// sorting each one is cheap. Derived structures (perNode mirrors, byte
+// accounting, shard layout, repair scratch buffers) are excluded — they are
+// rebuilt from the registry and verified against it by CheckInvariants.
+func (nn *NameNode) AddState(t *snapshot.StateTable) {
+	fh := snapshot.NewHash()
+	for id := FileID(0); id < nn.nextFile; id++ {
+		f := nn.files[id]
+		fh.Str(f.Name)
+		fh.F64(f.Created)
+		fh.Int(len(f.Blocks))
+		for _, b := range f.Blocks {
+			fh.I64(int64(b))
+		}
+	}
+	t.Add("dfs.files", fh.Sum())
+
+	rh := snapshot.NewHash()
+	ch := snapshot.NewHash()
+	var nodes []topology.NodeID
+	for id := BlockID(0); id < nn.nextBlock; id++ {
+		sh := nn.shard(id)
+		blk := sh.blocks[id]
+		rh.I64(int64(blk.File))
+		rh.Int(blk.Index)
+		rh.I64(blk.Size)
+		locs := sh.locations[id]
+		nodes = nodes[:0]
+		for n := range locs {
+			nodes = append(nodes, n)
+		}
+		sortNodeIDs(nodes)
+		rh.Int(len(nodes))
+		for _, n := range nodes {
+			rh.Int(int(n))
+			rh.Int(int(locs[n]))
+			ch.Bool(sh.corrupt[id][n])
+		}
+	}
+	t.Add("dfs.registry", rh.Sum())
+	t.Add("dfs.corrupt", ch.Sum())
+
+	lh := snapshot.NewHash()
+	for n := 0; n < nn.topo.N(); n++ {
+		lh.Bool(nn.failed[topology.NodeID(n)])
+		lh.Bool(nn.warming[topology.NodeID(n)])
+	}
+	lh.Bool(nn.churned)
+	lh.Bool(nn.down)
+	t.Add("dfs.liveness", lh.Sum())
+
+	jh := snapshot.NewHash()
+	jh.Bool(nn.journal.enabled)
+	jh.Int(nn.journal.every)
+	jh.Int(len(nn.journal.records))
+	for _, r := range nn.journal.records {
+		jh.Int(int(r.op))
+		jh.I64(int64(r.file))
+		jh.I64(int64(r.block))
+		jh.Int(int(r.node))
+		jh.Int(int(r.kind))
+		jh.Int(r.index)
+		jh.I64(r.size)
+		jh.Str(r.name)
+		jh.F64(r.created)
+	}
+	jh.U64(nn.journal.folded)
+	jh.Int(nn.journal.checkpoints)
+	jh.Bool(nn.journal.snap != nil)
+	t.Add("dfs.journal", jh.Sum())
+
+	t.Add("dfs.rng.draws", nn.rng.Draws())
+}

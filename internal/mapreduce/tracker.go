@@ -6,6 +6,7 @@ import (
 
 	"dare/internal/dfs"
 	"dare/internal/event"
+	"dare/internal/sim"
 	"dare/internal/workload"
 )
 
@@ -76,6 +77,9 @@ type Tracker struct {
 	// auto); differential tests force real multi-member sweeps on small
 	// clusters with it.
 	hbCohortSize int
+	// streaming marks open-ended service mode: completion never stops the
+	// engine and the job count grows as the stream generator appends.
+	streaming bool
 }
 
 // NewTracker wires a tracker to a cluster and a scheduler, subscribes the
@@ -149,7 +153,23 @@ func (t *Tracker) Cluster() *Cluster { return t.c }
 // Run replays the whole workload and returns per-job results sorted by
 // job ID. It is single-use.
 func (t *Tracker) Run() ([]Result, error) {
+	return t.RunWith(nil)
+}
+
+// RunWith is Run with a pluggable engine drive: every stretch of event
+// processing goes through run(engine, until) — the workload horizon first,
+// then each repair-drain extension. The default drive (nil) is a plain
+// RunUntil. The durable runner substitutes a drive that stops at
+// checkpoint boundaries and on interrupts; an error from run abandons the
+// whole run (including the drain loop) and is returned as-is.
+func (t *Tracker) RunWith(run func(eng *sim.Engine, until float64) error) ([]Result, error) {
 	eng := t.c.Eng
+	if run == nil {
+		run = func(e *sim.Engine, until float64) error {
+			e.RunUntil(until)
+			return nil
+		}
+	}
 	for _, spec := range t.wl.Jobs {
 		spec := spec
 		eng.DeferAt(spec.Arrival, func() { t.arrive(spec) })
@@ -169,14 +189,20 @@ func (t *Tracker) Run() ([]Result, error) {
 	t.hb = newHeartbeatDriver(t.c, t.c.Profile.HeartbeatInterval, t.hbCohortSize, t.perNodeHeartbeats, t.heartbeat)
 	// Generous runaway guard: a workload that cannot finish in simulated
 	// years indicates a scheduling bug; surface it instead of spinning.
+	// Streaming runs have no fixed job list; their drive closure owns the
+	// horizon and returns when the stream ends.
 	horizon := t.lastArrival() + 1e7
-	eng.RunUntil(horizon)
+	if err := run(eng, horizon); err != nil {
+		return nil, err
+	}
 	t.hb.StopAll()
 	// Background re-replication outlives the workload: drain the repair
 	// queue so post-run state reflects a healed DFS. The loop re-reads the
 	// bound because the detection event itself extends it.
 	for t.checker.err == nil && t.lastRepairAt > eng.Now() {
-		eng.RunUntil(t.lastRepairAt + 1e-9)
+		if err := run(eng, t.lastRepairAt+1e-9); err != nil {
+			return nil, err
+		}
 	}
 	if t.checker.err != nil {
 		return nil, t.checker.err
@@ -184,11 +210,43 @@ func (t *Tracker) Run() ([]Result, error) {
 	if t.master.err != nil {
 		return nil, t.master.err
 	}
-	if t.completed != t.totalJobs {
+	if !t.streaming && t.completed != t.totalJobs {
 		return nil, fmt.Errorf("mapreduce: only %d/%d jobs completed by horizon %g", t.completed, t.totalJobs, horizon)
 	}
 	sort.Slice(t.results, func(i, j int) bool { return t.results[i].ID < t.results[j].ID })
 	return t.results, nil
+}
+
+// SetStreaming switches the tracker to open-ended service mode: job
+// completion no longer stops the engine (the stream drive owns the
+// horizon), and RunWith returns whatever completed instead of requiring
+// every appended job to finish. Call before Run.
+func (t *Tracker) SetStreaming(v bool) { t.streaming = v }
+
+// AppendJobs defers the arrival of additional jobs mid-run — the stream
+// generator's per-window chunk. Every arrival must be in the engine's
+// future; the tracker trusts the generator on that (DeferAt panics
+// otherwise).
+func (t *Tracker) AppendJobs(specs []workload.Job) {
+	for _, spec := range specs {
+		spec := spec
+		t.totalJobs++
+		t.c.Eng.DeferAt(spec.Arrival, func() { t.arrive(spec) })
+	}
+}
+
+// Completed reports jobs finished so far (stream-window metrics).
+func (t *Tracker) Completed() int { return t.completed }
+
+// TotalJobs reports jobs submitted so far (arrivals already deferred).
+func (t *Tracker) TotalJobs() int { return t.totalJobs }
+
+// Results returns the results collected so far, sorted by job ID. The
+// streaming report path reads this between windows; the slice is a copy.
+func (t *Tracker) Results() []Result {
+	out := append([]Result(nil), t.results...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 func (t *Tracker) lastArrival() float64 {
@@ -279,7 +337,7 @@ func (t *Tracker) finishJob(j *Job) {
 	ev.Aux = int64(j.completedMaps)
 	ev.Flag = j.failed
 	t.bus.Publish(ev)
-	if t.completed == t.totalJobs {
+	if t.completed == t.totalJobs && !t.streaming {
 		t.c.Eng.Stop()
 	}
 }

@@ -1,0 +1,62 @@
+package policy
+
+import "dare/internal/snapshot"
+
+// AddRuleState folds a rule tree's mutable state into h: RNG stream
+// positions (Probability, EpsilonGreedy), sliding-window occurrence times
+// (RateWindow), and bandit arm statistics (EpsilonGreedy). Each node
+// contributes a type tag so an empty stateful node still shapes the
+// digest, and combinators recurse in sub-rule order. Stateless rules
+// (Threshold, WeightedScore, Allow, Deny) contribute only their tag: their
+// parameters come from the compiled spec, which the checkpoint stores
+// separately.
+func AddRuleState(h *snapshot.Hash, r Rule) {
+	switch v := r.(type) {
+	case allowRule:
+		h.Str("allow")
+	case denyRule:
+		h.Str("deny")
+	case *Threshold:
+		h.Str("threshold")
+	case *WeightedScore:
+		h.Str("score")
+	case *Probability:
+		h.Str("probability")
+		h.U64(v.rng.Draws())
+	case *RateWindow:
+		h.Str("ratewindow")
+		h.Int(len(v.times))
+		for _, t := range v.times {
+			h.F64(t)
+		}
+	case *EpsilonGreedy:
+		h.Str("epsilongreedy")
+		h.Int(v.current)
+		h.F64(v.windowStart)
+		h.Bool(v.started)
+		for i := range v.arms {
+			h.F64(v.pulls[i])
+			h.F64(v.rewards[i])
+			AddRuleState(h, v.arms[i])
+		}
+		h.U64(v.rng.Draws())
+	case *anyRule:
+		h.Str("any")
+		for _, sub := range v.rules {
+			AddRuleState(h, sub)
+		}
+	case *allRule:
+		h.Str("all")
+		for _, sub := range v.rules {
+			AddRuleState(h, sub)
+		}
+	case *notRule:
+		h.Str("not")
+		AddRuleState(h, v.rule)
+	default:
+		// Unknown rule types (user-supplied Rule implementations) cannot be
+		// fingerprinted; tag them so two trees differing only in an opaque
+		// node still differ when their shapes do.
+		h.Str("opaque")
+	}
+}

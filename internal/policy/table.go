@@ -27,9 +27,9 @@ type TableRow struct {
 // Table is one named test: a rule spec, the seed its stateful nodes
 // compile against, and the row sequence.
 type Table struct {
-	Name string    `json:"name"`
-	Seed uint64    `json:"seed"`
-	Rule *RuleSpec `json:"rule"`
+	Name string     `json:"name"`
+	Seed uint64     `json:"seed"`
+	Rule *RuleSpec  `json:"rule"`
 	Rows []TableRow `json:"rows"`
 }
 

@@ -1,0 +1,172 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+// CheckpointRow is one arm of the checkpoint-overhead study (A19): the
+// same CCT/wl1/FIFO/ElephantTrap run unarmed, armed at two cadences, and
+// killed-then-resumed, with wall clock, durable-write counts, and
+// byte-identity of the Output and event trace against the unarmed run.
+type CheckpointRow struct {
+	Arm string `json:"arm"`
+	// WallSeconds is the arm's wall clock; for the kill+resume arm it is
+	// the resume alone (replay + live tail), the recovery cost a crashed
+	// service pays.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Events is the number of simulation events the arm processed.
+	Events uint64 `json:"events"`
+	// Checkpoints counts durable generations written; SnapshotBytes is the
+	// size of one generation on disk.
+	Checkpoints   int   `json:"checkpoints,omitempty"`
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+	// Identical reports whether the arm's Output JSON and JSONL event
+	// trace are byte-identical to the unarmed baseline's.
+	Identical bool `json:"identical"`
+}
+
+// CheckpointStudy measures what durable checkpoints cost (A19): run
+// overhead at two cadences and the wall-clock price of crash-recovery by
+// replay, each arm verified byte-identical to the unarmed baseline.
+func CheckpointStudy(jobs int, seed uint64) ([]CheckpointRow, error) {
+	opts := func(log *bytes.Buffer) Options {
+		wl := workload.WL1(seed)
+		if jobs > 0 && jobs < len(wl.Jobs) {
+			wl.Jobs = wl.Jobs[:jobs]
+		}
+		return Options{
+			Profile:   config.CCT(),
+			Workload:  wl,
+			Scheduler: "fifo",
+			Policy:    PolicyFor(core.ElephantTrapPolicy),
+			Seed:      seed,
+			EventLog:  log,
+		}
+	}
+	outJSON := func(out *Output) ([]byte, error) { return json.Marshal(out) }
+
+	dir, err := os.MkdirTemp("", "dare-ckpt-study")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Baseline: unarmed.
+	var baseLog bytes.Buffer
+	start := time.Now()
+	events := TotalEventsProcessed()
+	baseOut, err := Run(opts(&baseLog))
+	if err != nil {
+		return nil, err
+	}
+	baseJSON, err := outJSON(baseOut)
+	if err != nil {
+		return nil, err
+	}
+	rows := []CheckpointRow{{
+		Arm:         "unarmed",
+		WallSeconds: time.Since(start).Seconds(),
+		Events:      TotalEventsProcessed() - events,
+		Identical:   true,
+	}}
+	totalEvts := rows[0].Events
+
+	// Armed arms: a tight cadence (worst case) and a relaxed one.
+	cadences := []uint64{totalEvts/20 + 1, totalEvts/4 + 1}
+	labels := []string{"armed-5%", "armed-25%"}
+	var ckpts int
+	for i, every := range cadences {
+		path := filepath.Join(dir, fmt.Sprintf("arm%d.ckpt", i))
+		var log bytes.Buffer
+		n := 0
+		start = time.Now()
+		events = TotalEventsProcessed()
+		out, err := RunCheckpointed(opts(&log), CheckpointSpec{
+			Path: path, Every: every,
+			AfterCheckpoint: func(done int) error { n = done; return nil },
+		})
+		if err != nil {
+			return nil, err
+		}
+		j, err := outJSON(out)
+		if err != nil {
+			return nil, err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CheckpointRow{
+			Arm:           labels[i],
+			WallSeconds:   time.Since(start).Seconds(),
+			Events:        TotalEventsProcessed() - events,
+			Checkpoints:   n,
+			SnapshotBytes: st.Size(),
+			Identical:     bytes.Equal(j, baseJSON) && bytes.Equal(log.Bytes(), baseLog.Bytes()),
+		})
+		if i == 0 {
+			ckpts = n
+		}
+	}
+
+	// Kill at the midpoint checkpoint of the tight-cadence arm and resume:
+	// the measured wall clock is the crash-recovery price (replay to the
+	// cut plus the live tail).
+	if ckpts < 2 {
+		return nil, fmt.Errorf("runner: checkpoint study needs >= 2 checkpoints to stage a mid-run kill, got %d", ckpts)
+	}
+	crashErr := fmt.Errorf("staged crash")
+	killPath := filepath.Join(dir, "kill.ckpt")
+	if _, err := RunCheckpointed(opts(&bytes.Buffer{}), CheckpointSpec{
+		Path: killPath, Every: cadences[0],
+		AfterCheckpoint: func(done int) error {
+			if done >= ckpts/2 {
+				return crashErr
+			}
+			return nil
+		},
+	}); err != crashErr {
+		return nil, fmt.Errorf("runner: staged crash did not fire: %v", err)
+	}
+	var resumeLog bytes.Buffer
+	start = time.Now()
+	events = TotalEventsProcessed()
+	out, err := Resume(killPath, &resumeLog, CheckpointSpec{Path: killPath, Every: cadences[0]})
+	if err != nil {
+		return nil, err
+	}
+	j, err := outJSON(out)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, CheckpointRow{
+		Arm:         fmt.Sprintf("kill@%d+resume", ckpts/2),
+		WallSeconds: time.Since(start).Seconds(),
+		Events:      TotalEventsProcessed() - events,
+		Identical:   bytes.Equal(j, baseJSON) && bytes.Equal(resumeLog.Bytes(), baseLog.Bytes()),
+	})
+	return rows, nil
+}
+
+// RenderCheckpoint formats the checkpoint study's rows.
+func RenderCheckpoint(rows []CheckpointRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %6s %10s %10s\n", "arm", "wall(s)", "events", "ckpts", "snap(B)", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %10.3f %10d %6d %10d %10v\n",
+			r.Arm, r.WallSeconds, r.Events, r.Checkpoints, r.SnapshotBytes, r.Identical)
+	}
+	b.WriteString("\nidentical = Output JSON and JSONL event trace byte-equal to the unarmed run\n")
+	b.WriteString("kill+resume wall clock = replay to the cut + live tail (crash-recovery price)\n")
+	return b.String()
+}

@@ -1,0 +1,406 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"strings"
+	"sync/atomic"
+
+	"dare/internal/sim"
+	"dare/internal/snapshot"
+)
+
+// Checkpoint section IDs inside a snapshot.File.
+const (
+	sectionSpec   = "spec"   // RunSpec JSON — the run's serializable identity
+	sectionCursor = "cursor" // cursorRec JSON — where the run was cut
+	sectionState  = "state"  // snapshot.StateTable — the full-stack fingerprint
+)
+
+// DefaultCheckpointEvery is the checkpoint cadence (in processed
+// simulation events) when CheckpointSpec.Every is unset.
+const DefaultCheckpointEvery = 200_000
+
+// ErrInterrupted reports that the interrupt line was raised; the run
+// stopped at a clean between-events boundary and, when checkpointing was
+// armed, a final checkpoint was flushed first — resuming from it continues
+// the run as if the interrupt never happened.
+var ErrInterrupted = errors.New("runner: run interrupted")
+
+// CheckpointSpec arms durable checkpointing for RunCheckpointed and
+// Resume.
+type CheckpointSpec struct {
+	// Path is the checkpoint file; Path+".prev" keeps the previous good
+	// generation (see snapshot.WriteFile).
+	Path string
+	// Every is the cadence in processed simulation events (<= 0 uses
+	// DefaultCheckpointEvery).
+	Every uint64
+	// Interrupt, when non-nil, is polled between events: setting it (from
+	// a signal handler) makes the run flush a final checkpoint and return
+	// ErrInterrupted.
+	Interrupt *atomic.Bool
+	// AfterCheckpoint, when non-nil, runs after each durable checkpoint
+	// write with the 1-based count written so far. An error aborts the
+	// run — the crash-resume tests and dare-sim's -crash-after-checkpoints
+	// use it to die at an exact, reproducible boundary.
+	AfterCheckpoint func(n int) error
+}
+
+func (c CheckpointSpec) every() uint64 {
+	if c.Every == 0 {
+		return DefaultCheckpointEvery
+	}
+	return c.Every
+}
+
+// DivergenceError reports that a resumed run's replayed state does not
+// match the checkpoint it resumed from — determinism was broken between
+// the checkpointing build/config and the resuming one. Rows name the
+// layers that diverged (see snapshot.StateTable.Diff).
+type DivergenceError struct{ Rows []string }
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("runner: resumed state diverges from checkpoint: %s", strings.Join(e.Rows, "; "))
+}
+
+// cursorRec pins the cut point: the engine's processed-event count (the
+// replay target), its clock and sequence counter, and the byte/CRC
+// position of each externally visible output stream at the cut. The
+// output positions let Resume prove the re-emitted prefix is identical to
+// what the original process had already written.
+type cursorRec struct {
+	Processed uint64  `json:"processed"`
+	Now       float64 `json:"now"`
+	Seq       uint64  `json:"seq"`
+
+	EventBytes int64  `json:"eventBytes"`
+	EventCRC   uint32 `json:"eventCRC,omitempty"`
+
+	ReportBytes int64  `json:"reportBytes,omitempty"`
+	ReportCRC   uint32 `json:"reportCRC,omitempty"`
+
+	// Checkpoints counts durable writes so far (resume continues the
+	// AfterCheckpoint numbering rather than restarting it).
+	Checkpoints int `json:"checkpoints"`
+
+	// StreamEmitted/StreamNext record the stream generator position for
+	// service-mode runs (0 for batch runs).
+	StreamEmitted int `json:"streamEmitted,omitempty"`
+	StreamNext    int `json:"streamNext,omitempty"`
+}
+
+// countingWriter tracks the byte count and running CRC-32 of everything
+// written through it — the cheap identity of an output stream's prefix.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	crc hash.Hash32
+}
+
+func newCountingWriter(w io.Writer) *countingWriter {
+	return &countingWriter{w: w, crc: crc32.NewIEEE()}
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc.Write(p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// durable drives a runState in checkpointed slices: it is the RunWith
+// drive closure shared by fresh checkpointed runs and resumes. The
+// nextStop watermark persists across the tracker's drive segments
+// (workload horizon, then each repair-drain extension), so checkpoint
+// cadence is uniform in processed events regardless of segmentation.
+type durable struct {
+	rs       *runState
+	ck       CheckpointSpec
+	specData []byte
+	cw       *countingWriter // event-log wrapper; nil when no event log
+	rw       *countingWriter // stream-report wrapper; nil for batch runs
+	stream   *streamDriver   // non-nil for service-mode runs
+
+	nextStop uint64
+	done     int // durable checkpoints written
+
+	// Resume state: non-nil until the replay reaches the recorded cut and
+	// verifies against it.
+	cut *resumeCut
+}
+
+type resumeCut struct {
+	cursor cursorRec
+	table  *snapshot.StateTable
+}
+
+func (d *durable) drive(eng *sim.Engine, until float64) error {
+	for {
+		switch eng.RunUntilOutcome(until, d.nextStop) {
+		case sim.RunBudget:
+			if d.cut != nil && eng.Processed() == d.cut.cursor.Processed {
+				if err := d.verifyCut(); err != nil {
+					return err
+				}
+				// The replay is verified: from here the run is live. Arm
+				// the interrupt line and fall into the normal cadence.
+				d.cut = nil
+				eng.SetInterrupt(d.ck.Interrupt)
+				d.nextStop = eng.Processed() + d.ck.every()
+				continue
+			}
+			if err := d.checkpoint(); err != nil {
+				return err
+			}
+			d.nextStop = eng.Processed() + d.ck.every()
+		case sim.RunInterrupted:
+			if err := d.checkpoint(); err != nil {
+				return err
+			}
+			return ErrInterrupted
+		default:
+			// Drained or stopped: this drive segment is complete.
+			return nil
+		}
+	}
+}
+
+// checkpoint flushes the recorder (so the output cursors are exact) and
+// writes one durable generation. Checkpointing is pure observation: it
+// processes no events and draws from no stream, so an armed run is
+// byte-identical to an unarmed one.
+func (d *durable) checkpoint() error {
+	if d.rs.rec != nil {
+		// Flush even when unarmed: an interrupt-only run must leave its
+		// JSONL sink complete up to the stop boundary.
+		if err := d.rs.rec.Flush(); err != nil {
+			return fmt.Errorf("runner: flushing event log before checkpoint: %w", err)
+		}
+	}
+	if d.ck.Path == "" {
+		// Checkpointing unarmed (a run driven only for interrupt support):
+		// nothing durable to write.
+		return nil
+	}
+	cur := d.cursorNow()
+	cur.Checkpoints = d.done + 1
+	curData, err := json.Marshal(cur)
+	if err != nil {
+		return err
+	}
+	tab := &snapshot.StateTable{}
+	d.rs.addState(tab)
+	if d.stream != nil {
+		d.stream.addState(tab)
+	}
+	f := &snapshot.File{Sections: []snapshot.Section{
+		{ID: sectionSpec, Data: d.specData},
+		{ID: sectionCursor, Data: curData},
+		{ID: sectionState, Data: tab.Encode()},
+	}}
+	if err := snapshot.WriteFile(d.ck.Path, f); err != nil {
+		return fmt.Errorf("runner: writing checkpoint: %w", err)
+	}
+	d.done++
+	if d.ck.AfterCheckpoint != nil {
+		if err := d.ck.AfterCheckpoint(d.done); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *durable) cursorNow() cursorRec {
+	eng := d.rs.cluster.Eng
+	cur := cursorRec{
+		Processed:   eng.Processed(),
+		Now:         eng.Now(),
+		Seq:         eng.Seq(),
+		Checkpoints: d.done,
+	}
+	if d.cw != nil {
+		cur.EventBytes = d.cw.n
+		cur.EventCRC = d.cw.crc.Sum32()
+	}
+	if d.rw != nil {
+		cur.ReportBytes = d.rw.n
+		cur.ReportCRC = d.rw.crc.Sum32()
+	}
+	if d.stream != nil {
+		cur.StreamEmitted = d.stream.src.Emitted()
+		cur.StreamNext = d.stream.nextWindow
+	}
+	return cur
+}
+
+// verifyCut proves the replayed run is the run that was checkpointed: the
+// full-stack state fingerprint and every output stream's byte/CRC position
+// must match what the checkpoint recorded at the same processed-event
+// count. Any mismatch is a DivergenceError naming the layer.
+func (d *durable) verifyCut() error {
+	if d.rs.rec != nil {
+		if err := d.rs.rec.Flush(); err != nil {
+			return fmt.Errorf("runner: flushing event log at resume cut: %w", err)
+		}
+	}
+	var rows []string
+	now := d.cursorNow()
+	want := d.cut.cursor
+	if now.Now != want.Now || now.Seq != want.Seq {
+		rows = append(rows, fmt.Sprintf("engine clock/seq: got (%v, %d), checkpoint (%v, %d)", now.Now, now.Seq, want.Now, want.Seq))
+	}
+	if d.cw != nil && (now.EventBytes != want.EventBytes || now.EventCRC != want.EventCRC) {
+		rows = append(rows, fmt.Sprintf("event log: got %d bytes crc %08x, checkpoint %d bytes crc %08x", now.EventBytes, now.EventCRC, want.EventBytes, want.EventCRC))
+	}
+	if d.rw != nil && (now.ReportBytes != want.ReportBytes || now.ReportCRC != want.ReportCRC) {
+		rows = append(rows, fmt.Sprintf("stream report: got %d bytes crc %08x, checkpoint %d bytes crc %08x", now.ReportBytes, now.ReportCRC, want.ReportBytes, want.ReportCRC))
+	}
+	tab := &snapshot.StateTable{}
+	d.rs.addState(tab)
+	if d.stream != nil {
+		d.stream.addState(tab)
+	}
+	rows = append(rows, d.cut.table.Diff(tab)...)
+	if len(rows) > 0 {
+		return &DivergenceError{Rows: rows}
+	}
+	d.done = want.Checkpoints
+	return nil
+}
+
+// RunCheckpointed is Run with durable checkpoints every ck.Every processed
+// events: a process killed at any instant can continue from the last good
+// generation with Resume and produce the identical Output and event trace.
+// When ck.Interrupt is raised mid-run it returns ErrInterrupted after
+// flushing a final checkpoint. With an empty Path and a non-nil Interrupt
+// the run is interrupt-only: nothing durable is written, but a raised
+// line still stops it cleanly between events with the event log flushed.
+func RunCheckpointed(opts Options, ck CheckpointSpec) (*Output, error) {
+	if ck.Path == "" && ck.Interrupt == nil {
+		return nil, fmt.Errorf("runner: CheckpointSpec needs a Path (durable checkpoints) or an Interrupt line (clean-stop only)")
+	}
+	var specData []byte
+	if ck.Path != "" {
+		spec, err := SpecFromOptions(opts)
+		if err != nil {
+			return nil, err
+		}
+		if specData, err = encodeSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	var cw *countingWriter
+	if opts.EventLog != nil {
+		cw = newCountingWriter(opts.EventLog)
+		opts.EventLog = cw
+	}
+	rs, err := newRunState(opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &durable{rs: rs, ck: ck, specData: specData, cw: cw}
+	d.nextStop = rs.cluster.Eng.Processed() + ck.every()
+	rs.cluster.Eng.SetInterrupt(ck.Interrupt)
+	results, err := rs.tracker.RunWith(d.drive)
+	if err != nil {
+		return nil, err
+	}
+	return rs.finish(results)
+}
+
+// Resume continues a run from the checkpoint at path (falling back to
+// path+".prev" when the primary is torn — a SIGKILL mid-write). The run is
+// rebuilt from the stored spec and replayed from genesis to the recorded
+// cut; the replayed state is verified against the checkpoint's fingerprint
+// (a mismatch is a DivergenceError), then the run continues live with the
+// same checkpoint cadence. eventLog, when non-nil, receives the complete
+// event trace from genesis — byte-identical to an uninterrupted run's —
+// and must be a fresh sink (the CLI re-opens the log file truncated).
+func Resume(path string, eventLog io.Writer, ck CheckpointSpec) (*Output, error) {
+	if ck.Path == "" {
+		ck.Path = path
+	}
+	f, fromPrev, err := snapshot.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	_ = fromPrev
+	spec, cur, tab, err := decodeCheckpoint(f)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Stream != nil {
+		return nil, fmt.Errorf("runner: checkpoint %s holds a streaming run; use ResumeStream", path)
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		return nil, err
+	}
+	var cw *countingWriter
+	if eventLog != nil {
+		cw = newCountingWriter(eventLog)
+		opts.EventLog = cw
+	} else if cur.EventBytes > 0 {
+		return nil, fmt.Errorf("runner: checkpoint recorded an event log (%d bytes at cut); resume needs the re-opened sink to reproduce it", cur.EventBytes)
+	}
+	rs, err := newRunState(opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &durable{
+		rs: rs, ck: ck, specData: mustSection(f, sectionSpec), cw: cw,
+		nextStop: cur.Processed,
+		cut:      &resumeCut{cursor: *cur, table: tab},
+	}
+	// The interrupt line stays unarmed until the cut verifies: a signal
+	// during fast-forward must not write a checkpoint generation that
+	// precedes the one being resumed.
+	results, err := rs.tracker.RunWith(d.drive)
+	if err != nil {
+		return nil, err
+	}
+	if d.cut != nil {
+		return nil, &DivergenceError{Rows: []string{fmt.Sprintf(
+			"run completed at %d processed events, before the checkpoint cut at %d — the replay is not the run that was checkpointed",
+			rs.cluster.Eng.Processed(), cur.Processed)}}
+	}
+	return rs.finish(results)
+}
+
+func decodeCheckpoint(f *snapshot.File) (*RunSpec, *cursorRec, *snapshot.StateTable, error) {
+	specData, ok := f.Section(sectionSpec)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("%w: checkpoint has no %q section", snapshot.ErrFormat, sectionSpec)
+	}
+	spec, err := decodeSpec(specData)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	curData, ok := f.Section(sectionCursor)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("%w: checkpoint has no %q section", snapshot.ErrFormat, sectionCursor)
+	}
+	var cur cursorRec
+	if err := json.Unmarshal(curData, &cur); err != nil {
+		return nil, nil, nil, fmt.Errorf("runner: decoding checkpoint cursor: %w", err)
+	}
+	stateData, ok := f.Section(sectionState)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("%w: checkpoint has no %q section", snapshot.ErrFormat, sectionState)
+	}
+	tab, err := snapshot.DecodeStateTable(stateData)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return spec, &cur, tab, nil
+}
+
+func mustSection(f *snapshot.File, id string) []byte {
+	b, _ := f.Section(id)
+	return b
+}

@@ -1,0 +1,305 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/snapshot"
+	"dare/internal/workload"
+)
+
+// durableScenario builds fresh Options for one crash-resume scenario.
+// Options must be rebuilt per run — Run consumes nothing, but the event
+// log writer differs each time.
+type durableScenario struct {
+	name string
+	opts func() Options
+}
+
+func durableScenarios() []durableScenario {
+	return []durableScenario{
+		{"plain-et-fifo", func() Options {
+			return Options{
+				Profile:   config.CCT(),
+				Workload:  truncate(workload.WL1(7), 40),
+				Scheduler: "fifo",
+				Policy:    PolicyFor(core.ElephantTrapPolicy),
+				Seed:      7,
+			}
+		}},
+		{"churn-lru-fair", func() Options {
+			return Options{
+				Profile:   config.CCT(),
+				Workload:  truncate(workload.WL2(11), 30),
+				Scheduler: "fair",
+				Policy:    PolicyFor(core.GreedyLRUPolicy),
+				Seed:      11,
+				Churn:     &ChurnSpec{MTTF: 30, MTTR: 4},
+			}
+		}},
+		{"chaos-et-fifo", func() Options {
+			return Options{
+				Profile:   config.EC2(),
+				Workload:  truncate(workload.WL1(42), 30),
+				Scheduler: "fifo",
+				Policy:    PolicyFor(core.ElephantTrapPolicy),
+				Seed:      42,
+				Chaos:     &ChaosSpec{Events: 6, Horizon: 8, CrashWeight: 1, SlowWeight: 1, CorruptWeight: 1, FlapWeight: 1, MTTR: 2, SlowMean: 2, SlowFactorMax: 3, FlapDown: 1},
+			}
+		}},
+	}
+}
+
+// outputJSON canonicalizes an Output for byte comparison.
+func outputJSON(t *testing.T, out *Output) []byte {
+	t.Helper()
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runBaseline executes opts uncheckpointed with an event log attached.
+func runBaseline(t *testing.T, opts Options) ([]byte, []byte) {
+	t.Helper()
+	var log bytes.Buffer
+	opts.EventLog = &log
+	out, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outputJSON(t, out), log.Bytes()
+}
+
+// TestArmedMatchesUnarmed: checkpoint writes are pure observation — a run
+// with checkpointing armed produces the identical Output and event trace
+// as the same run without it.
+func TestArmedMatchesUnarmed(t *testing.T) {
+	for _, sc := range durableScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			wantOut, wantLog := runBaseline(t, sc.opts())
+
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			var log bytes.Buffer
+			opts := sc.opts()
+			opts.EventLog = &log
+			ckpts := 0
+			out, err := RunCheckpointed(opts, CheckpointSpec{
+				Path: path, Every: 300,
+				AfterCheckpoint: func(n int) error { ckpts = n; return nil },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ckpts == 0 {
+				t.Fatal("run finished without writing a single checkpoint; lower Every")
+			}
+			if got := outputJSON(t, out); !bytes.Equal(got, wantOut) {
+				t.Errorf("armed run output diverges from unarmed\narmed:   %s\nunarmed: %s", got, wantOut)
+			}
+			if !bytes.Equal(log.Bytes(), wantLog) {
+				t.Error("armed run event trace diverges from unarmed")
+			}
+		})
+	}
+}
+
+// crashAfter aborts the run right after the nth durable checkpoint write,
+// simulating a SIGKILL at a known boundary.
+func crashAfter(n int) (func(int) error, error) {
+	crashErr := errors.New("simulated crash")
+	return func(done int) error {
+		if done >= n {
+			return crashErr
+		}
+		return nil
+	}, crashErr
+}
+
+// TestKillAndResumeDifferential is the tentpole contract: a run killed at
+// a checkpoint boundary and resumed produces the byte-identical Output
+// and JSONL event trace as the same run left uninterrupted — across
+// plain, churn, and chaos scenarios.
+func TestKillAndResumeDifferential(t *testing.T) {
+	for _, sc := range durableScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			wantOut, wantLog := runBaseline(t, sc.opts())
+
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			hook, crashErr := crashAfter(2)
+			opts := sc.opts()
+			opts.EventLog = &bytes.Buffer{} // discarded: the dead process's partial log
+			_, err := RunCheckpointed(opts, CheckpointSpec{Path: path, Every: 300, AfterCheckpoint: hook})
+			if !errors.Is(err, crashErr) {
+				t.Fatalf("expected simulated crash, got %v", err)
+			}
+
+			var resumedLog bytes.Buffer
+			out, err := Resume(path, &resumedLog, CheckpointSpec{Path: path, Every: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := outputJSON(t, out); !bytes.Equal(got, wantOut) {
+				t.Errorf("resumed output diverges from uninterrupted run\nresumed: %s\nwant:    %s", got, wantOut)
+			}
+			if !bytes.Equal(resumedLog.Bytes(), wantLog) {
+				t.Errorf("resumed event trace diverges from uninterrupted run (%d vs %d bytes)", resumedLog.Len(), len(wantLog))
+			}
+		})
+	}
+}
+
+// TestResumeFallsBackToPrev: a SIGKILL mid-checkpoint-write leaves a torn
+// primary; Resume must fall back to the previous good generation and
+// still converge to the identical run.
+func TestResumeFallsBackToPrev(t *testing.T) {
+	sc := durableScenarios()[0]
+	wantOut, wantLog := runBaseline(t, sc.opts())
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	hook, crashErr := crashAfter(3)
+	opts := sc.opts()
+	opts.EventLog = &bytes.Buffer{}
+	if _, err := RunCheckpointed(opts, CheckpointSpec{Path: path, Every: 300, AfterCheckpoint: hook}); !errors.Is(err, crashErr) {
+		t.Fatalf("expected simulated crash, got %v", err)
+	}
+
+	// Tear the primary: keep half the bytes, as a crash mid-write would.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var resumedLog bytes.Buffer
+	out, err := Resume(path, &resumedLog, CheckpointSpec{Path: path, Every: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outputJSON(t, out); !bytes.Equal(got, wantOut) {
+		t.Error("resume from .prev generation diverges from uninterrupted run")
+	}
+	if !bytes.Equal(resumedLog.Bytes(), wantLog) {
+		t.Error("resume from .prev generation: event trace diverges")
+	}
+}
+
+// TestResumeDetectsDivergence: a checkpoint whose spec was tampered with
+// (different seed — a stand-in for any determinism break between
+// checkpointing and resuming) must be rejected with a DivergenceError,
+// not silently produce a different run.
+func TestResumeDetectsDivergence(t *testing.T) {
+	sc := durableScenarios()[0]
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	hook, crashErr := crashAfter(2)
+	opts := sc.opts()
+	opts.EventLog = &bytes.Buffer{}
+	if _, err := RunCheckpointed(opts, CheckpointSpec{Path: path, Every: 300, AfterCheckpoint: hook}); !errors.Is(err, crashErr) {
+		t.Fatalf("expected simulated crash, got %v", err)
+	}
+
+	f, _, err := snapshot.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range f.Sections {
+		if s.ID != sectionSpec {
+			continue
+		}
+		spec, err := decodeSpec(s.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Seed++
+		// The workload rides inline, so only the cluster-side streams
+		// shift — exactly the subtle kind of divergence the fingerprint
+		// must catch.
+		data, err := encodeSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Sections[i].Data = data
+	}
+	if err := snapshot.WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(path + snapshot.PrevSuffix) // no good generation to fall back to
+
+	var log bytes.Buffer
+	_, err = Resume(path, &log, CheckpointSpec{Path: path, Every: 300})
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("expected DivergenceError, got %v", err)
+	}
+}
+
+// TestSpecRoundTrip: Options → RunSpec → JSON → RunSpec → Options must
+// reproduce the identical run, including a declarative policy-file arm.
+func TestSpecRoundTrip(t *testing.T) {
+	set, err := config.BuiltinPolicy("elephanttrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Profile:   config.EC2(),
+		Workload:  truncate(workload.WL2(13), 25),
+		Scheduler: "fair",
+		FairSkips: 3,
+		PolicySet: set,
+		Seed:      13,
+		Churn:     &ChurnSpec{MTTF: 40, MTTR: 5},
+	}
+	spec, err := SpecFromOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := encodeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := decodeSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2, err := spec2.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantOut, wantLog := runBaseline(t, opts)
+	gotOut, gotLog := runBaseline(t, opts2)
+	if !bytes.Equal(gotOut, wantOut) {
+		t.Errorf("round-tripped spec runs differently\ngot:  %s\nwant: %s", gotOut, wantOut)
+	}
+	if !bytes.Equal(gotLog, wantLog) {
+		t.Error("round-tripped spec: event trace diverges")
+	}
+}
+
+// TestSpecRejectsSpeclessPolicySet: a hand-assembled PolicySet with no
+// declarative source cannot be rebuilt on resume — typed error up front,
+// not a silently lossy spec.
+func TestSpecRejectsSpeclessPolicySet(t *testing.T) {
+	opts := Options{
+		Profile:   config.CCT(),
+		Workload:  truncate(workload.WL1(7), 10),
+		Scheduler: "fifo",
+		PolicySet: &config.PolicySet{Name: "mystery", Kind: "elephanttrap"},
+		Seed:      7,
+	}
+	if _, err := SpecFromOptions(opts); !errors.Is(err, ErrNotSnapshottable) {
+		t.Fatalf("expected ErrNotSnapshottable, got %v", err)
+	}
+	if _, err := RunCheckpointed(opts, CheckpointSpec{Path: filepath.Join(t.TempDir(), "x.ckpt")}); !errors.Is(err, ErrNotSnapshottable) {
+		t.Fatalf("RunCheckpointed: expected ErrNotSnapshottable, got %v", err)
+	}
+}

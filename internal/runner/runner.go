@@ -17,6 +17,7 @@ import (
 	"dare/internal/mapreduce"
 	"dare/internal/metrics"
 	"dare/internal/scheduler"
+	"dare/internal/snapshot"
 	"dare/internal/stats"
 	"dare/internal/topology"
 	"dare/internal/workload"
@@ -217,6 +218,42 @@ func TotalBusEvents() event.Counts {
 // Run executes one full simulation and returns its metrics. The run is a
 // pure function of Options (including Seed).
 func Run(opts Options) (*Output, error) {
+	rs, err := newRunState(opts)
+	if err != nil {
+		return nil, err
+	}
+	results, err := rs.tracker.Run()
+	if err != nil {
+		return nil, err
+	}
+	return rs.finish(results)
+}
+
+// runState is one fully wired simulation, paused before the clock starts.
+// Run drives it to completion in a single call; the durable and streaming
+// drivers (durable.go, stream.go) advance it in checkpointed slices via
+// Tracker.RunWith. Construction is deterministic: two runStates built from
+// equal Options are in identical states, which is what lets a resumed run
+// rebuild the world by replaying from genesis.
+type runState struct {
+	opts    Options
+	sel     mapreduce.TaskSelector
+	cluster *mapreduce.Cluster
+	tracker *mapreduce.Tracker
+	rec     *event.Recorder
+	counter *event.Counter
+	mgr     *core.Manager
+	scar    *core.Scarlett
+	pol     core.Config
+	polName string // non-empty only for a -policy-file arm's custom label
+
+	blockPop [][]int
+	cvBefore float64
+}
+
+// newRunState wires the full stack from opts without processing any
+// events.
+func newRunState(opts Options) (*runState, error) {
 	if opts.Profile == nil {
 		return nil, fmt.Errorf("runner: Profile is required")
 	}
@@ -397,21 +434,37 @@ func Run(opts Options) (*Output, error) {
 	blockPop := opts.Workload.BlockAccessCounts()
 	cvBefore := metrics.PlacementCV(cluster.NN, tracker.Files(), blockPop)
 
-	results, err := tracker.Run()
-	if err != nil {
-		return nil, err
-	}
+	return &runState{
+		opts:     opts,
+		sel:      sel,
+		cluster:  cluster,
+		tracker:  tracker,
+		rec:      rec,
+		counter:  counter,
+		mgr:      mgr,
+		scar:     scar,
+		pol:      pol,
+		polName:  polNameOverride,
+		blockPop: blockPop,
+		cvBefore: cvBefore,
+	}, nil
+}
+
+// finish closes out a driven run: global tallies, invariant checks, and
+// the Output assembly.
+func (rs *runState) finish(results []mapreduce.Result) (*Output, error) {
+	cluster, tracker, sel := rs.cluster, rs.tracker, rs.sel
 	totalEvents.Add(cluster.Eng.Processed())
-	evCounts := counter.Counts()
+	evCounts := rs.counter.Counts()
 	busCountsMu.Lock()
 	busCounts.Add(evCounts)
 	busCountsMu.Unlock()
-	if rec != nil {
-		if err := rec.Flush(); err != nil {
+	if rs.rec != nil {
+		if err := rs.rec.Flush(); err != nil {
 			return nil, fmt.Errorf("runner: writing event log: %w", err)
 		}
 	}
-	cvAfter := metrics.PlacementCV(cluster.NN, tracker.Files(), blockPop)
+	cvAfter := metrics.PlacementCV(cluster.NN, tracker.Files(), rs.blockPop)
 	if err := cluster.NN.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("runner: post-run DFS state corrupt: %w", err)
 	}
@@ -419,31 +472,31 @@ func Run(opts Options) (*Output, error) {
 	var polStats core.PolicyStats
 	var extraNet int64
 	polName := core.NonePolicy.String()
-	if mgr != nil {
-		polStats = mgr.TotalStats()
-		polName = pol.Kind.String()
-		if errs := mgr.Errors(); len(errs) > 0 {
+	if rs.mgr != nil {
+		polStats = rs.mgr.TotalStats()
+		polName = rs.pol.Kind.String()
+		if errs := rs.mgr.Errors(); len(errs) > 0 {
 			return nil, fmt.Errorf("runner: DARE manager errors (%d), first: %w", len(errs), errs[0])
 		}
 	}
-	if scar != nil {
-		scar.Stop()
-		polStats = scar.TotalStats()
-		extraNet = scar.ExtraNetworkBytes()
-		polName = pol.Kind.String()
-		if errs := scar.Errors(); len(errs) > 0 {
+	if rs.scar != nil {
+		rs.scar.Stop()
+		polStats = rs.scar.TotalStats()
+		extraNet = rs.scar.ExtraNetworkBytes()
+		polName = rs.pol.Kind.String()
+		if errs := rs.scar.Errors(); len(errs) > 0 {
 			return nil, fmt.Errorf("runner: scarlett errors (%d), first: %w", len(errs), errs[0])
 		}
 	}
-	if polNameOverride != "" {
+	if rs.polName != "" {
 		// Built-in arms are named after their kind, so this only changes
 		// the label for genuinely custom arms.
-		polName = polNameOverride
+		polName = rs.polName
 	}
 	return &Output{
 		Summary:             metrics.Summarize(results, polStats),
 		Results:             results,
-		CVBefore:            cvBefore,
+		CVBefore:            rs.cvBefore,
 		CVAfter:             cvAfter,
 		PolicyStats:         polStats,
 		ExtraNetworkBytes:   extraNet,
@@ -459,6 +512,23 @@ func Run(opts Options) (*Output, error) {
 		EventsProcessed:     cluster.Eng.Processed(),
 		EventCounts:         evCounts,
 	}, nil
+}
+
+// addState assembles the full-stack checkpoint fingerprint: every layer
+// folds its labeled state rows into one table (see DESIGN.md §4j). The
+// durable driver compares this table at the resume cut against the one
+// stored in the checkpoint; any differing row names the layer that
+// diverged.
+func (rs *runState) addState(t *snapshot.StateTable) {
+	rs.cluster.Eng.AddState(t)
+	rs.cluster.NN.AddState(t)
+	rs.tracker.AddState(t)
+	if rs.mgr != nil {
+		rs.mgr.AddState(t)
+	}
+	if rs.scar != nil {
+		rs.scar.AddState(t)
+	}
 }
 
 // PolicyFor builds the three evaluated policy configs by name, using the

@@ -1,0 +1,183 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dare/internal/config"
+	"dare/internal/core"
+	"dare/internal/workload"
+)
+
+func streamOpts() Options {
+	return Options{
+		Profile:   config.CCT(),
+		Scheduler: "fifo",
+		Policy:    PolicyFor(core.ElephantTrapPolicy),
+		Seed:      5,
+	}
+}
+
+func streamSpec() StreamRunSpec {
+	return StreamRunSpec{
+		Gen:              workload.GenConfig{Name: "wl1", Seed: 5, MeanInterarrival: 0.8},
+		DiurnalAmplitude: 0.4,
+		DiurnalPeriod:    40,
+		Window:           5,
+		Horizon:          30,
+	}
+}
+
+// runStreamBaseline executes an uninterrupted service run with both sinks
+// attached and no checkpointing.
+func runStreamBaseline(t *testing.T) ([]byte, []byte, []byte) {
+	t.Helper()
+	var log, report bytes.Buffer
+	opts := streamOpts()
+	opts.EventLog = &log
+	out, err := RunStream(opts, streamSpec(), &report, CheckpointSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outputJSON(t, out), log.Bytes(), report.Bytes()
+}
+
+// TestStreamDeterminism: two identical service runs produce byte-equal
+// output, event trace, and report stream.
+func TestStreamDeterminism(t *testing.T) {
+	o1, l1, r1 := runStreamBaseline(t)
+	o2, l2, r2 := runStreamBaseline(t)
+	if !bytes.Equal(o1, o2) {
+		t.Error("stream runs with identical spec produced different outputs")
+	}
+	if !bytes.Equal(l1, l2) {
+		t.Error("stream runs with identical spec produced different event traces")
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Error("stream runs with identical spec produced different reports")
+	}
+	if len(r1) == 0 {
+		t.Fatal("stream run emitted no report lines")
+	}
+	// Report lines must be valid JSONL with strictly increasing windows.
+	lines := strings.Split(strings.TrimSuffix(string(r1), "\n"), "\n")
+	prev := -1
+	for _, ln := range lines {
+		var rec StreamReportLine
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad report line %q: %v", ln, err)
+		}
+		if rec.Window <= prev {
+			t.Fatalf("report windows not increasing: %d after %d", rec.Window, prev)
+		}
+		prev = rec.Window
+	}
+}
+
+// TestStreamHorizonDrain: generation stops at the horizon and every
+// submitted job still completes — the Output covers the full drained run.
+func TestStreamHorizonDrain(t *testing.T) {
+	var log bytes.Buffer
+	opts := streamOpts()
+	opts.EventLog = &log
+	out, err := RunStream(opts, streamSpec(), nil, CheckpointSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary.Jobs == 0 {
+		t.Fatal("horizon run submitted no jobs")
+	}
+	if out.Summary.Makespan <= 0 {
+		t.Fatal("horizon run has no makespan; jobs did not drain")
+	}
+}
+
+// TestStreamKillAndResumeDifferential is the service-mode tentpole
+// contract: a streaming run killed after a checkpoint and resumed
+// produces byte-identical Output, event trace, AND report stream vs the
+// uninterrupted run — including the regenerated arrivals.
+func TestStreamKillAndResumeDifferential(t *testing.T) {
+	wantOut, wantLog, wantReport := runStreamBaseline(t)
+
+	path := filepath.Join(t.TempDir(), "svc.ckpt")
+	hook, crashErr := crashAfter(2)
+	opts := streamOpts()
+	opts.EventLog = &bytes.Buffer{}
+	_, err := RunStream(opts, streamSpec(), &bytes.Buffer{}, CheckpointSpec{Path: path, Every: 300, AfterCheckpoint: hook})
+	if !errors.Is(err, crashErr) {
+		t.Fatalf("expected simulated crash, got %v", err)
+	}
+
+	var log, report bytes.Buffer
+	out, err := ResumeStream(path, &log, &report, CheckpointSpec{Path: path, Every: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outputJSON(t, out); !bytes.Equal(got, wantOut) {
+		t.Errorf("resumed stream output diverges\nresumed: %s\nwant:    %s", got, wantOut)
+	}
+	if !bytes.Equal(log.Bytes(), wantLog) {
+		t.Errorf("resumed stream event trace diverges (%d vs %d bytes)", log.Len(), len(wantLog))
+	}
+	if !bytes.Equal(report.Bytes(), wantReport) {
+		t.Errorf("resumed stream report diverges (%d vs %d bytes)\nresumed: %s\nwant:    %s",
+			report.Len(), len(wantReport), report.Bytes(), wantReport)
+	}
+}
+
+// TestResumeRejectsWrongMode: batch checkpoints refuse ResumeStream and
+// stream checkpoints refuse Resume, each with a clear error.
+func TestResumeRejectsWrongMode(t *testing.T) {
+	// Stream checkpoint → Resume.
+	path := filepath.Join(t.TempDir(), "svc.ckpt")
+	hook, crashErr := crashAfter(1)
+	opts := streamOpts()
+	opts.EventLog = &bytes.Buffer{}
+	if _, err := RunStream(opts, streamSpec(), &bytes.Buffer{}, CheckpointSpec{Path: path, Every: 300, AfterCheckpoint: hook}); !errors.Is(err, crashErr) {
+		t.Fatalf("expected simulated crash, got %v", err)
+	}
+	if _, err := Resume(path, &bytes.Buffer{}, CheckpointSpec{Path: path}); err == nil || !strings.Contains(err.Error(), "ResumeStream") {
+		t.Errorf("Resume on stream checkpoint: want ResumeStream hint, got %v", err)
+	}
+
+	// Batch checkpoint → ResumeStream.
+	bpath := filepath.Join(t.TempDir(), "batch.ckpt")
+	bhook, bcrash := crashAfter(1)
+	bopts := durableScenarios()[0].opts()
+	bopts.EventLog = &bytes.Buffer{}
+	if _, err := RunCheckpointed(bopts, CheckpointSpec{Path: bpath, Every: 300, AfterCheckpoint: bhook}); !errors.Is(err, bcrash) {
+		t.Fatalf("expected simulated crash, got %v", err)
+	}
+	if _, err := ResumeStream(bpath, &bytes.Buffer{}, &bytes.Buffer{}, CheckpointSpec{Path: bpath}); err == nil || !strings.Contains(err.Error(), "use Resume") {
+		t.Errorf("ResumeStream on batch checkpoint: want use-Resume hint, got %v", err)
+	}
+}
+
+// TestStreamValidation: option families incompatible with service mode
+// are rejected up front.
+func TestStreamValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Options, *StreamRunSpec)
+	}{
+		{"zero-window", func(o *Options, s *StreamRunSpec) { s.Window = 0 }},
+		{"horizon-lt-window", func(o *Options, s *StreamRunSpec) { s.Horizon = 1 }},
+		{"explicit-workload", func(o *Options, s *StreamRunSpec) { o.Workload = truncate(workload.WL1(1), 5) }},
+		{"failure-schedule", func(o *Options, s *StreamRunSpec) { o.Failures = []NodeFailure{{Node: 1, At: 2}} }},
+		{"churn", func(o *Options, s *StreamRunSpec) { o.Churn = &ChurnSpec{MTTF: 10, MTTR: 1} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := streamOpts()
+			scfg := streamSpec()
+			tc.mut(&opts, &scfg)
+			if _, err := RunStream(opts, scfg, nil, CheckpointSpec{}); err == nil {
+				t.Error("expected validation error, got nil")
+			}
+		})
+	}
+}

@@ -495,4 +495,16 @@ func (q *calendarQueue) compact() int {
 	return removed
 }
 
+func (q *calendarQueue) each(f func(*Event)) {
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		for _, ev := range b.evs[b.head:] {
+			f(ev)
+		}
+	}
+	for _, ev := range q.overflow {
+		f(ev)
+	}
+}
+
 func (q *calendarQueue) kind() string { return "calendar" }

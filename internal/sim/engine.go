@@ -14,6 +14,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync/atomic"
 )
 
 // Time is simulated time in seconds since the start of the run.
@@ -67,6 +69,44 @@ type Engine struct {
 	// is compacted, so ticker start/stop churn cannot grow memory without
 	// bound.
 	canceledPending int
+	// intr, when non-nil, is polled between events: setting it makes the
+	// run loop return with RunInterrupted at the next event boundary. It
+	// is the one concession to the outside world (signal handlers) the
+	// otherwise single-threaded engine makes; nil (the default) keeps the
+	// loop free of atomic loads.
+	intr *atomic.Bool
+}
+
+// RunOutcome reports why a bounded run loop returned.
+type RunOutcome uint8
+
+const (
+	// RunDrained: the queue ran out of events at or before the time bound
+	// (the clock was advanced to the bound when finite).
+	RunDrained RunOutcome = iota
+	// RunStopped: Stop was called by an event callback.
+	RunStopped
+	// RunBudget: the processed-event count reached the caller's limit; the
+	// clock rests at the last fired event. This is the checkpoint
+	// boundary — between two events, never inside one.
+	RunBudget
+	// RunInterrupted: the interrupt flag installed by SetInterrupt was
+	// observed between events.
+	RunInterrupted
+)
+
+func (o RunOutcome) String() string {
+	switch o {
+	case RunDrained:
+		return "drained"
+	case RunStopped:
+		return "stopped"
+	case RunBudget:
+		return "budget"
+	case RunInterrupted:
+		return "interrupted"
+	}
+	return fmt.Sprintf("RunOutcome(%d)", uint8(o))
 }
 
 // NewEngine returns an engine with the clock at zero, running on the
@@ -275,8 +315,35 @@ func (e *Engine) Run() Time {
 // exit. If Stop was requested, execution halts immediately after the
 // current event.
 func (e *Engine) RunUntil(until Time) Time {
+	e.RunUntilOutcome(until, math.MaxUint64)
+	return e.now
+}
+
+// RunUntilOutcome is RunUntil with a processed-event budget: the loop
+// additionally returns (without advancing the clock) as soon as the
+// engine's lifetime processed count reaches stopAt. The budget check sits
+// between events, so a RunBudget return is always a clean checkpoint
+// boundary: the previous event has fully run, the next has not started.
+// Canceled events discarded by the loop do not count against the budget
+// (they never counted as processed). The returned outcome reports why the
+// loop exited; RunUntil(x) is RunUntilOutcome(x, MaxUint64) with the
+// outcome ignored.
+func (e *Engine) RunUntilOutcome(until Time, stopAt uint64) RunOutcome {
 	e.stopped = false
-	for !e.stopped {
+	outcome := RunDrained
+	for {
+		if e.stopped {
+			outcome = RunStopped
+			break
+		}
+		if e.processed >= stopAt {
+			outcome = RunBudget
+			break
+		}
+		if e.intr != nil && e.intr.Load() {
+			outcome = RunInterrupted
+			break
+		}
 		next := e.q.peek()
 		if next == nil || next.when > until {
 			break
@@ -294,11 +361,47 @@ func (e *Engine) RunUntil(until Time) Time {
 		e.release(next)
 		fn()
 	}
-	if !math.IsInf(until, 1) && until > e.now && !e.stopped {
+	if outcome == RunDrained && !math.IsInf(until, 1) && until > e.now {
 		e.now = until
 	}
-	return e.now
+	return outcome
 }
+
+// SetInterrupt installs flag as the engine's interrupt line: when a
+// concurrent goroutine (a signal handler) sets it, the run loop returns
+// RunInterrupted at the next boundary between events. Pass nil to
+// uninstall. The flag is polled, never cleared, by the engine.
+func (e *Engine) SetInterrupt(flag *atomic.Bool) { e.intr = flag }
+
+// PendingSchedule visits the live (non-canceled) pending events in strict
+// (when, seq) order — the exact future firing schedule. The checkpoint
+// fingerprint folds this schedule so a resumed run must rebuild not just
+// the same domain state but the same calendar of what happens next.
+func (e *Engine) PendingSchedule(f func(when Time, seq uint64)) {
+	type ws struct {
+		when Time
+		seq  uint64
+	}
+	sched := make([]ws, 0, e.q.len())
+	e.q.each(func(ev *Event) {
+		if !ev.canceled {
+			sched = append(sched, ws{ev.when, ev.seq})
+		}
+	})
+	sort.Slice(sched, func(i, j int) bool {
+		if sched[i].when != sched[j].when {
+			return sched[i].when < sched[j].when
+		}
+		return sched[i].seq < sched[j].seq
+	})
+	for _, s := range sched {
+		f(s.when, s.seq)
+	}
+}
+
+// Seq reports the next sequence number the engine will stamp — with Now
+// and Processed, the engine-level coordinates a checkpoint cursor records.
+func (e *Engine) Seq() uint64 { return e.seq }
 
 // Step executes exactly one pending non-canceled event, if any, and
 // reports whether one was executed. It exists mainly for tests that need

@@ -23,6 +23,10 @@ type pendingQueue interface {
 	// reports how many were dropped. Relative order of survivors is
 	// preserved.
 	compact() int
+	// each visits every queued event (canceled included) in unspecified
+	// order; the caller must not mutate the queue during the walk. The
+	// checkpoint fingerprint sorts the visited (when, seq) pairs itself.
+	each(f func(*Event))
 	// kind names the implementation ("calendar" or "heap").
 	kind() string
 }
@@ -101,6 +105,12 @@ func (q *heapQueue) compact() int {
 	q.h = kept
 	heap.Init(&q.h)
 	return removed
+}
+
+func (q *heapQueue) each(f func(*Event)) {
+	for _, ev := range q.h {
+		f(ev)
+	}
 }
 
 func (q *heapQueue) kind() string { return "heap" }

@@ -1,0 +1,95 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// PrevSuffix is appended to a checkpoint path to name the previous good
+// checkpoint kept as the fallback generation.
+const PrevSuffix = ".prev"
+
+// WriteFile atomically replaces the checkpoint at path with f, keeping
+// the previous generation at path+PrevSuffix. The new bytes are written
+// to a temporary file and fsynced before any rename, so a crash at any
+// instant leaves either the old chain or the new one — never a torn file
+// under the final name:
+//
+//  1. write path.tmp (fsync)
+//  2. rename path     -> path.prev   (keeps the last good generation)
+//  3. rename path.tmp -> path
+//
+// A crash between 2 and 3 leaves no file at path; LoadFile falls back to
+// path.prev.
+func WriteFile(path string, f *File) error {
+	tmp := path + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Encode(out); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+PrevSuffix); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the renames durable on filesystems that need a directory sync.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// LoadFile reads the checkpoint at path, falling back to path+PrevSuffix
+// when the primary is missing, truncated, or corrupt (a SIGKILL can land
+// mid-write). fromPrev reports that the fallback generation was used. When
+// both generations are unreadable the error describes both failures and
+// still satisfies errors.Is for the primary's defect class.
+func LoadFile(path string) (f *File, fromPrev bool, err error) {
+	f, primaryErr := loadOne(path)
+	if primaryErr == nil {
+		return f, false, nil
+	}
+	f, prevErr := loadOne(path + PrevSuffix)
+	if prevErr == nil {
+		return f, true, nil
+	}
+	if errors.Is(prevErr, os.ErrNotExist) {
+		return nil, false, primaryErr
+	}
+	return nil, false, fmt.Errorf("%w (fallback %s%s also unreadable: %v)", primaryErr, path, PrevSuffix, prevErr)
+}
+
+func loadOne(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	f, err := Decode(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

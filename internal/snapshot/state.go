@@ -1,0 +1,180 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Hash is a streaming FNV-1a 64-bit accumulator with typed feeds. Every
+// layer of the simulator folds its live state through one of these, so a
+// single uint64 pins an entire subsystem; any divergence between a
+// restored run and the original surfaces as a fingerprint mismatch
+// instead of silently wrong results.
+type Hash struct{ h uint64 }
+
+// NewHash returns a Hash at the FNV-1a offset basis.
+func NewHash() *Hash { return &Hash{h: 14695981039346656037} }
+
+const fnvPrime = 1099511628211
+
+func (h *Hash) byte(b byte) {
+	h.h ^= uint64(b)
+	h.h *= fnvPrime
+}
+
+// U64 folds a uint64.
+func (h *Hash) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+// I64 folds an int64.
+func (h *Hash) I64(v int64) { h.U64(uint64(v)) }
+
+// Int folds an int.
+func (h *Hash) Int(v int) { h.U64(uint64(int64(v))) }
+
+// F64 folds a float64 by bit pattern, so -0.0 and 0.0 stay distinct and
+// no precision is lost.
+func (h *Hash) F64(v float64) { h.U64(math.Float64bits(v)) }
+
+// Bool folds a bool.
+func (h *Hash) Bool(v bool) {
+	if v {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+// Str folds a length-prefixed string (prefixing keeps "ab","c" distinct
+// from "a","bc").
+func (h *Hash) Str(s string) {
+	h.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// Sum reports the accumulated hash.
+func (h *Hash) Sum() uint64 { return h.h }
+
+// StateTable is an ordered list of labeled 64-bit state digests — one row
+// per subsystem facet (engine clock, pending-event schedule, DFS registry,
+// job ledger, RNG positions, policy state, ...). The order and labels are
+// part of the fingerprint: a resumed run must rebuild the exact same
+// table, row for row. Keeping rows labeled (rather than one opaque hash)
+// means a divergence report can say which subsystem drifted.
+type StateTable struct {
+	rows []StateRow
+}
+
+// StateRow is one labeled state digest.
+type StateRow struct {
+	Label string
+	Value uint64
+}
+
+// Add appends one row.
+func (t *StateTable) Add(label string, v uint64) {
+	t.rows = append(t.rows, StateRow{Label: label, Value: v})
+}
+
+// AddHash appends the accumulated sum of h.
+func (t *StateTable) AddHash(label string, h *Hash) { t.Add(label, h.Sum()) }
+
+// Rows returns the table rows in insertion order.
+func (t *StateTable) Rows() []StateRow { return t.rows }
+
+// Fingerprint folds the whole table (labels and values, in order) into
+// one digest.
+func (t *StateTable) Fingerprint() uint64 {
+	h := NewHash()
+	for _, r := range t.rows {
+		h.Str(r.Label)
+		h.U64(r.Value)
+	}
+	return h.Sum()
+}
+
+// Diff reports the labels whose values differ between t and other,
+// including rows present in only one table. Empty means the tables are
+// identical.
+func (t *StateTable) Diff(other *StateTable) []string {
+	var out []string
+	n := len(t.rows)
+	if len(other.rows) > n {
+		n = len(other.rows)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case i >= len(t.rows):
+			out = append(out, other.rows[i].Label+" (missing here)")
+		case i >= len(other.rows):
+			out = append(out, t.rows[i].Label+" (missing there)")
+		case t.rows[i].Label != other.rows[i].Label:
+			out = append(out, fmt.Sprintf("%s vs %s (label mismatch)", t.rows[i].Label, other.rows[i].Label))
+		case t.rows[i].Value != other.rows[i].Value:
+			out = append(out, t.rows[i].Label)
+		}
+	}
+	return out
+}
+
+// String renders the table for inspection (trace-analyze -ckpt).
+func (t *StateTable) String() string {
+	var sb strings.Builder
+	for _, r := range t.rows {
+		fmt.Fprintf(&sb, "%-28s %016x\n", r.Label, r.Value)
+	}
+	return sb.String()
+}
+
+// Encode serializes the table: u32 row count, then per row a
+// length-prefixed label and the value.
+func (t *StateTable) Encode() []byte {
+	var out []byte
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(t.rows)))
+	out = append(out, u32[:]...)
+	for _, r := range t.rows {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(r.Label)))
+		out = append(out, u32[:]...)
+		out = append(out, r.Label...)
+		binary.LittleEndian.PutUint64(u64[:], r.Value)
+		out = append(out, u64[:]...)
+	}
+	return out
+}
+
+// DecodeStateTable parses an Encode payload.
+func DecodeStateTable(b []byte) (*StateTable, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: state table header", ErrTruncated)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	t := &StateTable{}
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("%w: state table row %d", ErrTruncated, i)
+		}
+		l := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < l+8 {
+			return nil, fmt.Errorf("%w: state table row %d", ErrTruncated, i)
+		}
+		label := string(b[:l])
+		b = b[l:]
+		t.Add(label, binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after state table", ErrFormat, len(b))
+	}
+	return t, nil
+}

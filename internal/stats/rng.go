@@ -20,6 +20,12 @@ type RNG struct {
 	// seed records the stream's origin; useful in error messages and for
 	// splitting sub-streams.
 	seed uint64
+	// draws counts calls that consumed (or could consume) the underlying
+	// stream. (seed, draws) is the stream's checkpoint coordinate: a
+	// resumed run must show every RNG at the same position, which is how
+	// divergence in any random draw anywhere surfaces in the state
+	// fingerprint.
+	draws uint64
 }
 
 // NewRNG returns a deterministic stream for the given seed.
@@ -38,30 +44,35 @@ func (g *RNG) Split(label uint64) *RNG {
 // Seed reports the seed this stream was created with.
 func (g *RNG) Seed() uint64 { return g.seed }
 
+// Draws reports how many draw calls the stream has served — its position
+// for checkpoint fingerprinting.
+func (g *RNG) Draws() uint64 { return g.draws }
+
 // Float64 returns a uniform value in [0,1).
-func (g *RNG) Float64() float64 { return g.r.Float64() }
+func (g *RNG) Float64() float64 { g.draws++; return g.r.Float64() }
 
 // Intn returns a uniform integer in [0,n). It panics if n <= 0, matching
 // math/rand semantics.
-func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+func (g *RNG) Intn(n int) int { g.draws++; return g.r.Intn(n) }
 
 // Int63 returns a non-negative uniform 63-bit integer.
-func (g *RNG) Int63() int64 { return g.r.Int63() }
+func (g *RNG) Int63() int64 { g.draws++; return g.r.Int63() }
 
 // NormFloat64 returns a standard normal variate.
-func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+func (g *RNG) NormFloat64() float64 { g.draws++; return g.r.NormFloat64() }
 
 // ExpFloat64 returns an exponential variate with rate 1.
-func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+func (g *RNG) ExpFloat64() float64 { g.draws++; return g.r.ExpFloat64() }
 
 // Perm returns a random permutation of [0,n).
-func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+func (g *RNG) Perm(n int) []int { g.draws++; return g.r.Perm(n) }
 
 // Shuffle randomizes the order of n elements using swap.
-func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.draws++; g.r.Shuffle(n, swap) }
 
 // Bool returns true with probability p.
 func (g *RNG) Bool(p float64) bool {
+	g.draws++
 	if p <= 0 {
 		return false
 	}

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"encoding/json"
+
+	"dare/internal/stats"
+)
+
+// genConfigAlias strips GenConfig's methods for the JSON codec below.
+type genConfigAlias GenConfig
+
+// genConfigWire shadows the four Dist-valued fields with their exact
+// typed-union form. The streaming checkpoint spec (internal/runner)
+// serializes GenConfig so a resumed service run regenerates the identical
+// arrival sequence — distributions must round-trip exactly, never be
+// re-fit.
+type genConfigWire struct {
+	genConfigAlias
+	SmallMaps   stats.DistJSON `json:"SmallMaps"`
+	LargeMaps   stats.DistJSON `json:"LargeMaps"`
+	CPUPerTask  stats.DistJSON `json:"CPUPerTask"`
+	OutputRatio stats.DistJSON `json:"OutputRatio"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c GenConfig) MarshalJSON() ([]byte, error) {
+	return json.Marshal(genConfigWire{
+		genConfigAlias: genConfigAlias(c),
+		SmallMaps:      stats.DistJSON{Dist: c.SmallMaps},
+		LargeMaps:      stats.DistJSON{Dist: c.LargeMaps},
+		CPUPerTask:     stats.DistJSON{Dist: c.CPUPerTask},
+		OutputRatio:    stats.DistJSON{Dist: c.OutputRatio},
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *GenConfig) UnmarshalJSON(b []byte) error {
+	var w genConfigWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*c = GenConfig(w.genConfigAlias)
+	c.SmallMaps = w.SmallMaps.Dist
+	c.LargeMaps = w.LargeMaps.Dist
+	c.CPUPerTask = w.CPUPerTask.Dist
+	c.OutputRatio = w.OutputRatio.Dist
+	return nil
+}

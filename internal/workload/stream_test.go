@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// The stream with no diurnal modulation must emit exactly the job sequence
+// Generate produces for the same config — the property the resume path
+// leans on.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := GenConfig{Name: "wl1", Seed: 7, NumJobs: 300}
+	want := Generate(cfg)
+
+	st := NewStream(StreamConfig{Gen: cfg})
+	if len(st.Workload().Files) != len(want.Files) {
+		t.Fatalf("file population: got %d files, want %d", len(st.Workload().Files), len(want.Files))
+	}
+	for i, f := range st.Workload().Files {
+		if f != want.Files[i] {
+			t.Fatalf("file %d: got %+v want %+v", i, f, want.Files[i])
+		}
+	}
+
+	var got []Job
+	until := 5.0
+	for len(got) < len(want.Jobs) {
+		got = append(got, st.Next(until)...)
+		until += 5
+	}
+	for i, j := range want.Jobs {
+		if got[i] != j {
+			t.Fatalf("job %d: stream %+v, generate %+v", i, got[i], j)
+		}
+	}
+	if st.Emitted() < len(want.Jobs) {
+		t.Fatalf("emitted %d < %d", st.Emitted(), len(want.Jobs))
+	}
+}
+
+// Two streams asked for different window boundaries still partition the
+// same underlying sequence identically.
+func TestStreamWindowInvariance(t *testing.T) {
+	cfg := GenConfig{Name: "wl2", Seed: 11, LargeEvery: 10}
+	a := NewStream(StreamConfig{Gen: cfg})
+	b := NewStream(StreamConfig{Gen: cfg})
+
+	var ja, jb []Job
+	for u := 2.0; u <= 60; u += 2 {
+		ja = append(ja, a.Next(u)...)
+	}
+	for u := 7.0; u <= 63; u += 7 {
+		jb = append(jb, b.Next(u)...)
+	}
+	n := len(ja)
+	if len(jb) < n {
+		n = len(jb)
+	}
+	if n == 0 {
+		t.Fatal("no jobs generated")
+	}
+	for i := 0; i < n; i++ {
+		if ja[i] != jb[i] {
+			t.Fatalf("job %d diverges across windowings: %+v vs %+v", i, ja[i], jb[i])
+		}
+	}
+}
+
+// Jobs come out in arrival order and each exactly once, even when a window
+// boundary lands between a burst's co-arrivals.
+func TestStreamOrderingAndUniqueness(t *testing.T) {
+	st := NewStream(StreamConfig{Gen: GenConfig{Seed: 3}})
+	prev := -1.0
+	seen := map[int]bool{}
+	for u := 1.0; u <= 40; u += 1 {
+		for _, j := range st.Next(u) {
+			if j.Arrival < prev {
+				t.Fatalf("job %d arrives at %v after %v", j.ID, j.Arrival, prev)
+			}
+			if j.Arrival >= u {
+				t.Fatalf("job %d at %v leaked past window %v", j.ID, j.Arrival, u)
+			}
+			if seen[j.ID] {
+				t.Fatalf("job %d emitted twice", j.ID)
+			}
+			seen[j.ID] = true
+			prev = j.Arrival
+		}
+	}
+}
+
+// Diurnal modulation shifts mass: the peak half-period sees more arrivals
+// than the trough around t=0, and the sequence stays deterministic.
+func TestStreamDiurnal(t *testing.T) {
+	cfg := StreamConfig{
+		Gen:              GenConfig{Seed: 5, MeanInterarrival: 0.5, BurstProb: 0.01},
+		DiurnalAmplitude: 0.8,
+		DiurnalPeriod:    400,
+	}
+	a := NewStream(cfg)
+	b := NewStream(cfg)
+
+	trough := len(a.Next(100)) // first quarter-period, rate near 1-A
+	a.Next(150)                // rising edge, discarded
+	peak := len(a.Next(250))   // window straddling the rate maximum
+	if trough >= peak {
+		t.Fatalf("diurnal modulation absent: trough %d >= peak %d arrivals", trough, peak)
+	}
+
+	// Determinism across instances.
+	bt := len(b.Next(100))
+	if bt != trough {
+		t.Fatalf("diurnal stream nondeterministic: %d vs %d", bt, trough)
+	}
+
+	// Arrival times stay finite and increasing.
+	last := 0.0
+	for _, j := range a.Next(1000) {
+		if math.IsNaN(j.Arrival) || math.IsInf(j.Arrival, 0) || j.Arrival < last {
+			t.Fatalf("bad arrival %v", j.Arrival)
+		}
+		last = j.Arrival
+	}
+}

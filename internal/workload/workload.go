@@ -224,6 +224,18 @@ func (c GenConfig) withDefaults() GenConfig {
 // Seed) produce identical workloads.
 func Generate(cfg GenConfig) *Workload {
 	cfg = cfg.withDefaults()
+	s, w := newSynth(cfg)
+	for i := 0; i < cfg.NumJobs; i++ {
+		w.Jobs = append(w.Jobs, s.nextJob())
+	}
+	return w
+}
+
+// newSynth builds the file population and a primed job sampler. Generate
+// and NewStream both go through it, so a stream under the same GenConfig
+// emits exactly the job sequence Generate would — same files, same draws,
+// same order.
+func newSynth(cfg GenConfig) (*jobSynth, *Workload) {
 	g := stats.NewRNG(cfg.Seed)
 	fileG := g.Split(1)
 	popG := g.Split(2)
@@ -260,90 +272,134 @@ func Generate(cfg GenConfig) *Workload {
 		w.Files = append(w.Files, FileSpec{Name: fmt.Sprintf("file-%03d", i), Blocks: blocks})
 	}
 
-	zipf := stats.NewZipf(cfg.NumFiles, cfg.ZipfS, 0)
-	interarrival := stats.Exponential{Lambda: 1 / cfg.MeanInterarrival}
-
-	now := 0.0
-	prevFile := -1
-	for i := 0; i < cfg.NumJobs; i++ {
-		// Bursty arrivals: with probability BurstProb a job co-arrives with
-		// its predecessor; the remaining gaps are stretched to keep the
-		// long-run arrival rate at 1/MeanInterarrival.
-		gap := interarrival.Sample(arrG) / (1 - cfg.BurstProb)
-		if i > 0 && arrG.Bool(cfg.BurstProb) {
-			gap = 0
-		}
-		now += gap
-		large := cfg.LargeEvery > 0 && i%cfg.LargeEvery == 0
-		var maps int
-		if large {
-			maps = int(math.Round(cfg.LargeMaps.Sample(sizeG)))
-		} else {
-			maps = int(math.Round(cfg.SmallMaps.Sample(sizeG)))
-		}
-		if maps < 1 {
-			maps = 1
-		}
-		// Popularity-ranked file choice (Fig. 6): rank 1 = file 0, with
-		// temporal correlation: a burst of analyses tends to hit the file
-		// the previous job read (§III). Large jobs scan large datasets:
-		// resample a few times for a file big enough to host the scan,
-		// falling back to a random large file.
-		file := zipf.Rank(popG) - 1
-		if cfg.ShiftAtJob > 0 && i >= cfg.ShiftAtJob {
-			file = (file + cfg.NumFiles/2) % cfg.NumFiles
-		}
-		if prevFile >= 0 && popG.Bool(cfg.FileRepeatProb) {
-			file = prevFile
-		}
-		if large && len(largeFiles) > 0 {
-			for try := 0; try < 8 && w.Files[file].Blocks < maps; try++ {
-				file = zipf.Rank(popG) - 1
-			}
-			if w.Files[file].Blocks < maps {
-				file = largeFiles[popG.Intn(len(largeFiles))]
-			}
-		}
-		blocks := w.Files[file].Blocks
-		if maps > blocks {
-			maps = blocks
-		}
-		// Most scans start at the head of the file (the fresh partition);
-		// a minority sample an interior window. The shared prefix is what
-		// creates block-level access correlation (§III).
-		first := 0
-		if blocks > maps && sizeG.Float64() < 0.2 {
-			first = sizeG.Intn(blocks - maps + 1)
-		}
-		cpu := cfg.CPUPerTask.Sample(cpuG)
-		if cpu <= 0 {
-			cpu = 0.1
-		}
-		prevFile = file
-		reduces := 1 + maps/20
-		reduceTime := 2 + 0.05*float64(maps)
-		output := int(cfg.OutputRatio.Sample(outG)*float64(maps) + 0.5)
-		if output < 0 {
-			output = 0
-		}
-		pool := ""
-		if cfg.Pools > 1 {
-			pool = fmt.Sprintf("user-%d", i%cfg.Pools)
-		}
-		w.Jobs = append(w.Jobs, Job{
-			ID:           i,
-			Pool:         pool,
-			Arrival:      now,
-			File:         file,
-			FirstBlock:   first,
-			NumMaps:      maps,
-			CPUPerTask:   cpu,
-			NumReduces:   reduces,
-			ReduceTime:   reduceTime,
-			OutputBlocks: output,
-		})
+	s := &jobSynth{
+		cfg:          cfg,
+		files:        w.Files,
+		largeFiles:   largeFiles,
+		zipf:         stats.NewZipf(cfg.NumFiles, cfg.ZipfS, 0),
+		interarrival: stats.Exponential{Lambda: 1 / cfg.MeanInterarrival},
+		popG:         popG,
+		arrG:         arrG,
+		sizeG:        sizeG,
+		cpuG:         cpuG,
+		outG:         outG,
+		prevFile:     -1,
 	}
-	return w
+	return s, w
+}
+
+// jobSynth is the per-job sampler behind Generate and Stream: the RNG
+// streams plus the cross-job correlation state (clock, previous file).
+// Extracting it from the Generate loop is what lets a streaming run
+// synthesize the exact job sequence Generate would, chunk by chunk — every
+// draw happens in the same order on the same stream.
+type jobSynth struct {
+	cfg          GenConfig
+	files        []FileSpec
+	largeFiles   []int
+	zipf         *stats.Zipf
+	interarrival stats.Exponential
+	popG, arrG   *stats.RNG
+	sizeG, cpuG  *stats.RNG
+	outG         *stats.RNG
+
+	now      float64
+	prevFile int
+	next     int
+	// rate, when non-nil, modulates the arrival gap by the instantaneous
+	// load level at the current clock (streaming diurnal load); nil leaves
+	// Generate's historical arrival process untouched.
+	rate func(t float64) float64
+}
+
+// nextJob synthesizes one job. The draw order is load-bearing: it must
+// stay exactly the historical Generate order (arrival, size, popularity,
+// window, cpu, output) or every seeded workload changes.
+func (s *jobSynth) nextJob() Job {
+	cfg := s.cfg
+	i := s.next
+	s.next++
+	// Bursty arrivals: with probability BurstProb a job co-arrives with
+	// its predecessor; the remaining gaps are stretched to keep the
+	// long-run arrival rate at 1/MeanInterarrival.
+	gap := s.interarrival.Sample(s.arrG) / (1 - cfg.BurstProb)
+	if i > 0 && s.arrG.Bool(cfg.BurstProb) {
+		gap = 0
+	}
+	if s.rate != nil && gap > 0 {
+		if r := s.rate(s.now); r > 0 {
+			gap /= r
+		}
+	}
+	s.now += gap
+	large := cfg.LargeEvery > 0 && i%cfg.LargeEvery == 0
+	var maps int
+	if large {
+		maps = int(math.Round(cfg.LargeMaps.Sample(s.sizeG)))
+	} else {
+		maps = int(math.Round(cfg.SmallMaps.Sample(s.sizeG)))
+	}
+	if maps < 1 {
+		maps = 1
+	}
+	// Popularity-ranked file choice (Fig. 6): rank 1 = file 0, with
+	// temporal correlation: a burst of analyses tends to hit the file
+	// the previous job read (§III). Large jobs scan large datasets:
+	// resample a few times for a file big enough to host the scan,
+	// falling back to a random large file.
+	file := s.zipf.Rank(s.popG) - 1
+	if cfg.ShiftAtJob > 0 && i >= cfg.ShiftAtJob {
+		file = (file + cfg.NumFiles/2) % cfg.NumFiles
+	}
+	if s.prevFile >= 0 && s.popG.Bool(cfg.FileRepeatProb) {
+		file = s.prevFile
+	}
+	if large && len(s.largeFiles) > 0 {
+		for try := 0; try < 8 && s.files[file].Blocks < maps; try++ {
+			file = s.zipf.Rank(s.popG) - 1
+		}
+		if s.files[file].Blocks < maps {
+			file = s.largeFiles[s.popG.Intn(len(s.largeFiles))]
+		}
+	}
+	blocks := s.files[file].Blocks
+	if maps > blocks {
+		maps = blocks
+	}
+	// Most scans start at the head of the file (the fresh partition);
+	// a minority sample an interior window. The shared prefix is what
+	// creates block-level access correlation (§III).
+	first := 0
+	if blocks > maps && s.sizeG.Float64() < 0.2 {
+		first = s.sizeG.Intn(blocks - maps + 1)
+	}
+	cpu := cfg.CPUPerTask.Sample(s.cpuG)
+	if cpu <= 0 {
+		cpu = 0.1
+	}
+	s.prevFile = file
+	reduces := 1 + maps/20
+	reduceTime := 2 + 0.05*float64(maps)
+	output := int(cfg.OutputRatio.Sample(s.outG)*float64(maps) + 0.5)
+	if output < 0 {
+		output = 0
+	}
+	pool := ""
+	if cfg.Pools > 1 {
+		pool = fmt.Sprintf("user-%d", i%cfg.Pools)
+	}
+	return Job{
+		ID:           i,
+		Pool:         pool,
+		Arrival:      s.now,
+		File:         file,
+		FirstBlock:   first,
+		NumMaps:      maps,
+		CPUPerTask:   cpu,
+		NumReduces:   reduces,
+		ReduceTime:   reduceTime,
+		OutputBlocks: output,
+	}
 }
 
 // WL1 builds the paper's first workload: a long sequence of small jobs
