@@ -270,13 +270,18 @@ func experiments() []experiment {
 			scaleRows = rows
 			return dare.RenderScale(rows), nil
 		}},
-		{"checkpoint", "Checkpoint: durable-run overhead and crash-recovery replay cost (A19)", func(jobs int, seed uint64) (string, error) {
+		{"checkpoint", "Checkpoint: durable-run overhead, crash-recovery cost, and the replay-vs-state resume ladder (A19/A20)", func(jobs int, seed uint64) (string, error) {
 			rows, err := dare.CheckpointStudy(jobs, seed)
 			if err != nil {
 				return "", err
 			}
 			checkpointRows = rows
-			return dare.RenderCheckpoint(rows), nil
+			ladder, err := dare.ResumeLadder(seed)
+			if err != nil {
+				return "", err
+			}
+			resumeLadderRows = ladder
+			return dare.RenderCheckpoint(rows) + "\n" + dare.RenderResumeLadder(ladder), nil
 		}},
 		{"policy", "Policy arms: every built-in policy plus -policy-file config arms on one bench (A18)", func(jobs int, seed uint64) (string, error) {
 			var extra []*dare.PolicySet
@@ -316,8 +321,9 @@ var failoverRows []dare.FailoverRow
 var policyRows []dare.PolicyArmRow
 
 // checkpointRows holds the checkpoint study's per-arm measurements for
-// BENCH_checkpoint.json.
+// BENCH_checkpoint.json; resumeLadderRows the resume-scaling ladder's.
 var checkpointRows []dare.CheckpointRow
+var resumeLadderRows []dare.ResumeLadderRow
 
 func main() {
 	var (
@@ -484,12 +490,17 @@ type benchRecord struct {
 	// policy-file sweep.
 	Policy []dare.PolicyArmRow `json:"policy,omitempty"`
 	// Checkpoint carries the per-arm results when the experiment is the
-	// checkpoint-overhead study.
-	Checkpoint []dare.CheckpointRow `json:"checkpoint,omitempty"`
+	// checkpoint-overhead study; ResumeLadder its replay-vs-state
+	// resume-scaling rungs.
+	Checkpoint   []dare.CheckpointRow   `json:"checkpoint,omitempty"`
+	ResumeLadder []dare.ResumeLadderRow `json:"resume_ladder,omitempty"`
 }
 
 // writeBenchJSON records one experiment's perf numbers as BENCH_<exp>.json.
 func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed time.Duration, events uint64, bus dare.EventCounts) (string, error) {
+	if jobs == 0 {
+		jobs = 500 // the -jobs default: experiments run the paper's full 500-job traces
+	}
 	rec := benchRecord{
 		Exp:         e.id,
 		Title:       e.title,
@@ -514,6 +525,7 @@ func writeBenchJSON(dir string, e experiment, jobs int, seed uint64, elapsed tim
 	}
 	if e.id == "checkpoint" {
 		rec.Checkpoint = checkpointRows
+		rec.ResumeLadder = resumeLadderRows
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		rec.EventsPerSec = float64(events) / s

@@ -67,6 +67,7 @@ func main() {
 		ckptPath    = flag.String("checkpoint", "", "write durable checkpoints of the full run state to this file (atomically rotated; .prev keeps the previous generation)")
 		ckptEvery   = flag.Uint64("checkpoint-every", 0, "checkpoint cadence in processed simulation events (0 = 200000)")
 		resumePath  = flag.String("resume", "", "resume a killed run from this checkpoint file (add -stream for service-mode checkpoints); sinks (-events, -stream-report) must match the original run's")
+		resumeMode  = flag.String("resume-mode", "state", "resume strategy: state (O(state) direct restore; appends the post-cut suffix to the original sinks) | replay (O(history) oracle; rewrites the sinks from genesis)")
 		crashCkpts  = flag.Int("crash-after-checkpoints", 0, "test hook: hard-exit (as if SIGKILLed) right after the Nth durable checkpoint")
 		streamOn    = flag.Bool("stream", false, "service mode: open-ended job stream synthesized window by window (diurnal load), per-window JSONL metrics, run until -stream-horizon or SIGINT")
 		streamWin   = flag.Float64("stream-window", 60, "stream: generation/report window in simulated seconds")
@@ -154,7 +155,11 @@ func main() {
 	}
 
 	if *resumePath != "" {
-		runResumed(*resumePath, *streamOn, *eventsPath, *streamRep, ck)
+		mode, err := dare.ParseResumeMode(*resumeMode)
+		if err != nil {
+			fatal(err)
+		}
+		runResumed(*resumePath, *streamOn, *eventsPath, *streamRep, ck, mode)
 		return
 	}
 	if *streamOn {
@@ -514,26 +519,88 @@ func runStreaming(opts dare.Options, scfg dare.StreamRunSpec, eventsPath, report
 	}
 }
 
-// runResumed continues a killed run from its checkpoint file. The sinks
-// must be re-opened fresh (truncated): the replay re-emits both streams
-// from genesis, byte-identically to an uninterrupted run.
-func runResumed(path string, stream bool, eventsPath, reportPath string, ck dare.CheckpointSpec) {
+// openSuffixSink re-opens a dead process's sink truncated to the byte
+// position the checkpoint recorded at the cut, positioned to append the
+// post-cut suffix. ok=false means the existing file is shorter than the
+// recorded prefix (lost or rewritten) — the caller downgrades to a replay
+// resume, which regenerates the whole stream from genesis.
+func openSuffixSink(path string, prefix int64) (*os.File, bool) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	if st.Size() < prefix {
+		f.Close()
+		return nil, false
+	}
+	if err := f.Truncate(prefix); err != nil {
+		fatal(err)
+	}
+	if _, err := f.Seek(prefix, io.SeekStart); err != nil {
+		fatal(err)
+	}
+	return f, true
+}
+
+// runResumed continues a killed run from its checkpoint file. In state
+// mode the original sinks are truncated to the cut and the post-cut
+// suffix appended (O(state) restore); in replay mode — or when the
+// checkpoint carries no state image or a sink's prefix went missing — the
+// sinks are rewritten from genesis, byte-identically to an uninterrupted
+// run.
+func runResumed(path string, stream bool, eventsPath, reportPath string, ck dare.CheckpointSpec, mode dare.ResumeMode) {
 	if ck.Path == "" {
 		ck.Path = path // keep checkpointing where we resumed from
 	}
-	var (
-		out *dare.Output
-		err error
-	)
+	info, err := dare.InspectCheckpoint(path)
+	if err != nil {
+		fatal(err)
+	}
+	useState := mode == dare.ResumeState && info.StateResumable
 	var eventsFile, reportFile *os.File
+	var eventLog, report io.Writer
+	if useState {
+		if eventsPath != "" {
+			f, ok := openSuffixSink(eventsPath, info.EventBytes)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dare-sim: %s is shorter than the checkpoint's %d-byte prefix; falling back to a replay resume\n", eventsPath, info.EventBytes)
+				useState = false
+			} else {
+				eventsFile, eventLog = f, f
+			}
+		}
+		if useState && stream && reportPath != "" && reportPath != "-" {
+			f, ok := openSuffixSink(reportPath, info.ReportBytes)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dare-sim: %s is shorter than the checkpoint's %d-byte prefix; falling back to a replay resume\n", reportPath, info.ReportBytes)
+				useState = false
+				closeSinks(eventsFile)
+				eventsFile, eventLog = nil, nil
+			} else {
+				reportFile, report = f, f
+			}
+		}
+		if useState && stream && reportPath == "-" {
+			report = os.Stdout
+		}
+	}
+	if !useState {
+		mode = dare.ResumeReplay
+		if stream {
+			eventsFile, reportFile, eventLog, report = openSinks(eventsPath, reportPath)
+		} else {
+			eventsFile, _, eventLog, _ = openSinks(eventsPath, "")
+		}
+	}
+	var out *dare.Output
 	if stream {
-		var eventLog, report io.Writer
-		eventsFile, reportFile, eventLog, report = openSinks(eventsPath, reportPath)
-		out, err = dare.ResumeStream(path, eventLog, report, ck)
+		out, err = dare.ResumeStreamWithMode(path, eventLog, report, ck, mode)
 	} else {
-		var eventLog io.Writer
-		eventsFile, _, eventLog, _ = openSinks(eventsPath, "")
-		out, err = dare.Resume(path, eventLog, ck)
+		out, err = dare.ResumeWithMode(path, eventLog, ck, mode)
 	}
 	if errors.Is(err, dare.ErrInterrupted) {
 		exitInterrupted(ck.Path, eventsFile, reportFile)
@@ -541,7 +608,7 @@ func runResumed(path string, stream bool, eventsPath, reportPath string, ck dare
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("resumed       %s\n", path)
+	fmt.Printf("resumed       %s (%s mode)\n", path, mode)
 	fmt.Printf("scheduler     %s\n", out.SchedulerName)
 	fmt.Printf("policy        %s\n", out.PolicyName)
 	fmt.Println()

@@ -264,6 +264,38 @@ func Resume(path string, eventLog io.Writer, ck CheckpointSpec) (*Output, error)
 	return runner.Resume(path, eventLog, ck)
 }
 
+// ResumeMode selects the restore strategy: ResumeReplay re-executes the
+// event history from genesis to the cut (O(history)); ResumeState decodes
+// the checkpoint's direct state image (O(state)), falling back to replay
+// when the checkpoint carries no image. ResumeInfo describes a checkpoint
+// so a caller can prepare sinks before choosing (see InspectCheckpoint).
+type (
+	ResumeMode = runner.ResumeMode
+	ResumeInfo = runner.ResumeInfo
+)
+
+const (
+	ResumeReplay = runner.ResumeReplay
+	ResumeState  = runner.ResumeState
+)
+
+// ParseResumeMode maps a CLI flag value to a ResumeMode ("" means the
+// default, ResumeState).
+func ParseResumeMode(s string) (ResumeMode, error) { return runner.ParseResumeMode(s) }
+
+// InspectCheckpoint loads the checkpoint at path and describes how it can
+// be resumed: batch or stream, state-resumable or replay-only, and the
+// output-stream byte positions at the cut.
+func InspectCheckpoint(path string) (*ResumeInfo, error) { return runner.InspectCheckpoint(path) }
+
+// ResumeWithMode is Resume with an explicit restore strategy. In state
+// mode eventLog receives only the post-cut suffix of the trace (append it
+// to the original log truncated to the cut position — InspectCheckpoint
+// reports it); in replay mode the full trace is re-emitted from genesis.
+func ResumeWithMode(path string, eventLog io.Writer, ck CheckpointSpec, mode ResumeMode) (*Output, error) {
+	return runner.ResumeWithMode(path, eventLog, ck, mode)
+}
+
 // StreamRunSpec configures service mode (`dare-sim -stream`): open-ended
 // window-by-window job synthesis with optional diurnal load modulation;
 // StreamReportLine is one JSONL record of its per-window metrics stream.
@@ -281,6 +313,13 @@ func RunStream(opts Options, scfg StreamRunSpec, report io.Writer, ck Checkpoint
 // ResumeStream continues a service-mode run from the checkpoint at path.
 func ResumeStream(path string, eventLog, report io.Writer, ck CheckpointSpec) (*Output, error) {
 	return runner.ResumeStream(path, eventLog, report, ck)
+}
+
+// ResumeStreamWithMode is ResumeStream with an explicit restore strategy;
+// in state mode eventLog and report receive only the post-cut suffix of
+// each stream.
+func ResumeStreamWithMode(path string, eventLog, report io.Writer, ck CheckpointSpec, mode ResumeMode) (*Output, error) {
+	return runner.ResumeStreamWithMode(path, eventLog, report, ck, mode)
 }
 
 // EventCounts tallies cluster bus events per kind; Output.EventCounts
@@ -599,6 +638,17 @@ func CheckpointStudy(jobs int, seed uint64) ([]CheckpointRow, error) {
 	return runner.CheckpointStudy(jobs, seed)
 }
 
+// ResumeLadderRow carries one rung of the A19 resume-scaling ladder.
+type ResumeLadderRow = runner.ResumeLadderRow
+
+// ResumeLadder measures crash-recovery latency vs run length: runs of
+// growing length killed at 25/50/75% of their checkpoints and resumed in
+// both modes with the interrupt pre-raised, isolating O(history) replay
+// against O(state) direct restore.
+func ResumeLadder(seed uint64) ([]ResumeLadderRow, error) {
+	return runner.ResumeLadder(seed)
+}
+
 // Renderers format experiment rows the way the paper's figures group them.
 var (
 	RenderPerf         = runner.RenderPerf
@@ -620,6 +670,7 @@ var (
 	RenderScale        = runner.RenderScale
 	RenderTraceStats   = event.RenderTraceStats
 	RenderCheckpoint   = runner.RenderCheckpoint
+	RenderResumeLadder = runner.RenderResumeLadder
 	RenderChurn        = runner.RenderChurn
 	RenderChaos        = runner.RenderChaos
 	RenderFailover     = runner.RenderFailover

@@ -88,6 +88,10 @@ type Manager struct {
 	store    MetaStore
 	policies []NodePolicy
 	deferFn  DeferFunc
+	// tagDefer, when set (SetTagDefer), replaces deferFn with a scheduler
+	// that records a serializable tag alongside the deferred closure, so
+	// in-flight announces/evictions survive a state-image checkpoint.
+	tagDefer TagDeferFunc
 	pending  []map[dfs.BlockID]*pendingAdd
 	now      func() float64
 	// errs records unexpected metadata failures; a correct run has none.
@@ -186,7 +190,14 @@ func (m *Manager) OnMapTask(node topology.NodeID, b dfs.BlockID, f dfs.FileID, s
 func (m *Manager) announce(node topology.NodeID, b dfs.BlockID) {
 	pa := &pendingAdd{}
 	m.pending[node][b] = pa
-	m.deferred(m.cfg.AnnounceDelay, func() {
+	m.deferredTag(m.cfg.AnnounceDelay, announceTag{node: node, block: b, pa: pa},
+		m.announceFn(node, b, pa))
+}
+
+// announceFn is the deferred announce body, split out so a state-image
+// restore can rebuild the identical closure around a decoded pendingAdd.
+func (m *Manager) announceFn(node topology.NodeID, b dfs.BlockID, pa *pendingAdd) func() {
+	return func() {
 		if pa.canceled {
 			return
 		}
@@ -207,7 +218,7 @@ func (m *Manager) announce(node topology.NodeID, b dfs.BlockID) {
 			}
 			m.errs = append(m.errs, fmt.Errorf("core: announce block %d at node %d: %w", b, node, err))
 		}
-	})
+	}
 }
 
 // evict removes a dynamic replica after the lazy-deletion delay; if the
@@ -218,7 +229,13 @@ func (m *Manager) evict(node topology.NodeID, b dfs.BlockID) {
 		delete(m.pending[node], b)
 		return
 	}
-	m.deferred(m.cfg.LazyDeleteDelay, func() {
+	m.deferredTag(m.cfg.LazyDeleteDelay, evictTag{node: node, block: b}, m.evictFn(node, b))
+}
+
+// evictFn is the deferred lazy-delete body, split out so a state-image
+// restore can rebuild the identical closure.
+func (m *Manager) evictFn(node topology.NodeID, b dfs.BlockID) func() {
+	return func() {
 		if !m.store.HasReplica(b, node) {
 			return // already gone
 		}
@@ -231,12 +248,16 @@ func (m *Manager) evict(node topology.NodeID, b dfs.BlockID) {
 			}
 			m.errs = append(m.errs, fmt.Errorf("core: evict block %d at node %d: %w", b, node, err))
 		}
-	})
+	}
 }
 
-func (m *Manager) deferred(delay float64, fn func()) {
-	if m.deferFn == nil || delay <= 0 {
+func (m *Manager) deferredTag(delay float64, tag EventTag, fn func()) {
+	if delay <= 0 || (m.deferFn == nil && m.tagDefer == nil) {
 		fn()
+		return
+	}
+	if m.tagDefer != nil {
+		m.tagDefer(delay, tag, fn)
 		return
 	}
 	m.deferFn(delay, fn)

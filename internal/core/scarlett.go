@@ -49,6 +49,10 @@ type Scarlett struct {
 	grow    policy.Rule
 	growCtx growCtx
 	now     clock
+	// tagDefer, when set (SetTagDefer), replaces sched with a scheduler
+	// that records a serializable tag alongside the epoch closure, so the
+	// pending epoch boundary survives a state-image checkpoint.
+	tagDefer TagDeferFunc
 
 	stats PolicyStats
 	// ExtraNetworkBytes is the proactive-copy traffic DARE avoids.
@@ -132,16 +136,26 @@ func (c *growCtx) Val(key string) (float64, bool) {
 func (s *Scarlett) SetNow(now func() float64) { s.now = now }
 
 func (s *Scarlett) scheduleEpoch() {
-	if s.sched == nil {
+	if s.sched == nil && s.tagDefer == nil {
 		return // manual stepping (tests call Rebalance directly)
 	}
-	s.sched(s.cfg.Epoch, func() {
+	if s.tagDefer != nil {
+		s.tagDefer(s.cfg.Epoch, scarlettEpochTag{}, s.epochFn())
+		return
+	}
+	s.sched(s.cfg.Epoch, s.epochFn())
+}
+
+// epochFn is the epoch-boundary closure, split out so a state-image
+// restore can rebuild it; the re-arm inside happens live after restore.
+func (s *Scarlett) epochFn() func() {
+	return func() {
 		if s.stopped {
 			return
 		}
 		s.Rebalance()
 		s.scheduleEpoch()
-	})
+	}
 }
 
 // Stop halts future epochs (call after the workload drains).

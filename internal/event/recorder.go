@@ -74,6 +74,10 @@ func (c *Counter) HandleEvent(ev Event) { c.counts[ev.Kind]++ }
 // Counts returns a copy of the tallies so far.
 func (c *Counter) Counts() Counts { return c.counts }
 
+// RestoreCounts overwrites the tallies; a state-image restore seeds a
+// fresh counter with the counts captured at the checkpoint.
+func (c *Counter) RestoreCounts(counts Counts) { c.counts = counts }
+
 // Recorder is a Subscriber that appends every event to w as one JSON
 // object per line (JSONL) and tallies per-kind counters. Lines are
 // hand-formatted into a reused buffer — no encoding/json, no maps, no
@@ -142,6 +146,20 @@ func appendIDField(b []byte, key string, v int64) []byte {
 
 // Counts returns a copy of the per-kind tallies so far.
 func (r *Recorder) Counts() Counts { return r.counts }
+
+// RestoreCounts overwrites the tallies; a state-image restore seeds a
+// fresh recorder with the counts captured at the checkpoint.
+func (r *Recorder) RestoreCounts(counts Counts) { r.counts = counts }
+
+// RestoreSink discards any buffered, unwritten output and points the
+// recorder at w. A state-mode resume records to a throwaway sink during
+// reconstruction (those events fired before the checkpoint and are
+// already in the original log's prefix) and arms the real sink here, so
+// only post-cut events reach it.
+func (r *Recorder) RestoreSink(w io.Writer) {
+	r.w.Reset(w)
+	r.err = nil
+}
 
 // Flush drains the buffered writer and reports the first write error
 // encountered, if any.

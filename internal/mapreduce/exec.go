@@ -5,6 +5,7 @@ import (
 
 	"dare/internal/dfs"
 	"dare/internal/event"
+	"dare/internal/sim"
 	"dare/internal/topology"
 )
 
@@ -81,7 +82,8 @@ func (t *Tracker) launchAttempt(node *Node, g *taskGroup) {
 			read = t.c.LocalReadTime(node.ID, blk.Size) * 2
 		} else {
 			node.ActiveRemoteReads++
-			t.c.Eng.Defer(read, func() { node.ActiveRemoteReads-- })
+			t.c.Eng.DeferTag(read, readReleaseTag{node: node.ID},
+				func() { node.ActiveRemoteReads-- })
 		}
 	}
 	// SlowFactor stretches the whole attempt on a gray-degraded node
@@ -98,7 +100,8 @@ func (t *Tracker) launchAttempt(node *Node, g *taskGroup) {
 	}
 	rec := &taskRec{job: j, block: b, isMap: true, group: g, node: node, loc: loc, dur: dur}
 	g.recs[rec] = true
-	rec.ev = t.c.Eng.Schedule(dur, func() { t.completeAttempt(rec) })
+	// Owned: the tracker serializes in-flight attempts itself (state.go).
+	rec.ev = t.c.Eng.ScheduleTag(dur, sim.Owned, func() { t.completeAttempt(rec) })
 	t.track(node, rec)
 }
 
@@ -190,7 +193,8 @@ func (t *Tracker) launchReduce(node *Node, j *Job) {
 	dur := (j.Spec.ReduceTime + write + t.c.Profile.TaskOverhead) * t.c.taskNoise() * node.SlowFactor
 	j.outputBytes += j.outputNetworkBytesPerReduce(t.c.Profile)
 	rec := &taskRec{job: j, isMap: false}
-	rec.ev = t.c.Eng.Schedule(dur, func() {
+	// Owned: the tracker serializes in-flight attempts itself (state.go).
+	rec.ev = t.c.Eng.ScheduleTag(dur, sim.Owned, func() {
 		t.untrack(node, rec)
 		t.finishReduce(node, j)
 	})

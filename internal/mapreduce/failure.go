@@ -363,21 +363,24 @@ func (t *Tracker) scheduleRepairs() {
 	if at := t.c.Eng.Now() + detect; at > t.lastRepairAt {
 		t.lastRepairAt = at
 	}
-	t.c.Eng.Defer(detect, func() {
-		queue := t.c.NN.UnderReplicated()
-		// Two parallel repair streams, each copying one block at a time.
-		const streams = 2
-		slot := 0
-		for _, b := range queue {
-			if t.repairInFlight[b] {
-				continue
-			}
-			t.repairInFlight[b] = true
-			delay := t.repairBlockTime() * float64(slot/streams+1)
-			slot++
-			t.deferRepair(b, delay)
+	t.c.Eng.DeferTag(detect, repairScanTag{}, t.repairScan)
+}
+
+// repairScan is the deferred detection round of scheduleRepairs.
+func (t *Tracker) repairScan() {
+	queue := t.c.NN.UnderReplicated()
+	// Two parallel repair streams, each copying one block at a time.
+	const streams = 2
+	slot := 0
+	for _, b := range queue {
+		if t.repairInFlight[b] {
+			continue
 		}
-	})
+		t.repairInFlight[b] = true
+		delay := t.repairBlockTime() * float64(slot/streams+1)
+		slot++
+		t.deferRepair(b, delay)
+	}
 }
 
 // repairBlockTime is the modelled copy time of one block at mean network
@@ -392,7 +395,7 @@ func (t *Tracker) deferRepair(b dfs.BlockID, delay float64) {
 	if at := t.c.Eng.Now() + delay; at > t.lastRepairAt {
 		t.lastRepairAt = at
 	}
-	t.c.Eng.Defer(delay, func() { t.repairBlock(b, 0) })
+	t.c.Eng.DeferTag(delay, repairBlockTag{b: b}, func() { t.repairBlock(b, 0) })
 }
 
 // repairBlock copies one replica of b onto a fresh node, if b still needs
@@ -408,7 +411,8 @@ func (t *Tracker) repairBlock(b dfs.BlockID, outageRetry int) {
 		if at := t.c.Eng.Now() + delay; at > t.lastRepairAt {
 			t.lastRepairAt = at
 		}
-		t.c.Eng.Defer(delay, func() { t.repairBlock(b, outageRetry+1) })
+		t.c.Eng.DeferTag(delay, repairBlockTag{b: b, retry: outageRetry + 1},
+			func() { t.repairBlock(b, outageRetry+1) })
 		return
 	}
 	if !t.c.NN.IsUnderReplicated(b) {

@@ -284,7 +284,8 @@ func (t *Tracker) flapNode(node *Node, downFor float64) {
 	for _, b := range rep.LostDynamic {
 		stale = append(stale, dfs.StaleReplica{Block: b, Kind: dfs.Dynamic})
 	}
-	t.c.Eng.Defer(downFor, func() { t.rejoinWithReport(node, stale) })
+	t.c.Eng.DeferTag(downFor, rejoinTag{node: node.ID, stale: stale},
+		func() { t.rejoinWithReport(node, stale) })
 	// The cluster believes the node is dead: repair rounds start. If the
 	// flap window is shorter than the detection delay, the rejoin restores
 	// the replicas first and the round finds nothing under-replicated.
@@ -421,7 +422,8 @@ func (t *Tracker) chooseGraySource(node *Node, b dfs.BlockID, size int64, exclud
 // concurrent reader may have already quarantined it; re-check at fire
 // time.
 func (t *Tracker) deferQuarantine(offset float64, b dfs.BlockID, src topology.NodeID) {
-	t.c.Eng.Defer(offset, func() { t.quarantineNow(b, src, 0) })
+	t.c.Eng.DeferTag(offset, quarantineTag{b: b, src: src},
+		func() { t.quarantineNow(b, src, 0) })
 }
 
 // quarantineNow performs the checksum-failure report. When the master is
@@ -439,9 +441,9 @@ func (t *Tracker) quarantineNow(b dfs.BlockID, src topology.NodeID, outageRetry 
 				t.master.outageReads++
 				t.master.stats.DeferredReads++
 			}
-			t.c.Eng.Defer(t.masterRetryDelay(outageRetry), func() {
-				t.quarantineNow(b, src, outageRetry+1)
-			})
+			t.c.Eng.DeferTag(t.masterRetryDelay(outageRetry),
+				quarantineTag{b: b, src: src, retry: outageRetry + 1},
+				func() { t.quarantineNow(b, src, outageRetry+1) })
 		}
 		return
 	}
@@ -454,15 +456,22 @@ func (t *Tracker) quarantineNow(b dfs.BlockID, src topology.NodeID, outageRetry 
 // trackRemoteRead accounts one winning remote fetch against the
 // destination NIC for the [start, start+dur] window of the read span.
 func (t *Tracker) trackRemoteRead(node *Node, start, dur float64) {
-	begin := func() {
-		node.ActiveRemoteReads++
-		t.c.Eng.Defer(dur, func() { node.ActiveRemoteReads-- })
-	}
+	begin := t.beginRemoteRead(node, dur)
 	if start <= 0 {
 		begin()
 		return
 	}
-	t.c.Eng.Defer(start, begin)
+	t.c.Eng.DeferTag(start, readBeginTag{node: node.ID, dur: dur}, begin)
+}
+
+// beginRemoteRead returns the closure that opens a dur-long NIC
+// accounting window on node (shared by trackRemoteRead and tag decode).
+func (t *Tracker) beginRemoteRead(node *Node, dur float64) func() {
+	return func() {
+		node.ActiveRemoteReads++
+		t.c.Eng.DeferTag(dur, readReleaseTag{node: node.ID},
+			func() { node.ActiveRemoteReads-- })
+	}
 }
 
 // publishAt publishes ev now (offset <= 0) or at the given offset into
@@ -472,5 +481,5 @@ func (t *Tracker) publishAt(offset float64, ev event.Event) {
 		t.bus.Publish(ev)
 		return
 	}
-	t.c.Eng.Defer(offset, func() { t.bus.Publish(ev) })
+	t.c.Eng.DeferTag(offset, grayPublishTag{ev: ev}, func() { t.bus.Publish(ev) })
 }

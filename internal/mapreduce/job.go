@@ -252,6 +252,13 @@ func (j *Job) addPending(b dfs.BlockID) {
 	if j.linearScan {
 		return
 	}
+	j.indexBlock(b, seq)
+}
+
+// indexBlock pushes b under every node (and rack) currently holding a
+// replica. Split from addPending so a state-image restore can rebuild the
+// inverted index from the live pending set (state.go).
+func (j *Job) indexBlock(b dfs.BlockID, seq uint64) {
 	topo := j.cluster.Topo
 	// Replicas of one block rarely span more than a few racks; dedup with
 	// a small fixed buffer and tolerate duplicate heap entries past it

@@ -231,7 +231,8 @@ func (t *Tracker) AppendJobs(specs []workload.Job) {
 	for _, spec := range specs {
 		spec := spec
 		t.totalJobs++
-		t.c.Eng.DeferAt(spec.Arrival, func() { t.arrive(spec) })
+		t.c.Eng.DeferAtTag(spec.Arrival, arriveTag{spec: spec},
+			func() { t.arrive(spec) })
 	}
 }
 

@@ -3,14 +3,19 @@ package runner
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dare/internal/config"
 	"dare/internal/core"
+	"dare/internal/snapshot"
+	"dare/internal/stats"
 	"dare/internal/workload"
 )
 
@@ -156,6 +161,160 @@ func CheckpointStudy(jobs int, seed uint64) ([]CheckpointRow, error) {
 		Identical:   bytes.Equal(j, baseJSON) && bytes.Equal(resumeLog.Bytes(), baseLog.Bytes()),
 	})
 	return rows, nil
+}
+
+// ResumeLadderRow is one rung of the A19 resume-scaling ladder: the same
+// scenario at growing run lengths, killed at a fraction of its
+// checkpoints, then resumed in both modes with the interrupt line already
+// raised — the measured wall clock is pure recovery latency (rebuild +
+// restore-to-cut + one final checkpoint), no live tail. Replay recovery
+// grows with the history replayed; state recovery decodes the image and
+// stays flat.
+type ResumeLadderRow struct {
+	Jobs    int `json:"jobs"`
+	KillPct int `json:"kill_pct"`
+	// CutEvents is the processed-event count at the resumed cut — the
+	// history a replay resume must re-execute.
+	CutEvents     uint64  `json:"cut_events"`
+	ReplaySeconds float64 `json:"replay_seconds"`
+	StateSeconds  float64 `json:"state_seconds"`
+	// Speedup is ReplaySeconds/StateSeconds.
+	Speedup float64 `json:"speedup"`
+}
+
+// copyCheckpoint clones a checkpoint file so each resume mode starts from
+// the pristine generation (a resume's final interrupt checkpoint rotates
+// the file it resumed from).
+func copyCheckpoint(src, dst string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, b, 0o644)
+}
+
+// ResumeLadder measures crash-recovery latency vs run length (A19): for
+// each length and kill point, stage a crash, then resume with the
+// interrupt line pre-raised so the run stops at the first live boundary —
+// isolating O(history) replay vs O(state) restore. Each mode is timed
+// best-of-3 from its own copy of the checkpoint.
+func ResumeLadder(seed uint64) ([]ResumeLadderRow, error) {
+	dir, err := os.MkdirTemp("", "dare-resume-ladder")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// A big-job trace: few jobs, each carrying 150-250 maps. Replayable
+	// history (every task launch, read, and completion) grows with total
+	// work, while the live state at a cut stays close to O(jobs) — the
+	// separation the ladder is built to expose. A plain wl1 trace at these
+	// event counts would need tens of thousands of jobs, and the O(jobs)
+	// reconstruction cost both modes share would drown the contrast.
+	mk := func(n int) Options {
+		return Options{
+			Profile: config.CCT(),
+			Workload: workload.Generate(workload.GenConfig{
+				Name: "wl1", Seed: seed, NumJobs: n,
+				SmallMaps:        stats.Uniform{Lo: 150, Hi: 250},
+				MeanInterarrival: 2.0,
+			}),
+			Scheduler: "fifo",
+			Policy:    PolicyFor(core.ElephantTrapPolicy),
+			Seed:      seed,
+		}
+	}
+	resume := func(path string, every uint64, mode ResumeMode) (float64, error) {
+		best := math.Inf(1)
+		for try := 0; try < 3; try++ {
+			work := filepath.Join(dir, fmt.Sprintf("work-%s.ckpt", mode))
+			if err := copyCheckpoint(path, work); err != nil {
+				return 0, err
+			}
+			os.Remove(work + ".prev")
+			var stop atomic.Bool
+			stop.Store(true) // already raised: stop at the first live boundary
+			start := time.Now()
+			_, err := ResumeWithMode(work, nil, CheckpointSpec{Path: work, Every: every, Interrupt: &stop}, mode)
+			el := time.Since(start).Seconds()
+			if !errors.Is(err, ErrInterrupted) {
+				return 0, fmt.Errorf("runner: ladder resume (%s): want ErrInterrupted, got %v", mode, err)
+			}
+			if el < best {
+				best = el
+			}
+		}
+		return best, nil
+	}
+
+	const slots = 20 // checkpoints per run: kill points land on exact slots
+	var rows []ResumeLadderRow
+	for _, n := range []int{800, 1600, 3200, 6400} {
+		// Probe the run length in events to derive the cadence.
+		before := TotalEventsProcessed()
+		if _, err := Run(mk(n)); err != nil {
+			return nil, err
+		}
+		every := (TotalEventsProcessed()-before)/slots + 1
+
+		for _, pct := range []int{25, 50, 75} {
+			killAt := slots * pct / 100
+			path := filepath.Join(dir, fmt.Sprintf("l%d-k%d.ckpt", n, pct))
+			crashErr := fmt.Errorf("staged crash")
+			if _, err := RunCheckpointed(mk(n), CheckpointSpec{
+				Path: path, Every: every,
+				AfterCheckpoint: func(done int) error {
+					if done >= killAt {
+						return crashErr
+					}
+					return nil
+				},
+			}); !errors.Is(err, crashErr) {
+				return nil, fmt.Errorf("runner: ladder staged crash did not fire: %v", err)
+			}
+			f, _, err := snapshot.LoadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			if !hasStateImage(f, false) {
+				return nil, fmt.Errorf("runner: ladder checkpoint at jobs=%d pct=%d carries no state image", n, pct)
+			}
+			_, cur, _, err := decodeCheckpoint(f)
+			if err != nil {
+				return nil, err
+			}
+			replaySecs, err := resume(path, every, ResumeReplay)
+			if err != nil {
+				return nil, err
+			}
+			stateSecs, err := resume(path, every, ResumeState)
+			if err != nil {
+				return nil, err
+			}
+			row := ResumeLadderRow{
+				Jobs: n, KillPct: pct, CutEvents: cur.Processed,
+				ReplaySeconds: replaySecs, StateSeconds: stateSecs,
+			}
+			if stateSecs > 0 {
+				row.Speedup = replaySecs / stateSecs
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderResumeLadder formats the resume-scaling ladder.
+func RenderResumeLadder(rows []ResumeLadderRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %6s %12s %12s %12s %9s\n", "jobs", "kill%", "cut events", "replay(s)", "state(s)", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %6d %12d %12.4f %12.4f %8.1fx\n",
+			r.Jobs, r.KillPct, r.CutEvents, r.ReplaySeconds, r.StateSeconds, r.Speedup)
+	}
+	b.WriteString("\nrecovery latency only (interrupt pre-raised): rebuild + restore-to-cut + final checkpoint\n")
+	b.WriteString("replay grows with the history replayed; state restore decodes the image and stays flat\n")
+	return b.String()
 }
 
 // RenderCheckpoint formats the checkpoint study's rows.

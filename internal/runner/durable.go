@@ -19,6 +19,16 @@ const (
 	sectionSpec   = "spec"   // RunSpec JSON — the run's serializable identity
 	sectionCursor = "cursor" // cursorRec JSON — where the run was cut
 	sectionState  = "state"  // snapshot.StateTable — the full-stack fingerprint
+
+	// Direct-state image sections (state-mode resume, O(state) restore).
+	// Absent on replay-only checkpoints: older files, runs whose pending
+	// set held an untaggable event, or an RNG backend without state access.
+	sectionImgEngine  = "img.engine"  // pending-event set (genesis refs + tagged records)
+	sectionImgDFS     = "img.dfs"     // name-node registry
+	sectionImgTracker = "img.tracker" // compute layer: jobs, slots, scheduler, in-flight tasks
+	sectionImgCore    = "img.core"    // DARE manager / Scarlett controller
+	sectionImgStream  = "img.stream"  // service-mode generator cursor
+	sectionImgCounts  = "img.counts"  // bus event tallies at the cut
 )
 
 // DefaultCheckpointEvery is the checkpoint cadence (in processed
@@ -132,6 +142,22 @@ type durable struct {
 	// Resume state: non-nil until the replay reaches the recorded cut and
 	// verifies against it.
 	cut *resumeCut
+
+	// watermark is the engine sequence at first drive entry — the genesis
+	// boundary for EncodePending. Events below it are recreated by
+	// deterministic reconstruction; events above must carry state tags.
+	watermark  uint64
+	wmCaptured bool
+	// restore, when non-nil, is a pending state-mode restore applied at
+	// first drive entry, before any event processes.
+	restore *stateRestore
+	// baseEvent/baseReport offset the output cursors on a state-mode
+	// resumed run: the sinks only receive post-cut bytes, but cursors must
+	// describe the full logical stream (prefix + suffix). A non-zero base
+	// makes the prefix CRC unknowable, so those cursors carry CRC 0 and
+	// later resumes verify byte counts only.
+	baseEvent  int64
+	baseReport int64
 }
 
 type resumeCut struct {
@@ -140,6 +166,19 @@ type resumeCut struct {
 }
 
 func (d *durable) drive(eng *sim.Engine, until float64) error {
+	if !d.wmCaptured {
+		// First drive entry: construction and genesis scheduling are done,
+		// nothing has processed. This sequence number separates genesis
+		// events (recreated by reconstruction) from runtime ones (which
+		// need tags) — and it is the moment a state image can be applied.
+		d.wmCaptured = true
+		d.watermark = eng.Seq()
+		if d.restore != nil {
+			if err := d.applyState(); err != nil {
+				return err
+			}
+		}
+	}
 	for {
 		switch eng.RunUntilOutcome(until, d.nextStop) {
 		case sim.RunBudget:
@@ -203,6 +242,12 @@ func (d *durable) checkpoint() error {
 		{ID: sectionCursor, Data: curData},
 		{ID: sectionState, Data: tab.Encode()},
 	}}
+	// Best effort: a failure (untaggable pending event, RNG backend
+	// without state access) just omits the image sections, leaving a
+	// replay-only checkpoint — resume falls back automatically.
+	if img, err := d.imageSections(); err == nil {
+		f.Sections = append(f.Sections, img...)
+	}
 	if err := snapshot.WriteFile(d.ck.Path, f); err != nil {
 		return fmt.Errorf("runner: writing checkpoint: %w", err)
 	}
@@ -224,12 +269,16 @@ func (d *durable) cursorNow() cursorRec {
 		Checkpoints: d.done,
 	}
 	if d.cw != nil {
-		cur.EventBytes = d.cw.n
-		cur.EventCRC = d.cw.crc.Sum32()
+		cur.EventBytes = d.baseEvent + d.cw.n
+		if d.baseEvent == 0 {
+			cur.EventCRC = d.cw.crc.Sum32()
+		}
 	}
 	if d.rw != nil {
-		cur.ReportBytes = d.rw.n
-		cur.ReportCRC = d.rw.crc.Sum32()
+		cur.ReportBytes = d.baseReport + d.rw.n
+		if d.baseReport == 0 {
+			cur.ReportCRC = d.rw.crc.Sum32()
+		}
 	}
 	if d.stream != nil {
 		cur.StreamEmitted = d.stream.src.Emitted()
@@ -254,10 +303,12 @@ func (d *durable) verifyCut() error {
 	if now.Now != want.Now || now.Seq != want.Seq {
 		rows = append(rows, fmt.Sprintf("engine clock/seq: got (%v, %d), checkpoint (%v, %d)", now.Now, now.Seq, want.Now, want.Seq))
 	}
-	if d.cw != nil && (now.EventBytes != want.EventBytes || now.EventCRC != want.EventCRC) {
+	// CRC 0 means the checkpoint was written by a state-mode resumed run
+	// whose prefix CRC was unknowable: verify byte counts only.
+	if d.cw != nil && (now.EventBytes != want.EventBytes || (want.EventCRC != 0 && now.EventCRC != want.EventCRC)) {
 		rows = append(rows, fmt.Sprintf("event log: got %d bytes crc %08x, checkpoint %d bytes crc %08x", now.EventBytes, now.EventCRC, want.EventBytes, want.EventCRC))
 	}
-	if d.rw != nil && (now.ReportBytes != want.ReportBytes || now.ReportCRC != want.ReportCRC) {
+	if d.rw != nil && (now.ReportBytes != want.ReportBytes || (want.ReportCRC != 0 && now.ReportCRC != want.ReportCRC)) {
 		rows = append(rows, fmt.Sprintf("stream report: got %d bytes crc %08x, checkpoint %d bytes crc %08x", now.ReportBytes, now.ReportCRC, want.ReportBytes, want.ReportCRC))
 	}
 	tab := &snapshot.StateTable{}

@@ -417,6 +417,9 @@ func newRunState(opts Options) (*runState, error) {
 	case core.ScarlettPolicy:
 		scar = core.NewScarlett(pol, cluster.NN, cluster.Eng.Defer)
 		scar.SetNow(cluster.Eng.Now)
+		scar.SetTagDefer(func(delay float64, tag core.EventTag, fn func()) {
+			cluster.Eng.DeferTag(delay, tag, fn)
+		})
 		cluster.Bus.Subscribe(scar)
 	default:
 		pcfg := pol
@@ -428,6 +431,9 @@ func newRunState(opts Options) (*runState, error) {
 		}
 		mgr = core.NewManager(pcfg, cluster.NN, stats.NewRNG(opts.Seed).Split(0xDA2E), cluster.Eng.Defer)
 		mgr.SetNow(cluster.Eng.Now)
+		mgr.SetTagDefer(func(delay float64, tag core.EventTag, fn func()) {
+			cluster.Eng.DeferTag(delay, tag, fn)
+		})
 		cluster.Bus.Subscribe(mgr)
 	}
 

@@ -90,7 +90,7 @@ func (sd *streamDriver) window() {
 	sd.emitReport(now, len(jobs))
 	t.AppendJobs(jobs)
 	sd.nextWindow++
-	eng.DeferAt(now+sd.spec.Window, sd.window)
+	eng.DeferAtTag(now+sd.spec.Window, streamWindowTag{}, sd.window)
 }
 
 func (sd *streamDriver) emitReport(now float64, arrivals int) {

@@ -192,6 +192,7 @@ func (co *Cohort) scheduleNext() {
 		co.ct.eng.RescheduleAt(co.ev, when)
 	} else {
 		co.ev = co.ct.eng.At(when, co.tick)
+		co.ev.tag = Owned
 	}
 	co.running = true
 }

@@ -38,6 +38,12 @@ type Event struct {
 	// Cancel uses it to keep the canceled-pending count exact, and
 	// Reschedule uses it to refuse reuse of a struct the queue still owns.
 	inQueue bool
+	// tag, when non-nil, makes a runtime-created event serializable for
+	// state-mode checkpoints (see state.go): Owned events are serialized
+	// by their owning component, tagged events by the tag itself, and
+	// untagged events are assumed to be genesis events recreated by
+	// deterministic reconstruction.
+	tag EventTag
 }
 
 // When reports the time the event is scheduled to fire.
@@ -75,6 +81,9 @@ type Engine struct {
 	// otherwise single-threaded engine makes; nil (the default) keeps the
 	// loop free of atomic loads.
 	intr *atomic.Bool
+	// restoreMap holds popped pending events keyed by seq between
+	// BeginRestore and FinishRestore (see state.go).
+	restoreMap map[uint64]*Event
 }
 
 // RunOutcome reports why a bounded run loop returned.
@@ -251,6 +260,10 @@ func (e *Engine) Defer(delay Time, fn func()) {
 // DeferAt is At without the returned handle; like Defer it draws the event
 // from the free list.
 func (e *Engine) DeferAt(when Time, fn func()) {
+	e.deferAt(when, fn, nil)
+}
+
+func (e *Engine) deferAt(when Time, fn func(), tag EventTag) {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", when, e.now))
 	}
@@ -266,6 +279,7 @@ func (e *Engine) DeferAt(when Time, fn func()) {
 	} else {
 		ev = &Event{when: when, fn: fn, pooled: true}
 	}
+	ev.tag = tag
 	e.enqueue(ev)
 }
 
@@ -275,6 +289,7 @@ func (e *Engine) DeferAt(when Time, fn func()) {
 func (e *Engine) release(ev *Event) {
 	if ev.pooled {
 		ev.fn = nil
+		ev.tag = nil
 		e.free = append(e.free, ev)
 	}
 }

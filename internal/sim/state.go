@@ -1,0 +1,362 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"dare/internal/snapshot"
+)
+
+// State-mode checkpointing of the pending-event set.
+//
+// Engine events are closures, which cannot be serialized directly. The
+// state image instead exploits that run construction is deterministic:
+// every event scheduled before the first drive ("genesis events" — batch
+// arrival deferrals, churn/chaos/outage injections, initial ticker
+// events) is recreated with the identical (when, seq) coordinates when
+// the run is rebuilt at restore. The image therefore splits the pending
+// set three ways:
+//
+//   - genesis events (seq below the watermark, no tag): stored as bare
+//     seq references; restore keeps the reconstructed event and drops
+//     the rest (they already fired or were canceled in the original);
+//   - owned events (tag == Owned): skipped here; the owning component
+//     (Ticker, Cohort, the tracker's in-flight task records, the stream
+//     driver) serializes the (when, seq) pair plus whatever context its
+//     closure needs, and re-enqueues at decode;
+//   - tagged events (any other tag): stored as (kind, when, seq,
+//     payload); the layer that created the tag rebuilds the closure from
+//     the payload at decode.
+//
+// A runtime-created event with no tag is not serializable: EncodePending
+// returns an UntaggedEventError and the checkpoint is written without
+// state sections, so resume falls back to the replay oracle.
+
+// EventTag makes a runtime-created event serializable. Implementations
+// live in the layer that schedules the event; TagKind returns a kind
+// code unique across the whole simulator (the runner's decode dispatch
+// assigns kind ranges per layer).
+type EventTag interface {
+	TagKind() uint16
+	EncodeTag(e *snapshot.Enc)
+}
+
+// Owned is the sentinel tag for events whose owner serializes them
+// itself (tickers, cohorts, in-flight task completions).
+var Owned EventTag = ownedTag{}
+
+type ownedTag struct{}
+
+func (ownedTag) TagKind() uint16           { return 0 }
+func (ownedTag) EncodeTag(e *snapshot.Enc) {}
+
+// UntaggedEventError reports a pending runtime-created event that carries
+// no tag and therefore cannot ride a state image.
+type UntaggedEventError struct {
+	When Time
+	Seq  uint64
+}
+
+func (e *UntaggedEventError) Error() string {
+	return fmt.Sprintf("sim: pending event (when=%v, seq=%d) was created after genesis and carries no state tag", e.When, e.Seq)
+}
+
+// Seq reports the sequence number stamped on the event, for owners that
+// serialize (when, seq) coordinates themselves (When is in engine.go).
+func (ev *Event) Seq() uint64 { return ev.seq }
+
+// ScheduleTag is Schedule with a state tag attached to the returned
+// handle. Owners of handle-retaining runtime events (the tracker's
+// in-flight task completions) mark them Owned so EncodePending skips
+// them and the owner serializes the coordinates itself.
+func (e *Engine) ScheduleTag(delay Time, tag EventTag, fn func()) *Event {
+	ev := e.Schedule(delay, fn)
+	ev.tag = tag
+	return ev
+}
+
+// DeferTag is Defer with a state tag attached to the pooled event.
+func (e *Engine) DeferTag(delay Time, tag EventTag, fn func()) {
+	e.DeferAtTag(e.now+delay, tag, fn)
+}
+
+// DeferAtTag is DeferAt with a state tag attached to the pooled event.
+func (e *Engine) DeferAtTag(when Time, tag EventTag, fn func()) {
+	e.deferAt(when, fn, tag)
+}
+
+// EncodePending serializes the live pending set. Events stamped before
+// watermark with no tag become genesis references; Owned events are
+// skipped; tagged events carry their payload. The walk is sorted by
+// (when, seq) so identical state always encodes to identical bytes.
+func (e *Engine) EncodePending(enc *snapshot.Enc, watermark uint64) error {
+	var evs []*Event
+	e.q.each(func(ev *Event) {
+		if !ev.canceled {
+			evs = append(evs, ev)
+		}
+	})
+	sort.Slice(evs, func(i, j int) bool { return eventLess(evs[i], evs[j]) })
+	var genesis []*Event
+	var tagged []*Event
+	for _, ev := range evs {
+		switch {
+		case ev.tag == Owned:
+			// owner serializes it
+		case ev.tag != nil:
+			tagged = append(tagged, ev)
+		case ev.seq < watermark:
+			genesis = append(genesis, ev)
+		default:
+			return &UntaggedEventError{When: ev.when, Seq: ev.seq}
+		}
+	}
+	enc.U32(uint32(len(genesis)))
+	for _, ev := range genesis {
+		enc.U64(ev.seq)
+	}
+	enc.U32(uint32(len(tagged)))
+	payload := snapshot.NewEnc()
+	for _, ev := range tagged {
+		enc.U16(ev.tag.TagKind())
+		enc.F64(ev.when)
+		enc.U64(ev.seq)
+		payload.Reset()
+		ev.tag.EncodeTag(payload)
+		enc.Blob(payload.Data())
+	}
+	return nil
+}
+
+// DecodePending replays an EncodePending image against a freshly
+// reconstructed run that has already entered restore mode (BeginRestore):
+// genesis references keep their reconstructed events, and each tagged
+// record is handed to restore, which must rebuild the closure and call
+// RestoreEvent with the same coordinates.
+func (e *Engine) DecodePending(dec *snapshot.Dec, restore func(kind uint16, when Time, seq uint64, payload *snapshot.Dec) error) error {
+	nGen := dec.Count(8)
+	for i := 0; i < nGen; i++ {
+		if err := e.KeepGenesis(dec.U64()); err != nil {
+			if dec.Err() != nil {
+				return dec.Err()
+			}
+			return err
+		}
+	}
+	nTag := dec.Count(8)
+	for i := 0; i < nTag; i++ {
+		kind := dec.U16()
+		when := dec.F64()
+		seq := dec.U64()
+		payload := dec.Blob()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		pd := snapshot.NewDec(payload)
+		if err := restore(kind, when, seq, pd); err != nil {
+			return err
+		}
+		if err := pd.Finish(); err != nil {
+			return fmt.Errorf("sim: tag kind %d payload: %w", kind, err)
+		}
+	}
+	return dec.Err()
+}
+
+// BeginRestore switches the engine into restore mode: every pending
+// event is popped into a side map keyed by seq (canceled ones are
+// dropped), the queue is emptied, and the clock/sequence/processed
+// counters jump to the checkpoint cursor. Between BeginRestore and
+// FinishRestore the layers re-enqueue exactly the events the state image
+// names, via KeepGenesis / RestoreAt / RestoreEvent.
+func (e *Engine) BeginRestore(now Time, seq, processed uint64) {
+	e.restoreMap = make(map[uint64]*Event, e.q.len())
+	for {
+		ev := e.q.pop()
+		if ev == nil {
+			break
+		}
+		ev.inQueue = false
+		if ev.canceled {
+			continue
+		}
+		e.restoreMap[ev.seq] = ev
+	}
+	e.canceledPending = 0
+	e.now = now
+	e.seq = seq
+	e.processed = processed
+}
+
+// KeepGenesis re-enqueues the reconstructed genesis event with the given
+// seq, preserving its coordinates and closure.
+func (e *Engine) KeepGenesis(seq uint64) error {
+	ev, ok := e.restoreMap[seq]
+	if !ok {
+		return fmt.Errorf("sim: state image references genesis event seq %d, but reconstruction did not schedule it", seq)
+	}
+	delete(e.restoreMap, seq)
+	ev.inQueue = true
+	e.q.push(ev)
+	return nil
+}
+
+// RestoreAt enqueues an owner-held event struct at exact checkpoint
+// coordinates, bypassing sequence stamping. The owner is responsible for
+// the struct's callback being the same one the original event carried.
+func (e *Engine) RestoreAt(ev *Event, when Time, seq uint64) {
+	if ev.inQueue {
+		panic("sim: RestoreAt of a still-pending event")
+	}
+	ev.when = when
+	ev.seq = seq
+	ev.canceled = false
+	ev.inQueue = true
+	e.q.push(ev)
+}
+
+// RestoreEvent enqueues a rebuilt pooled event at exact checkpoint
+// coordinates, re-attaching its tag so the next checkpoint can encode it
+// again.
+func (e *Engine) RestoreEvent(when Time, seq uint64, tag EventTag, fn func()) {
+	ev := &Event{when: when, seq: seq, fn: fn, tag: tag, pooled: true, inQueue: true}
+	e.q.push(ev)
+}
+
+// RestoreHandle returns a detached, never-enqueued handle event for fn,
+// for owners whose reconstruction did not create the struct they need to
+// RestoreAt (e.g. a ticker that only started mid-run).
+func (e *Engine) RestoreHandle(fn func()) *Event {
+	return &Event{fn: fn, tag: Owned}
+}
+
+// FinishRestore drops every reconstructed genesis event the state image
+// did not keep — in the original run they had already fired or been
+// canceled — and leaves restore mode.
+func (e *Engine) FinishRestore() {
+	for _, ev := range e.restoreMap {
+		if !ev.inQueue {
+			e.release(ev)
+		}
+	}
+	e.restoreMap = nil
+}
+
+// EncodeState serializes the ticker's grid position and pending tick.
+func (t *Ticker) EncodeState(enc *snapshot.Enc) {
+	enc.Bool(t.started)
+	enc.Bool(t.active)
+	enc.F64(t.anchor)
+	enc.U64(t.next)
+	if t.active {
+		// An active ticker always has its event pending; when is derived
+		// from the grid, so only the seq needs recording.
+		enc.U64(t.ev.seq)
+	}
+}
+
+// DecodeState restores the ticker's grid position and re-enqueues its
+// pending tick at exact coordinates.
+func (t *Ticker) DecodeState(dec *snapshot.Dec) error {
+	t.started = dec.Bool()
+	t.active = dec.Bool()
+	t.anchor = dec.F64()
+	t.next = dec.U64()
+	if t.active {
+		seq := dec.U64()
+		if t.ev == nil {
+			t.ev = t.eng.RestoreHandle(t.tick)
+		}
+		t.eng.RestoreAt(t.ev, gridTime(t.anchor, t.period, t.next), seq)
+	}
+	return dec.Err()
+}
+
+// EncodeState serializes one cohort: grid position, pending event, and
+// the member slots in activation order (tombstones included — sweep
+// order is part of the determinism contract). memberID maps a live
+// member to a stable identity the owner can resolve at decode.
+func (co *Cohort) EncodeState(enc *snapshot.Enc, memberID func(*CohortMember) int64) {
+	enc.Bool(co.started)
+	enc.Bool(co.running)
+	enc.F64(co.anchor)
+	enc.U64(co.next)
+	if co.running {
+		enc.U64(co.ev.seq)
+	}
+	enc.U32(uint32(len(co.members)))
+	for _, m := range co.members {
+		if m == nil {
+			enc.Bool(false)
+			continue
+		}
+		enc.Bool(true)
+		enc.I64(memberID(m))
+		enc.F64(m.joined)
+	}
+}
+
+// DecodeState restores the cohort from an EncodeState image. member
+// resolves a stable identity back to the handle the owner holds (it may
+// return a fresh DetachedMember when reconstruction did not create one).
+func (co *Cohort) DecodeState(dec *snapshot.Dec, member func(id int64) *CohortMember) error {
+	co.started = dec.Bool()
+	co.running = dec.Bool()
+	co.anchor = dec.F64()
+	co.next = dec.U64()
+	var seq uint64
+	if co.running {
+		seq = dec.U64()
+	}
+	n := dec.Count(1)
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	// Detach any members reconstruction activated before overwriting the
+	// slot table.
+	for _, m := range co.members {
+		if m != nil {
+			m.slot = -1
+		}
+	}
+	co.members = co.members[:0]
+	co.active, co.dead = 0, 0
+	for i := 0; i < n; i++ {
+		if !dec.Bool() {
+			co.members = append(co.members, nil)
+			co.dead++
+			continue
+		}
+		id := dec.I64()
+		joined := dec.F64()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		m := member(id)
+		if m == nil {
+			return fmt.Errorf("sim: cohort state names unknown member %d", id)
+		}
+		m.slot = len(co.members)
+		m.joined = joined
+		co.members = append(co.members, m)
+		co.active++
+	}
+	if co.running {
+		if co.ev == nil {
+			co.ev = co.ct.eng.RestoreHandle(co.tick)
+		}
+		co.ct.eng.RestoreAt(co.ev, gridTime(co.anchor, co.ct.period, co.next), seq)
+	}
+	return dec.Err()
+}
+
+// DetachedMember creates a stopped member handle bound to this cohort,
+// for DecodeState callbacks that must resolve a member reconstruction
+// never activated.
+func (co *Cohort) DetachedMember(fn func()) *CohortMember {
+	return &CohortMember{co: co, fn: fn, slot: -1}
+}
+
+// Cohorts returns the ticker group's cohorts in creation order, for
+// owners serializing per-cohort state.
+func (ct *CohortTicker) Cohorts() []*Cohort { return ct.cohorts }

@@ -115,6 +115,7 @@ func (t *Ticker) scheduleNext() {
 	// First start, or the previous Stop's canceled event is still queued
 	// awaiting lazy discard: a fresh struct keeps the two from aliasing.
 	t.ev = t.eng.At(when, t.tick)
+	t.ev.tag = Owned
 }
 
 // Stop cancels future ticks.

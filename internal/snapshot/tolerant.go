@@ -1,0 +1,103 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// DecodeTolerant reads a container from r, salvaging every section whose
+// own CRC-32 checks out even when the file as a whole is damaged. Where
+// Decode refuses the entire file on the first defect, DecodeTolerant
+// keeps walking: a section with a checksum mismatch is reported in bad
+// (by id) and skipped; a file truncated mid-section yields the sections
+// before the tear (the torn section's id lands in bad when it was
+// readable); a trailer CRC mismatch is ignored, because the per-section
+// CRCs already pin which payloads are trustworthy.
+//
+// This is the state-mode resume loader: a checkpoint whose `st.*` state
+// sections are torn but whose spec and cursor sections are intact can
+// still resume — in replay mode. Only an unreadable header (bad magic,
+// wrong version, I/O error) is a hard error.
+func DecodeTolerant(r io.Reader) (f *File, bad []string, err error) {
+	head := make([]byte, len(Magic)+4)
+	if err := readFull(r, head); err != nil {
+		return nil, nil, err
+	}
+	if string(head[:len(Magic)]) != Magic {
+		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head[:len(Magic)])
+	}
+	if v := binary.LittleEndian.Uint16(head[len(Magic):]); v != Version {
+		return nil, nil, &VersionError{Got: v}
+	}
+	count := int(binary.LittleEndian.Uint16(head[len(Magic)+2:]))
+	f = &File{}
+	var u32 [4]byte
+	for i := 0; i < count; i++ {
+		var idLen [1]byte
+		if err := readFull(r, idLen[:]); err != nil {
+			return f, bad, nil // clean tear between sections
+		}
+		if idLen[0] == 0 {
+			return f, bad, nil // structural damage; keep what we have
+		}
+		id := make([]byte, idLen[0])
+		if err := readFull(r, id); err != nil {
+			return f, bad, nil
+		}
+		if err := readFull(r, u32[:]); err != nil {
+			return f, append(bad, string(id)), nil
+		}
+		n := binary.LittleEndian.Uint32(u32[:])
+		if n > maxSectionLen {
+			return f, append(bad, string(id)), nil
+		}
+		data := make([]byte, n)
+		if err := readFull(r, data); err != nil {
+			return f, append(bad, string(id)), nil
+		}
+		if err := readFull(r, u32[:]); err != nil {
+			return f, append(bad, string(id)), nil
+		}
+		if want := binary.LittleEndian.Uint32(u32[:]); crc32.ChecksumIEEE(data) != want {
+			bad = append(bad, string(id))
+			continue
+		}
+		f.Sections = append(f.Sections, Section{ID: string(id), Data: data})
+	}
+	return f, bad, nil
+}
+
+// LoadFileTolerant reads the checkpoint at path with DecodeTolerant,
+// falling back to path+PrevSuffix when the primary's header itself is
+// unreadable. fromPrev reports that the fallback generation was used.
+func LoadFileTolerant(path string) (f *File, bad []string, fromPrev bool, err error) {
+	f, bad, primaryErr := loadOneTolerant(path)
+	if primaryErr == nil {
+		return f, bad, false, nil
+	}
+	f, bad, prevErr := loadOneTolerant(path + PrevSuffix)
+	if prevErr == nil {
+		return f, bad, true, nil
+	}
+	if errors.Is(prevErr, os.ErrNotExist) {
+		return nil, nil, false, primaryErr
+	}
+	return nil, nil, false, fmt.Errorf("%w (fallback %s%s also unreadable: %v)", primaryErr, path, PrevSuffix, prevErr)
+}
+
+func loadOneTolerant(path string) (*File, []string, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer in.Close()
+	f, bad, err := DecodeTolerant(in)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, bad, nil
+}
